@@ -1,0 +1,23 @@
+"""Helpers shared by the bench harness (imported by bench modules)."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: Scale knobs: the full paper scale is expensive; benches default to a
+#: reduced-but-faithful scale and honour PSTORE_BENCH_FULL=1.
+FULL = os.environ.get("PSTORE_BENCH_FULL", "0") == "1"
+
+FIG9_EVAL_DAYS = 3                     # the paper's 3-day replay
+SEASON_DAYS = 135 if FULL else 120     # >= 119 so Black Friday is included
+SEASON_Q_FRACTIONS = (0.45, 0.55, 0.65, 0.75) if FULL else (0.45, 0.65)
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a bench report and persist it under results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

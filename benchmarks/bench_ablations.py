@@ -1,0 +1,96 @@
+"""Bench: ablations of P-Store's design choices (not in the paper).
+
+* effective-capacity awareness in the planner (Eq. 7);
+* the three-phase migration schedule (Table 1's phase 3);
+* the 3-cycle scale-in confirmation heuristic;
+* the 15% prediction-inflation buffer.
+"""
+
+from repro.analysis import ascii_table, paper_vs_measured
+from repro.experiments import (
+    run_debounce_ablation,
+    run_effcap_ablation,
+    run_inflation_ablation,
+    run_schedule_ablation,
+)
+
+from _utils import emit
+
+
+def test_ablation_effective_capacity(benchmark, results_dir):
+    result = benchmark.pedantic(run_effcap_ablation, rounds=1, iterations=1)
+    text = paper_vs_measured(
+        [
+            {
+                "metric": "planner honours Eq. 7",
+                "paper": "Algorithm 3 lines 6-9",
+                "measured": f"aware feasible: {result.aware_feasible}",
+            },
+            {
+                "metric": "ignoring Eq. 7 underprovisions",
+                "paper": "(motivates eff-cap)",
+                "measured": f"{result.blind_underprovision_intervals} "
+                "intervals below true capacity",
+            },
+        ],
+        title="Ablation: effective-capacity awareness",
+    )
+    emit(results_dir, "abl_effcap", text)
+    assert result.aware_feasible
+    assert result.blind_underprovision_intervals >= 2
+
+
+def test_ablation_three_phase_schedule(benchmark, results_dir):
+    result = benchmark.pedantic(run_schedule_ablation, rounds=1, iterations=1)
+    rows = [
+        (f"{r.before} -> {r.after}", r.phased_rounds, r.naive_rounds, r.saved_rounds)
+        for r in result.rows
+    ]
+    text = ascii_table(
+        ["move", "3-phase rounds", "naive rounds", "saved"],
+        rows,
+        title="Ablation: three-phase schedule vs naive blocks",
+    )
+    emit(results_dir, "abl_schedule_phases", text)
+    assert result.total_saved >= len(result.rows)  # saves on every case
+
+
+def test_ablation_scale_in_debounce(benchmark, results_dir):
+    result = benchmark.pedantic(run_debounce_ablation, rounds=1, iterations=1)
+    text = paper_vs_measured(
+        [
+            {
+                "metric": "reconfigurations per week",
+                "paper": "debounce 'prevents unnecessary reconfigurations'",
+                "measured": f"{result.moves_with_debounce} (debounced) vs "
+                f"{result.moves_without_debounce} (immediate)",
+            },
+            {
+                "metric": "cost difference",
+                "paper": "(small)",
+                "measured": f"{result.cost_with_debounce:.0f} vs "
+                f"{result.cost_without_debounce:.0f} machine-slots",
+            },
+        ],
+        title="Ablation: scale-in confirmation",
+    )
+    emit(results_dir, "abl_scalein_debounce", text)
+    assert result.moves_with_debounce < result.moves_without_debounce
+
+
+def test_ablation_prediction_inflation(benchmark, results_dir):
+    result = benchmark.pedantic(run_inflation_ablation, rounds=1, iterations=1)
+    rows = [
+        (f"{p.inflation:.2f}", f"{p.cost_machine_slots:.0f}", f"{p.pct_time_insufficient:.2f}%")
+        for p in result.points
+    ]
+    text = ascii_table(
+        ["inflation", "cost (machine-slots)", "% time insufficient"],
+        rows,
+        title="Ablation: prediction-inflation buffer "
+        "(same knob as Q in Fig. 12, see its footnote)",
+    )
+    emit(results_dir, "abl_inflation", text)
+    assert result.monotone_cost()
+    first, last = result.points[0], result.points[-1]
+    assert last.pct_time_insufficient <= first.pct_time_insufficient + 1e-9

@@ -1,0 +1,45 @@
+"""Bench: Figure 1 — load on one of B2W's databases over three days.
+
+Regenerates the motivating trace: a strong diurnal cycle with the peak
+about 10x the trough.
+"""
+
+from repro.analysis import paper_vs_measured, series_block
+from repro.experiments import run_figure1
+
+from _utils import emit
+
+
+def test_figure1_load_trace(benchmark, results_dir):
+    result = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+
+    lines = [
+        series_block(
+            "load (requests/min)", result.trace.values, width=72
+        ),
+        "",
+        paper_vs_measured(
+            [
+                {
+                    "metric": "peak-to-trough ratio",
+                    "paper": "~10x",
+                    "measured": f"{result.peak_to_trough:.1f}x",
+                },
+                {
+                    "metric": "peak load (requests/min)",
+                    "paper": "~2.2e4",
+                    "measured": f"{result.peak_requests_per_min:,.0f}",
+                },
+                {
+                    "metric": "daily periodicity (lag-1day autocorr)",
+                    "paper": "strong",
+                    "measured": f"{result.daily_autocorrelation:.2f}",
+                },
+            ],
+            title="Figure 1: B2W load over three days",
+        ),
+    ]
+    emit(results_dir, "fig01_load_trace", "\n".join(lines))
+
+    assert 7.0 <= result.peak_to_trough <= 16.0
+    assert result.daily_autocorrelation > 0.85

@@ -1,0 +1,40 @@
+"""Bench: Figure 2 — ideal capacity vs actual servers allocated.
+
+Quantifies the problem statement: an integral step allocation always
+costs more than the ideal fractional capacity curve.
+"""
+
+from repro.analysis import paper_vs_measured, series_block
+from repro.experiments import run_figure2
+
+from _utils import emit
+
+
+def test_figure2_ideal_vs_step(benchmark, results_dir):
+    result = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+
+    lines = [
+        series_block("demand (txn/s)", result.demand_tps),
+        series_block("servers allocated", result.allocated_servers),
+        "",
+        paper_vs_measured(
+            [
+                {
+                    "metric": "capacity tracks demand with small buffer",
+                    "paper": "Fig 2a (ideal)",
+                    "measured": "ideal = demand x 1.10",
+                },
+                {
+                    "metric": "step allocation overhead vs ideal",
+                    "paper": "qualitative gap (Fig 2b)",
+                    "measured": f"{result.overhead_pct:.1f}%",
+                },
+            ],
+            title="Figure 2: ideal capacity vs integral allocation",
+        ),
+    ]
+    emit(results_dir, "fig02_ideal_capacity", "\n".join(lines))
+
+    assert result.allocated_servers.min() >= 1
+    assert (result.allocated_servers >= result.ideal_servers - 1e-9).all()
+    assert 0.0 < result.overhead_pct < 40.0

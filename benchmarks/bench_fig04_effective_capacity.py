@@ -1,0 +1,55 @@
+"""Bench: Figure 4 — machines allocated and effective capacity during
+migration for the three scheduling cases (3->5, 3->9, 3->14)."""
+
+from repro.analysis import ascii_table, paper_vs_measured
+from repro.config import default_config
+from repro.experiments import run_figure4
+
+from _utils import emit
+
+
+def test_figure4_effective_capacity(benchmark, results_dir):
+    result = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    q = default_config().q
+
+    sections = []
+    for case in result.cases:
+        rows = []
+        profile = case.profile
+        for i, machines in enumerate(profile.machines):
+            rows.append(
+                (
+                    f"{profile.times[i]:.2f}-{profile.times[i + 1]:.2f}",
+                    machines,
+                    round(profile.eff_cap[i + 1] / q, 2),
+                )
+            )
+        sections.append(
+            ascii_table(
+                ["move fraction", "machines", "eff-cap (machines)"],
+                rows,
+                title=f"Case {case.before} -> {case.after} "
+                f"(duration {case.duration_in_d:.3f} D)",
+            )
+        )
+    sections.append(
+        paper_vs_measured(
+            [
+                {
+                    "metric": "3->5: eff-cap close to allocation",
+                    "paper": "Fig 4a",
+                    "measured": f"max gap {result.case(3, 5).max_allocation_gap:.2f} machines",
+                },
+                {
+                    "metric": "3->14: eff-cap lags allocation",
+                    "paper": "Fig 4c (significant)",
+                    "measured": f"max gap {result.case(3, 14).max_allocation_gap:.2f} machines",
+                },
+            ],
+            title="Figure 4: effective capacity during migration",
+        )
+    )
+    emit(results_dir, "fig04_effective_capacity", "\n\n".join(sections))
+
+    assert result.case(3, 5).max_allocation_gap < result.case(3, 14).max_allocation_gap
+    assert result.case(3, 14).max_allocation_gap > 4.0

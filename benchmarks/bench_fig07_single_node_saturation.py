@@ -1,0 +1,51 @@
+"""Bench: Figure 7 — increasing throughput on a single machine.
+
+Parameter discovery: the saturation point of one 6-partition server
+(438 txn/s in the paper) and the derived Q-hat (80%) and Q (65%).
+"""
+
+from repro.analysis import paper_vs_measured, series_block
+from repro.experiments import run_figure7
+
+from _utils import emit
+
+
+def test_figure7_single_node_saturation(benchmark, results_dir):
+    result = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+
+    lines = [
+        series_block("offered (txn/s)", result.offered_tps),
+        series_block("completed (txn/s)", result.completed_tps),
+        series_block("p99 latency (ms)", result.p99_ms),
+        "",
+        paper_vs_measured(
+            [
+                {
+                    "metric": "single-node saturation",
+                    "paper": "438 txn/s",
+                    "measured": f"{result.saturation_tps:.0f} txn/s",
+                    "note": "engine calibrated to the paper's measurement",
+                },
+                {
+                    "metric": "Q-hat (80% of saturation)",
+                    "paper": "350 txn/s",
+                    "measured": f"{result.q_hat:.0f} txn/s",
+                },
+                {
+                    "metric": "Q (65% of saturation)",
+                    "paper": "285 txn/s",
+                    "measured": f"{result.q:.0f} txn/s",
+                },
+                {
+                    "metric": "SLA knee above Q-hat",
+                    "paper": "latency safe below Q-hat",
+                    "measured": f"p99 crosses 500 ms at {result.latency_knee_tps:.0f} txn/s",
+                },
+            ],
+            title="Figure 7: single-machine throughput ramp",
+        ),
+    ]
+    emit(results_dir, "fig07_single_node_saturation", "\n".join(lines))
+
+    assert abs(result.saturation_tps - 438.0) / 438.0 < 0.05
+    assert result.latency_knee_tps > result.q_hat

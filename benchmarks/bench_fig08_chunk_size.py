@@ -1,0 +1,70 @@
+"""Bench: Figure 8 — reconfiguring with different migration chunk sizes.
+
+At Q-hat per-machine load, 1000 kB chunks are nearly indistinguishable
+from a static system; larger chunks finish the migration faster but
+create latency spikes.  This calibration fixes D (and thus R = 244 kB/s).
+"""
+
+from repro.analysis import ascii_table, paper_vs_measured
+from repro.experiments import run_figure8
+
+from _utils import emit
+
+
+def test_figure8_chunk_size(benchmark, results_dir):
+    result = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    by_chunk = result.by_chunk()
+
+    rows = []
+    for run in result.runs:
+        label = "static" if run.chunk_kb is None else f"{run.chunk_kb:.0f} kB"
+        rows.append(
+            (
+                label,
+                f"{run.rate_kbps:.0f}",
+                f"{run.p50_peak_ms:.0f}",
+                f"{run.p99_peak_ms:.0f}",
+                f"{run.migration_seconds:.0f}",
+            )
+        )
+    lines = [
+        ascii_table(
+            ["chunks", "rate kB/s", "p50 peak ms", "p99 peak ms", "migration s"],
+            rows,
+            title="Figure 8: chunk size vs latency during reconfiguration",
+        ),
+        "",
+        paper_vs_measured(
+            [
+                {
+                    "metric": "1000 kB ~ static system",
+                    "paper": "p99 slightly larger, within SLA",
+                    "measured": (
+                        f"{by_chunk[1000.0].p99_peak_ms:.0f} vs "
+                        f"{by_chunk[None].p99_peak_ms:.0f} ms peak"
+                    ),
+                },
+                {
+                    "metric": "larger chunks -> faster, riskier",
+                    "paper": "Fig 8 trend",
+                    "measured": (
+                        f"8000 kB: {by_chunk[8000.0].migration_seconds:.0f}s move, "
+                        f"p99 peak {by_chunk[8000.0].p99_peak_ms:.0f} ms"
+                    ),
+                },
+                {
+                    "metric": "implied safe rate R",
+                    "paper": "244 kB/s",
+                    "measured": f"{by_chunk[1000.0].rate_kbps:.0f} kB/s",
+                },
+            ],
+            title="Figure 8 summary",
+        ),
+    ]
+    emit(results_dir, "fig08_chunk_size", "\n".join(lines))
+
+    # 1000 kB chunks stay close to the static baseline...
+    assert by_chunk[1000.0].p99_peak_ms < 1.5 * by_chunk[None].p99_peak_ms
+    # ...while 8000 kB chunks are much faster but clearly disruptive.
+    assert by_chunk[8000.0].migration_seconds < by_chunk[1000.0].migration_seconds / 4
+    assert by_chunk[8000.0].p99_peak_ms > 2.0 * by_chunk[None].p99_peak_ms

@@ -1,0 +1,54 @@
+"""Bench: Figure 9 — comparison of elasticity approaches over the
+3-day B2W benchmark at 10x speed (static-10, static-4, reactive,
+P-Store with SPAR)."""
+
+from repro.analysis import paper_vs_measured, series_block
+
+from _utils import emit
+
+
+def test_figure9_elasticity_comparison(benchmark, figure9_result, results_dir):
+    result = benchmark.pedantic(
+        lambda: figure9_result, rounds=1, iterations=1
+    )
+
+    sections = []
+    for name in ("static-10", "static-4", "reactive", "p-store"):
+        run = result.runs[name]
+        sections.append(f"--- {name} ---")
+        sections.append(series_block("throughput (txn/s)", run.completed_tps))
+        sections.append(series_block("machines allocated", run.machines))
+        sections.append(series_block("p99 latency (ms)", run.latency.series(99.0)))
+        sections.append("")
+
+    pstore = result.pstore
+    reactive = result.reactive
+    sections.append(
+        paper_vs_measured(
+            [
+                {
+                    "metric": "P-Store reconfigures ahead of load",
+                    "paper": "capacity line above throughput (9d)",
+                    "measured": f"{pstore.moves_started} moves, "
+                    f"{pstore.emergencies} emergencies",
+                },
+                {
+                    "metric": "reactive reconfigures at peak",
+                    "paper": "latency spikes at each ramp (9c)",
+                    "measured": f"p99 violations {reactive.sla_violations()[99.0]}"
+                    f" vs P-Store {pstore.sla_violations()[99.0]}",
+                },
+                {
+                    "metric": "P-Store avg machines ~ half of peak",
+                    "paper": "5.05 vs 10",
+                    "measured": f"{pstore.average_machines:.2f} vs 10",
+                },
+            ],
+            title="Figure 9: elasticity approaches",
+        )
+    )
+    emit(results_dir, "fig09_elasticity_comparison", "\n".join(sections))
+
+    assert pstore.sla_violations()[99.0] < reactive.sla_violations()[99.0]
+    assert pstore.average_machines < 0.6 * 10
+    assert result.static_peak.sla_violations()[99.0] <= pstore.sla_violations()[99.0]

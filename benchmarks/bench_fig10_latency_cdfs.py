@@ -1,0 +1,58 @@
+"""Bench: Figure 10 — CDFs of the top 1% of per-second percentile
+latencies for the four Figure 9 runs."""
+
+from repro.analysis import ascii_table, paper_vs_measured
+from repro.experiments import run_figure10
+from repro.experiments.fig10 import PROBES_MS
+
+from _utils import emit
+
+
+def test_figure10_latency_cdfs(benchmark, figure9_result, results_dir):
+    result = benchmark.pedantic(
+        run_figure10, kwargs={"figure9": figure9_result}, rounds=1, iterations=1
+    )
+
+    sections = []
+    for q in (50.0, 95.0, 99.0):
+        table = result.probability_table(q)
+        rows = [
+            (name, *[f"{table[name][p]:.2f}" for p in PROBES_MS])
+            for name in ("static-10", "static-4", "reactive", "p-store")
+        ]
+        sections.append(
+            ascii_table(
+                ["approach", *[f"P(<= {p:.0f} ms)" for p in PROBES_MS]],
+                rows,
+                title=f"Figure 10: top-1% of p{q:.0f} latencies",
+            )
+        )
+        sections.append("")
+
+    p99 = result.probability_table(99.0)
+    probe = 1000.0
+    sections.append(
+        paper_vs_measured(
+            [
+                {
+                    "metric": "reactive is worst in all three plots",
+                    "paper": "Fig 10",
+                    "measured": f"P(p99<= {probe:.0f}ms): reactive "
+                    f"{p99['reactive'][probe]:.2f} vs p-store "
+                    f"{p99['p-store'][probe]:.2f}",
+                },
+                {
+                    "metric": "static-10 best at the tails",
+                    "paper": "Fig 10",
+                    "measured": f"{p99['static-10'][probe]:.2f}",
+                },
+            ],
+            title="Figure 10 summary",
+        )
+    )
+    emit(results_dir, "fig10_latency_cdfs", "\n".join(sections))
+
+    # At every probe, P-Store's tail CDF dominates the reactive one.
+    for p in PROBES_MS:
+        assert p99["p-store"][p] >= p99["reactive"][p] - 1e-9
+    assert p99["static-10"][probe] >= p99["p-store"][probe] - 1e-9

@@ -1,0 +1,65 @@
+"""Bench: Figure 13 — effective capacity over an ordinary window and the
+Black Friday surge.
+
+The Simple clock-driven strategy looks adequate on ordinary days but has
+no answer to the surge; P-Store (prediction + reactive fallback)
+maintains sufficient capacity through Black Friday.
+"""
+
+from repro.analysis import paper_vs_measured, series_block
+from repro.experiments import run_figure13
+
+from _utils import emit
+
+
+def test_figure13_black_friday(benchmark, season, results_dir):
+    result = benchmark.pedantic(
+        run_figure13, kwargs={"setup": season}, rounds=1, iterations=1
+    )
+
+    sections = []
+    for label, window in (
+        ("ordinary window", result.ordinary),
+        ("black friday window", result.black_friday),
+    ):
+        sections.append(f"--- {label} (day {window.start_day:.1f}) ---")
+        sections.append(series_block("actual load (txn/s)", window.load_tps))
+        sections.append(
+            series_block("p-store eff-cap", window.eff_cap["p-store-spar"])
+        )
+        sections.append(series_block("simple eff-cap", window.eff_cap["simple"]))
+        sections.append("")
+
+    sections.append(
+        paper_vs_measured(
+            [
+                {
+                    "metric": "simple adequate on ordinary days",
+                    "paper": "Fig 13 left",
+                    "measured": f"insufficient "
+                    f"{100 * result.ordinary.insufficient_fraction('simple'):.1f}% of window",
+                },
+                {
+                    "metric": "simple breaks down on Black Friday",
+                    "paper": "Fig 13 right",
+                    "measured": f"insufficient "
+                    f"{100 * result.black_friday.insufficient_fraction('simple'):.1f}% of window",
+                },
+                {
+                    "metric": "P-Store handles Black Friday",
+                    "paper": "predictive + reactive",
+                    "measured": f"insufficient "
+                    f"{100 * result.black_friday.insufficient_fraction('p-store-spar'):.1f}% of window",
+                },
+            ],
+            title="Figure 13 summary",
+        )
+    )
+    emit(results_dir, "fig13_black_friday", "\n".join(sections))
+
+    simple_ord = result.ordinary.insufficient_fraction("simple")
+    simple_bf = result.black_friday.insufficient_fraction("simple")
+    pstore_bf = result.black_friday.insufficient_fraction("p-store-spar")
+    assert simple_ord < 0.05
+    assert simple_bf > 2 * max(simple_ord, 0.01)
+    assert pstore_bf < 0.02

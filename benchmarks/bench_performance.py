@@ -1,0 +1,103 @@
+"""Micro-benchmarks of P-Store's hot paths.
+
+The controller runs once per planner interval (every 60 s in the
+benchmark, every 5 min in production), so planning plus prediction must
+be orders of magnitude faster than the interval.  These benches time the
+real hot paths with pytest-benchmark's statistics (multiple rounds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.core import Planner, PlanRequest
+from repro.hstore import QueueingEngine, murmur3_32
+from repro.prediction import SparPredictor
+from repro.squall import build_migration_schedule
+from repro.workload import b2w_like_trace
+
+
+@pytest.fixture(scope="module")
+def planner_inputs():
+    config = default_config().with_interval(300.0)
+    q = config.q
+    rng = np.random.default_rng(3)
+    # A realistic horizon: rising daily ramp needing a 2-step scale-out.
+    loads = tuple(q * v for v in np.linspace(1.5, 6.5, 12))
+    return config, loads
+
+
+def test_planner_latency(benchmark, planner_inputs):
+    """One full best-moves DP (the per-interval planning cost)."""
+    config, loads = planner_inputs
+    planner = Planner(config)
+
+    def plan():
+        return planner.best_moves(
+            PlanRequest(predicted_load=loads, initial_machines=2,
+                        current_load=loads[0])
+        )
+
+    schedule = benchmark(plan)
+    assert schedule.final_machines >= 6
+
+
+@pytest.fixture(scope="module")
+def spar_fitted():
+    trace = b2w_like_trace(n_days=35, slot_seconds=300.0, seed=5)
+    period = trace.slots_per_day
+    spar = SparPredictor(period=period, n_periods=7, m_recent=30)
+    spar.fit(trace.values[: 28 * period])
+    # Warm the per-tau coefficient cache the controller would use.
+    spar.predict_horizon(trace.values, 12)
+    return spar, trace.values
+
+
+def test_spar_predict_horizon_latency(benchmark, spar_fitted):
+    """One 12-slot (1-hour) forecast from warm caches."""
+    spar, values = spar_fitted
+    forecast = benchmark(spar.predict_horizon, values, 12)
+    assert forecast.shape == (12,)
+
+
+def test_spar_fit_latency(benchmark, spar_fitted):
+    """Fitting one tau's coefficients (the weekly refit unit)."""
+    _, values = spar_fitted
+
+    def fit_one():
+        spar = SparPredictor(period=288, n_periods=7, m_recent=30)
+        spar.fit(values[: 28 * 288])
+        spar.coefficients(tau=12)
+        return spar
+
+    spar = benchmark(fit_one)
+    assert spar.is_fitted
+
+
+def test_migration_schedule_construction(benchmark):
+    """Building the full 3-phase schedule for a large move."""
+    schedule = benchmark(build_migration_schedule, 10, 47)
+    assert schedule.n_rounds == max(10, 37)
+
+
+def test_queueing_engine_tick(benchmark):
+    """One simulated second over a 10-node (60-partition) cluster."""
+    engine = QueueingEngine(n_partitions=60, seed=1)
+    shares = np.full(60, 1.0 / 60.0)
+
+    def tick():
+        return engine.step(1.0, 1200.0, shares)
+
+    stats = benchmark(tick)
+    assert stats.completed_tps > 0
+
+
+def test_murmur3_hash_throughput(benchmark):
+    """Routing cost: hashing a batch of 1000 keys."""
+    keys = [f"CART-{i:012d}".encode() for i in range(1000)]
+
+    def hash_batch():
+        return [murmur3_32(k) for k in keys]
+
+    hashes = benchmark(hash_batch)
+    assert len(set(hashes)) > 990

@@ -1,0 +1,52 @@
+"""Bench: Section 5's closing comparison — SPAR vs ARMA vs AR at
+tau = 60 minutes (the paper reports 10.4% / 12.2% / 12.5%)."""
+
+from repro.analysis import ascii_table, paper_vs_measured
+from repro.experiments import run_model_comparison
+
+from _utils import emit
+
+
+def test_sec5_model_comparison(benchmark, results_dir):
+    result = benchmark.pedantic(run_model_comparison, rounds=1, iterations=1)
+
+    rows = [
+        (name, f"{100 * mre:.1f}%")
+        for name, mre in sorted(
+            result.mre_by_model.items(), key=lambda kv: kv[1]
+        )
+    ]
+    lines = [
+        ascii_table(["model", "MRE @ tau=60min"], rows),
+        "",
+        paper_vs_measured(
+            [
+                {
+                    "metric": "ranking",
+                    "paper": "SPAR < ARMA < AR",
+                    "measured": " < ".join(result.ordering),
+                },
+                {
+                    "metric": "SPAR MRE",
+                    "paper": "10.4%",
+                    "measured": f"{100 * result.mre_by_model['SPAR']:.1f}%",
+                },
+                {
+                    "metric": "ARMA MRE",
+                    "paper": "12.2%",
+                    "measured": f"{100 * result.mre_by_model['ARMA']:.1f}%",
+                },
+                {
+                    "metric": "AR MRE",
+                    "paper": "12.5%",
+                    "measured": f"{100 * result.mre_by_model['AR']:.1f}%",
+                },
+            ],
+            title="Section 5: time-series model comparison",
+        ),
+    ]
+    emit(results_dir, "sec5_model_comparison", "\n".join(lines))
+
+    assert result.ordering[0] == "SPAR"
+    assert result.mre_by_model["SPAR"] < result.mre_by_model["ARMA"]
+    assert result.mre_by_model["SPAR"] < result.mre_by_model["AR"]

@@ -1,0 +1,47 @@
+"""Bench: Table 1 — schedule of parallel migrations when scaling from
+3 machines to 14 machines (11 rounds in three phases)."""
+
+from repro.analysis import paper_vs_measured
+from repro.experiments import run_table1
+
+from _utils import emit
+
+
+def test_table1_migration_schedule(benchmark, results_dir):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    lines = [
+        result.schedule.describe(),
+        "",
+        paper_vs_measured(
+            [
+                {
+                    "metric": "rounds for 3 -> 14",
+                    "paper": 11,
+                    "measured": result.n_rounds,
+                },
+                {
+                    "metric": "rounds without 3-phase trick",
+                    "paper": ">= 12",
+                    "measured": result.naive_rounds,
+                },
+                {
+                    "metric": "avg machines (Algorithm 4)",
+                    "paper": f"{111 / 11:.3f}",
+                    "measured": f"{result.average_machines:.3f}",
+                },
+                {
+                    "metric": "JIT allocation steps",
+                    "paper": "6, 9, 12, 14",
+                    "measured": ", ".join(str(m) for _, m in result.phases),
+                },
+            ],
+            title="Table 1: parallel migration schedule 3 -> 14",
+        ),
+    ]
+    emit(results_dir, "tab01_migration_schedule", "\n".join(lines))
+
+    assert result.n_rounds == 11
+    assert result.naive_rounds == 12
+    assert [m for _, m in result.phases] == [6, 9, 12, 14]
+    assert abs(result.average_machines - result.algorithm4_average) < 1e-9

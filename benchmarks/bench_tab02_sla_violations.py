@@ -1,0 +1,60 @@
+"""Bench: Table 2 — SLA violations and average machines per approach.
+
+The paper's headline: P-Store causes ~72% fewer latency violations than
+reactive provisioning while achieving performance comparable to peak
+static allocation with ~50% fewer servers.
+"""
+
+from repro.analysis import paper_vs_measured, render_sla_table
+from repro.experiments import PAPER_TABLE2, run_table2
+
+from _utils import emit
+
+
+def test_table2_sla_violations(benchmark, figure9_result, results_dir):
+    result = benchmark.pedantic(
+        run_table2, kwargs={"figure9": figure9_result}, rounds=1, iterations=1
+    )
+
+    paper_rows = render_sla_table(list(PAPER_TABLE2))
+    measured_rows = render_sla_table(result.rows)
+    pstore = result.row("p-store")
+    static10 = result.row("static-10")
+
+    lines = [
+        "PAPER:",
+        paper_rows,
+        "",
+        "MEASURED:",
+        measured_rows,
+        "",
+        paper_vs_measured(
+            [
+                {
+                    "metric": "P-Store vs reactive: fewer violations",
+                    "paper": "72% fewer",
+                    "measured": f"{result.pstore_vs_reactive_reduction_pct:.0f}% fewer",
+                },
+                {
+                    "metric": "P-Store machines vs peak static",
+                    "paper": "5.05 vs 10 (~50%)",
+                    "measured": f"{pstore.average_machines:.2f} vs "
+                    f"{static10.average_machines:.0f}",
+                },
+                {
+                    "metric": "static-10 fewest violations",
+                    "paper": "0/13/25",
+                    "measured": f"{static10.violations_p50}/"
+                    f"{static10.violations_p95}/{static10.violations_p99}",
+                },
+            ],
+            title="Table 2 summary",
+        ),
+    ]
+    emit(results_dir, "tab02_sla_violations", "\n".join(lines))
+
+    assert result.pstore_vs_reactive_reduction_pct > 50.0
+    assert pstore.average_machines < 0.6 * static10.average_machines
+    assert result.total_violations("static-10") <= result.total_violations("p-store")
+    assert result.total_violations("p-store") < result.total_violations("reactive")
+    assert result.total_violations("p-store") < result.total_violations("static-4")

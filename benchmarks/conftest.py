@@ -1,0 +1,34 @@
+"""Shared fixtures for the bench harness.
+
+Heavy experiments (the 3-day benchmark of Fig. 9 and the seasonal
+simulation behind Figs. 12-13) are computed once per session and shared
+by every bench that reports on them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from _utils import FIG9_EVAL_DAYS, RESULTS_DIR, SEASON_DAYS
+
+from repro.experiments import run_figure9, season_setup
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def figure9_result():
+    """The four benchmark runs shared by Figs. 9-10 and Table 2."""
+    return run_figure9(eval_days=FIG9_EVAL_DAYS)
+
+
+@pytest.fixture(scope="session")
+def season():
+    """The Aug-Dec seasonal setup shared by Figs. 12-13."""
+    return season_setup(n_days=SEASON_DAYS)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Quickstart: predict load, plan reconfigurations, inspect the schedule.
+
+This walks the core P-Store loop on a small synthetic workload:
+
+1. generate a B2W-like diurnal load trace;
+2. fit the SPAR time-series model on a training window;
+3. forecast the next hour and hand it to the DP planner;
+4. print the optimal sequence of moves and the migration schedule
+   (sender -> receiver rounds) of the first move.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PStoreConfig, Planner, SparPredictor, default_config
+from repro.analysis import series_block
+from repro.core import PredictiveController
+from repro.squall import build_migration_schedule
+from repro.workload import b2w_like_trace
+
+
+def main() -> None:
+    # --- 1. a workload with a strong daily cycle --------------------------
+    config = default_config().with_interval(300.0)   # plan in 5-min slots
+    trace = b2w_like_trace(
+        n_days=12,
+        slot_seconds=300.0,
+        seed=42,
+        base_level=1250.0 * 300.0,                   # peaks near 1450 txn/s
+    )
+    load_tps = trace.as_rate_per_second()
+    print(series_block("load (txn/s, 12 days)", load_tps))
+    print()
+
+    # --- 2. fit SPAR on the first 10 days ----------------------------------
+    slots_per_day = trace.slots_per_day
+    train = 10 * slots_per_day
+    spar = SparPredictor(period=slots_per_day, n_periods=7, m_recent=30)
+    spar.fit(load_tps[:train])
+
+    # --- 3. forecast and plan ---------------------------------------------
+    # Stand at 06:00 on day 11, just before the morning ramp.
+    now = train + slots_per_day // 4
+    history = load_tps[: now + 1]
+    horizon = 12                                     # one hour ahead
+    forecast = spar.predict_horizon(history, horizon)
+    inflated = forecast * config.prediction_inflation
+
+    print(f"current load: {history[-1]:,.0f} txn/s")
+    print(
+        "forecast (next hour):",
+        ", ".join(f"{v:,.0f}" for v in forecast),
+    )
+
+    current_machines = config.servers_for_load(history[-1] * 1.1)
+    planner = Planner(config)
+    schedule = planner.plan(
+        list(inflated), current_machines, current_load=history[-1]
+    )
+    print(f"\noptimal move schedule from {current_machines} machines:")
+    print(schedule.describe())
+
+    # --- 4. how the first move would actually migrate data ----------------
+    first = schedule.first_real_move
+    if first is None:
+        print("\nno reconfiguration needed within the horizon")
+        return
+    migration = build_migration_schedule(first.before, first.after)
+    print(
+        f"\nfirst move {first.before} -> {first.after}: "
+        f"{migration.n_rounds} parallel rounds, "
+        f"avg {migration.average_machines():.2f} machines allocated"
+    )
+    print(migration.describe())
+
+    # The controller wraps steps 3-4 with receding-horizon control:
+    controller = PredictiveController(config, spar)
+    decision = controller.decide(history, current_machines)
+    print(f"\ncontroller decision: {decision.reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim: enables `pip install -e .` on environments whose
+setuptools predates PEP-660 editable wheels (no `wheel` package)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""P-Store: an elastic OLTP DBMS with predictive provisioning.
+
+A from-scratch Python reproduction of *P-Store: An Elastic Database
+System with Predictive Provisioning* (Taft et al., SIGMOD 2018).
+
+Quick tour
+----------
+
+>>> from repro import (
+...     PStoreConfig, Planner, SparPredictor, PredictiveController,
+... )
+
+* :mod:`repro.core` — the paper's contribution: the analytic move model
+  (Eqs. 2-7), the dynamic-programming planner (Algs. 1-3), and the
+  receding-horizon Predictive Controller;
+* :mod:`repro.prediction` — SPAR, AR, ARMA, naive and oracle predictors;
+* :mod:`repro.workload` — load traces and calibrated synthetic
+  generators (B2W-like retail traffic, Wikipedia-like page views);
+* :mod:`repro.hstore` — the simulated partitioned main-memory DBMS;
+* :mod:`repro.squall` — live-migration plans, parallel schedules, and
+  simulated-time execution;
+* :mod:`repro.benchmark` — the B2W benchmark (schema, 19 transactions,
+  trace-driven driver);
+* :mod:`repro.elasticity` — provisioning strategies (P-Store, reactive,
+  static, simple, manual);
+* :mod:`repro.sim` — the second-granularity DBMS simulator and the fast
+  capacity simulator used for multi-month sweeps;
+* :mod:`repro.analysis` — SLA accounting, capacity-cost curves, tail
+  CDFs, report rendering.
+"""
+
+from .config import (
+    FIGURE12_Q_FRACTIONS,
+    PStoreConfig,
+    SINGLE_NODE_SATURATION_TPS,
+    default_config,
+)
+from .core import (
+    Move,
+    MoveSchedule,
+    Planner,
+    PlanRequest,
+    PredictiveController,
+)
+from .errors import (
+    ConfigurationError,
+    InfeasiblePlanError,
+    MigrationError,
+    NotFittedError,
+    PlanningError,
+    PredictionError,
+    PStoreError,
+    SimulationError,
+    TransactionAbort,
+)
+from .prediction import (
+    ArmaPredictor,
+    ArPredictor,
+    OraclePredictor,
+    SparPredictor,
+)
+from .workload import LoadTrace, b2w_like_trace, wikipedia_like_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArPredictor",
+    "ArmaPredictor",
+    "ConfigurationError",
+    "FIGURE12_Q_FRACTIONS",
+    "InfeasiblePlanError",
+    "LoadTrace",
+    "MigrationError",
+    "Move",
+    "MoveSchedule",
+    "NotFittedError",
+    "OraclePredictor",
+    "PStoreConfig",
+    "PStoreError",
+    "PlanRequest",
+    "Planner",
+    "PlanningError",
+    "PredictionError",
+    "PredictiveController",
+    "SINGLE_NODE_SATURATION_TPS",
+    "SimulationError",
+    "SparPredictor",
+    "TransactionAbort",
+    "b2w_like_trace",
+    "default_config",
+    "wikipedia_like_trace",
+]

@@ -1,0 +1,64 @@
+"""Result analysis: SLA accounting, capacity-cost curves, tail CDFs,
+and plain-text report rendering used by the bench harness."""
+
+from .capacity import (
+    CapacityCostCurve,
+    SweepPoint,
+    normalize_curves,
+    pareto_frontier,
+    sweep_strategy,
+)
+from .cdf import (
+    EmpiricalCdf,
+    cdf_comparison,
+    dominates,
+    empirical_cdf,
+    top_tail_cdf,
+)
+from .queueing import (
+    DerivedThresholds,
+    derive_thresholds,
+    max_arrival_rate_for_sla,
+    mean_sojourn,
+    sojourn_percentile,
+    utilization_for_sla,
+)
+from .report import (
+    ascii_table,
+    paper_vs_measured,
+    series_block,
+    sparkline,
+)
+from .sla import (
+    improvement_over,
+    render_sla_table,
+    total_violations,
+    violation_counts,
+)
+
+__all__ = [
+    "CapacityCostCurve",
+    "DerivedThresholds",
+    "derive_thresholds",
+    "max_arrival_rate_for_sla",
+    "mean_sojourn",
+    "sojourn_percentile",
+    "utilization_for_sla",
+    "EmpiricalCdf",
+    "SweepPoint",
+    "ascii_table",
+    "cdf_comparison",
+    "dominates",
+    "empirical_cdf",
+    "improvement_over",
+    "normalize_curves",
+    "paper_vs_measured",
+    "pareto_frontier",
+    "render_sla_table",
+    "series_block",
+    "sparkline",
+    "sweep_strategy",
+    "top_tail_cdf",
+    "total_violations",
+    "violation_counts",
+]

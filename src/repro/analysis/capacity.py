@@ -1,0 +1,131 @@
+"""Capacity-cost analysis for the 4.5-month sweeps (Figure 12).
+
+Each provisioning strategy is simulated once per value of the target
+per-server rate ``Q``; the resulting (normalised cost, % time with
+insufficient capacity) pairs trace the strategy's capacity-cost curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import PStoreConfig
+from ..elasticity.base import ProvisioningStrategy
+from ..errors import SimulationError
+from ..sim.capacity_sim import run_capacity_simulation
+from ..workload.trace import LoadTrace
+
+#: A factory building a strategy for a given config (one per swept Q).
+StrategyFactory = Callable[[PStoreConfig], ProvisioningStrategy]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulated (strategy, Q) combination."""
+
+    strategy: str
+    q_fraction: float
+    q: float
+    cost_machine_slots: float
+    average_machines: float
+    pct_time_insufficient: float
+
+
+@dataclass
+class CapacityCostCurve:
+    """All sweep points of one strategy, ordered by cost."""
+
+    strategy: str
+    points: List[SweepPoint]
+
+    def sorted_by_cost(self) -> List[SweepPoint]:
+        return sorted(self.points, key=lambda p: p.cost_machine_slots)
+
+    def best_under(self, max_insufficient_pct: float) -> Optional[SweepPoint]:
+        """Cheapest point meeting a capacity-violation budget."""
+        eligible = [
+            p
+            for p in self.points
+            if p.pct_time_insufficient <= max_insufficient_pct
+        ]
+        if not eligible:
+            return None
+        return min(eligible, key=lambda p: p.cost_machine_slots)
+
+
+def sweep_strategy(
+    trace: LoadTrace,
+    base_config: PStoreConfig,
+    strategy_factory: StrategyFactory,
+    q_fractions: Sequence[float],
+    saturation_tps: float,
+    initial_machines: int,
+    history_seed: Sequence[float] = (),
+    name: Optional[str] = None,
+) -> CapacityCostCurve:
+    """Run one strategy across a sweep of Q values.
+
+    ``q_fractions`` are fractions of ``saturation_tps`` (the paper sets
+    Q to 65% of saturation by default and sweeps around it).
+    """
+    if not q_fractions:
+        raise SimulationError("q_fractions must be non-empty")
+    points: List[SweepPoint] = []
+    strategy_name = name
+    for fraction in q_fractions:
+        config = base_config.with_q(fraction * saturation_tps)
+        strategy = strategy_factory(config)
+        if strategy_name is None:
+            strategy_name = strategy.name
+        result = run_capacity_simulation(
+            trace,
+            strategy,
+            config,
+            initial_machines=initial_machines,
+            history_seed=list(history_seed),
+        )
+        points.append(
+            SweepPoint(
+                strategy=strategy.name,
+                q_fraction=fraction,
+                q=config.q,
+                cost_machine_slots=result.cost_machine_slots,
+                average_machines=result.average_machines,
+                pct_time_insufficient=result.pct_time_insufficient,
+            )
+        )
+    return CapacityCostCurve(strategy=strategy_name or "strategy", points=points)
+
+
+def normalize_curves(
+    curves: Sequence[CapacityCostCurve], baseline_cost: float
+) -> Dict[str, List[Dict[str, float]]]:
+    """Express every point's cost relative to a baseline (Fig. 12's x=1)."""
+    if baseline_cost <= 0:
+        raise SimulationError("baseline cost must be positive")
+    out: Dict[str, List[Dict[str, float]]] = {}
+    for curve in curves:
+        out[curve.strategy] = [
+            {
+                "q_fraction": p.q_fraction,
+                "normalized_cost": p.cost_machine_slots / baseline_cost,
+                "pct_time_insufficient": p.pct_time_insufficient,
+            }
+            for p in curve.sorted_by_cost()
+        ]
+    return out
+
+
+def pareto_frontier(points: Sequence[SweepPoint]) -> List[SweepPoint]:
+    """Points not dominated in both cost and capacity violations."""
+    ordered = sorted(points, key=lambda p: (p.cost_machine_slots, p.pct_time_insufficient))
+    frontier: List[SweepPoint] = []
+    best_violation = np.inf
+    for point in ordered:
+        if point.pct_time_insufficient < best_violation - 1e-12:
+            frontier.append(point)
+            best_violation = point.pct_time_insufficient
+    return frontier

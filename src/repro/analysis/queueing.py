@@ -1,0 +1,115 @@
+"""Closed-form M/M/1 helpers behind the parameter discovery of Sec. 4.1.
+
+The paper discovers ``Q`` and ``Q-hat`` empirically (Fig. 7): drive one
+server until the latency constraint breaks, then take 80% / 65% of the
+saturation rate.  Because our execution engine *is* an M/M/1 system per
+partition, the same thresholds can be derived analytically — useful for
+configuring the model for SLAs other than "99% under 500 ms", and as an
+independent check on the simulator's calibration.
+
+For an M/M/1 queue with service rate ``mu`` and arrival rate ``lam``,
+the sojourn time is exponential with rate ``mu - lam``; its ``p``-th
+percentile is ``-ln(1 - p) / (mu - lam)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+
+def sojourn_percentile(mu: float, lam: float, percentile: float) -> float:
+    """The ``percentile``-th percentile of M/M/1 sojourn time (seconds)."""
+    if mu <= 0:
+        raise SimulationError("mu must be positive")
+    if not 0 <= lam < mu:
+        raise SimulationError(
+            f"need 0 <= lambda < mu for a stable queue (lam={lam}, mu={mu})"
+        )
+    if not 0 < percentile < 100:
+        raise SimulationError("percentile must be in (0, 100)")
+    return -math.log(1.0 - percentile / 100.0) / (mu - lam)
+
+
+def mean_sojourn(mu: float, lam: float) -> float:
+    """Mean M/M/1 sojourn time, ``1 / (mu - lam)`` (seconds)."""
+    return sojourn_percentile(mu, lam, 100.0 * (1.0 - math.exp(-1.0)))
+
+
+def max_arrival_rate_for_sla(
+    mu: float, sla_seconds: float, percentile: float = 99.0
+) -> float:
+    """Largest arrival rate whose sojourn percentile meets the SLA.
+
+    Solving ``-ln(1-p)/(mu - lam) <= sla`` for ``lam``:
+    ``lam <= mu + ln(1-p)/sla``.  Returns 0 if even an idle queue
+    violates the SLA (service time alone too slow).
+    """
+    if sla_seconds <= 0:
+        raise SimulationError("sla_seconds must be positive")
+    if mu <= 0:
+        raise SimulationError("mu must be positive")
+    if not 0 < percentile < 100:
+        raise SimulationError("percentile must be in (0, 100)")
+    lam = mu + math.log(1.0 - percentile / 100.0) / sla_seconds
+    return max(0.0, lam)
+
+
+@dataclass(frozen=True)
+class DerivedThresholds:
+    """Analytically-derived counterparts of the paper's Q and Q-hat."""
+
+    mu_partition: float
+    partitions_per_node: int
+    sla_seconds: float
+    percentile: float
+    #: Largest per-node rate meeting the SLA in steady state.
+    sla_knee_tps: float
+    #: Q-hat: the knee with the paper's slack factor applied.
+    q_hat: float
+    #: Q: the knee with the paper's target factor applied.
+    q: float
+
+
+def derive_thresholds(
+    mu_partition: float,
+    partitions_per_node: int,
+    sla_seconds: float = 0.5,
+    percentile: float = 99.0,
+    q_hat_fraction: float = 0.80,
+    q_fraction: float = 0.65,
+) -> DerivedThresholds:
+    """Derive per-node Q and Q-hat for an arbitrary latency SLA.
+
+    The paper anchors its fractions to the *saturation* rate; here the
+    anchor is the SLA knee — the per-node rate at which the steady-state
+    latency percentile first violates the SLA — scaled up to the node's
+    ``P`` identical partitions.
+    """
+    if partitions_per_node < 1:
+        raise SimulationError("partitions_per_node must be >= 1")
+    if not 0 < q_fraction <= q_hat_fraction <= 1:
+        raise SimulationError("need 0 < q_fraction <= q_hat_fraction <= 1")
+    per_partition = max_arrival_rate_for_sla(
+        mu_partition, sla_seconds, percentile
+    )
+    knee = per_partition * partitions_per_node
+    return DerivedThresholds(
+        mu_partition=mu_partition,
+        partitions_per_node=partitions_per_node,
+        sla_seconds=sla_seconds,
+        percentile=percentile,
+        sla_knee_tps=knee,
+        q_hat=q_hat_fraction * knee,
+        q=q_fraction * knee,
+    )
+
+
+def utilization_for_sla(
+    mu: float, sla_seconds: float, percentile: float = 99.0
+) -> float:
+    """The utilization ``rho`` at which the SLA is exactly met."""
+    lam = max_arrival_rate_for_sla(mu, sla_seconds, percentile)
+    return lam / mu

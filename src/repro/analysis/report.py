@@ -1,0 +1,105 @@
+"""Plain-text rendering of tables and series for the bench harness.
+
+Every bench prints the rows/series its paper counterpart reports; these
+helpers keep that output consistent: fixed-width ASCII tables, unicode
+sparklines for load/capacity curves, and a small "paper vs measured"
+comparison block used by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table with a header rule."""
+    if not headers:
+        raise SimulationError("table needs headers")
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise SimulationError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def sparkline(values: Sequence[float], width: int = 72) -> str:
+    """Down-sample a series into a one-line unicode sparkline."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise SimulationError("cannot sparkline an empty series")
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array([arr[a:b].mean() for a, b in zip(edges, edges[1:]) if b > a])
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        return _SPARK_LEVELS[0] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(s))] for s in scaled)
+
+
+def series_block(
+    label: str, values: Sequence[float], unit: str = "", width: int = 72
+) -> str:
+    """A labelled sparkline with min/mean/max annotations."""
+    arr = np.asarray(values, dtype=float)
+    return (
+        f"{label:<28} {sparkline(arr, width)}\n"
+        f"{'':<28} min={arr.min():,.0f}{unit} "
+        f"mean={arr.mean():,.0f}{unit} max={arr.max():,.0f}{unit}"
+    )
+
+
+def paper_vs_measured(
+    rows: Sequence[Dict[str, object]],
+    title: str = "paper vs measured",
+) -> str:
+    """Render the standard comparison block used by every bench.
+
+    Each row needs keys ``metric``, ``paper`` and ``measured``; an
+    optional ``note`` explains scale differences.
+    """
+    out_rows = []
+    for row in rows:
+        out_rows.append(
+            [
+                row["metric"],
+                row["paper"],
+                row["measured"],
+                row.get("note", ""),
+            ]
+        )
+    return ascii_table(
+        ["metric", "paper", "measured", "note"], out_rows, title=title
+    )

@@ -1,0 +1,40 @@
+"""The B2W online-retail benchmark (Section 7 and Appendix C)."""
+
+from .driver import DEFAULT_ACTION_WEIGHTS, B2WDriver
+from .loader import (
+    cart_id,
+    checkout_id,
+    customer_id,
+    load_b2w_data,
+    sku_id,
+)
+from .schema import (
+    CART_STATUSES,
+    CART_TABLE,
+    CHECKOUT_STATUSES,
+    CHECKOUT_TABLE,
+    STOCK_TABLE,
+    STOCK_TRANSACTION_TABLE,
+    STOCK_TXN_STATUSES,
+    b2w_schema,
+)
+from .transactions import ALL_PROCEDURES
+
+__all__ = [
+    "ALL_PROCEDURES",
+    "B2WDriver",
+    "CART_STATUSES",
+    "CART_TABLE",
+    "CHECKOUT_STATUSES",
+    "CHECKOUT_TABLE",
+    "DEFAULT_ACTION_WEIGHTS",
+    "STOCK_TABLE",
+    "STOCK_TRANSACTION_TABLE",
+    "STOCK_TXN_STATUSES",
+    "b2w_schema",
+    "cart_id",
+    "checkout_id",
+    "customer_id",
+    "load_b2w_data",
+    "sku_id",
+]

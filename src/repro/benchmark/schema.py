@@ -1,0 +1,96 @@
+"""The B2W benchmark schema (Figure 14 and Appendix C of the paper).
+
+Four tables back the online-retail workload:
+
+* ``cart`` — active shopping carts; one row per cart, lines embedded as
+  a JSON list (the production system is a key-value store keyed by cart
+  id, which this mirrors);
+* ``checkout`` — checkout documents created when a customer begins
+  paying; keyed by checkout id and carrying the cart id, payment info
+  and the purchased lines;
+* ``stock`` — inventory per SKU: available and reserved quantities;
+* ``stock_transaction`` — reservation records linking carts to stock.
+
+Every table is partitioned by its primary key; each benchmark
+transaction touches exactly one partitioning key, matching the paper's
+observation that the B2W workload is single-key (Sec. 7).
+"""
+
+from __future__ import annotations
+
+from ..hstore.catalog import Column, Schema, Table
+
+#: Cart / checkout rows dominate the paper's 1106 MB database of
+#: "active shopping carts and checkouts"; row weights below give each
+#: table a realistic share of the migrated volume.
+CART_TABLE = Table(
+    name="cart",
+    columns=[
+        Column("cart_id", "str"),
+        Column("customer_id", "str"),
+        Column("lines", "json"),           # [{sku, quantity, unit_price}]
+        Column("status", "str"),           # active | reserved | checked_out
+        Column("total", "float"),
+        Column("created_at", "float"),
+        Column("updated_at", "float"),
+    ],
+    primary_key="cart_id",
+    avg_row_kb=2.0,
+)
+
+CHECKOUT_TABLE = Table(
+    name="checkout",
+    columns=[
+        Column("checkout_id", "str"),
+        Column("cart_id", "str"),
+        Column("customer_id", "str"),
+        Column("lines", "json"),
+        Column("payment", "json", nullable=True),
+        Column("status", "str"),           # open | paid | cancelled
+        Column("total", "float"),
+        Column("created_at", "float"),
+    ],
+    primary_key="checkout_id",
+    avg_row_kb=2.5,
+)
+
+STOCK_TABLE = Table(
+    name="stock",
+    columns=[
+        Column("sku", "str"),
+        Column("warehouse", "str"),
+        Column("quantity", "int"),
+        Column("reserved", "int"),
+        Column("updated_at", "float"),
+    ],
+    primary_key="sku",
+    avg_row_kb=0.5,
+)
+
+STOCK_TRANSACTION_TABLE = Table(
+    name="stock_transaction",
+    columns=[
+        Column("transaction_id", "str"),
+        Column("sku", "str"),
+        Column("cart_id", "str"),
+        Column("quantity", "int"),
+        Column("status", "str"),           # reserved | purchased | cancelled
+        Column("created_at", "float"),
+    ],
+    primary_key="transaction_id",
+    avg_row_kb=0.5,
+)
+
+
+def b2w_schema() -> Schema:
+    """The full B2W benchmark schema."""
+    return Schema(
+        [CART_TABLE, CHECKOUT_TABLE, STOCK_TABLE, STOCK_TRANSACTION_TABLE],
+        name="b2w",
+    )
+
+
+#: Valid state machines, used by transactions to reject illegal moves.
+CART_STATUSES = ("active", "reserved", "checked_out")
+CHECKOUT_STATUSES = ("open", "paid", "cancelled")
+STOCK_TXN_STATUSES = ("reserved", "purchased", "cancelled")

@@ -1,0 +1,488 @@
+"""All nineteen B2W benchmark transactions (Table 4 of the paper).
+
+Each class implements one stored procedure with the business logic the
+appendix describes: carts accumulate lines, checkout reserves stock item
+by item, reservations become purchases or are cancelled and released.
+Every procedure routes by a single partitioning key — cart id, checkout
+id, SKU, or stock-transaction id — keeping the workload single-key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from ..errors import TransactionAbort
+from ..hstore.txn import StoredProcedure, TxnContext
+
+# ----------------------------------------------------------------------
+# Cart transactions
+# ----------------------------------------------------------------------
+
+
+class AddLineToCart(StoredProcedure):
+    """Add an item to a shopping cart, creating the cart if needed."""
+
+    name = "AddLineToCart"
+    cost_weight = 1.2
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["cart_id"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Dict[str, Any]:
+        cart = ctx.get("cart", params["cart_id"])
+        line = {
+            "sku": params["sku"],
+            "quantity": int(params.get("quantity", 1)),
+            "unit_price": float(params.get("unit_price", 0.0)),
+        }
+        if line["quantity"] < 1:
+            raise TransactionAbort("quantity must be >= 1")
+        now = float(params.get("now", 0.0))
+        if cart is None:
+            cart = {
+                "cart_id": params["cart_id"],
+                "customer_id": params.get("customer_id", "anonymous"),
+                "lines": [line],
+                "status": "active",
+                "total": line["quantity"] * line["unit_price"],
+                "created_at": now,
+                "updated_at": now,
+            }
+            ctx.insert("cart", cart)
+            return cart
+        if cart["status"] != "active":
+            raise TransactionAbort(
+                f"cart {params['cart_id']!r} is {cart['status']}, not active"
+            )
+        lines: List[Dict[str, Any]] = list(cart["lines"])
+        for existing in lines:
+            if existing["sku"] == line["sku"]:
+                existing["quantity"] += line["quantity"]
+                break
+        else:
+            lines.append(line)
+        total = sum(l["quantity"] * l["unit_price"] for l in lines)
+        ctx.update(
+            "cart",
+            params["cart_id"],
+            {"lines": lines, "total": total, "updated_at": now},
+        )
+        cart.update(lines=lines, total=total, updated_at=now)
+        return cart
+
+
+class DeleteLineFromCart(StoredProcedure):
+    """Remove one item from a cart."""
+
+    name = "DeleteLineFromCart"
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["cart_id"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Dict[str, Any]:
+        cart = ctx.require("cart", params["cart_id"])
+        if cart["status"] != "active":
+            raise TransactionAbort("only active carts can be edited")
+        lines = [l for l in cart["lines"] if l["sku"] != params["sku"]]
+        if len(lines) == len(cart["lines"]):
+            raise TransactionAbort(
+                f"sku {params['sku']!r} is not in cart {params['cart_id']!r}"
+            )
+        total = sum(l["quantity"] * l["unit_price"] for l in lines)
+        now = float(params.get("now", 0.0))
+        ctx.update(
+            "cart",
+            params["cart_id"],
+            {"lines": lines, "total": total, "updated_at": now},
+        )
+        cart.update(lines=lines, total=total, updated_at=now)
+        return cart
+
+
+class GetCart(StoredProcedure):
+    """Retrieve the items currently in a cart."""
+
+    name = "GetCart"
+    read_only = True
+    cost_weight = 0.8
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["cart_id"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Dict[str, Any]:
+        return ctx.require("cart", params["cart_id"])
+
+
+class DeleteCart(StoredProcedure):
+    """Delete a shopping cart (abandonment or post-purchase cleanup)."""
+
+    name = "DeleteCart"
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["cart_id"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> bool:
+        if not ctx.delete("cart", params["cart_id"]):
+            raise TransactionAbort(f"no cart {params['cart_id']!r}")
+        return True
+
+
+class ReserveCart(StoredProcedure):
+    """Mark the items in a cart as reserved before payment."""
+
+    name = "ReserveCart"
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["cart_id"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Dict[str, Any]:
+        cart = ctx.require("cart", params["cart_id"])
+        if cart["status"] != "active":
+            raise TransactionAbort(
+                f"cart {params['cart_id']!r} is {cart['status']}, not active"
+            )
+        if not cart["lines"]:
+            raise TransactionAbort("cannot reserve an empty cart")
+        now = float(params.get("now", 0.0))
+        ctx.update(
+            "cart", params["cart_id"], {"status": "reserved", "updated_at": now}
+        )
+        cart.update(status="reserved", updated_at=now)
+        return cart
+
+
+# ----------------------------------------------------------------------
+# Stock transactions
+# ----------------------------------------------------------------------
+
+
+class GetStock(StoredProcedure):
+    """Retrieve the full stock record for a SKU."""
+
+    name = "GetStock"
+    read_only = True
+    cost_weight = 0.8
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["sku"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Dict[str, Any]:
+        return ctx.require("stock", params["sku"])
+
+
+class GetStockQuantity(StoredProcedure):
+    """Determine how many units of a SKU are available."""
+
+    name = "GetStockQuantity"
+    read_only = True
+    cost_weight = 0.8
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["sku"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> int:
+        stock = ctx.require("stock", params["sku"])
+        return int(stock["quantity"]) - int(stock["reserved"])
+
+
+class ReserveStock(StoredProcedure):
+    """Reserve units of a SKU for a checkout in progress."""
+
+    name = "ReserveStock"
+    cost_weight = 1.2
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["sku"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Dict[str, Any]:
+        stock = ctx.require("stock", params["sku"])
+        quantity = int(params.get("quantity", 1))
+        if quantity < 1:
+            raise TransactionAbort("quantity must be >= 1")
+        available = int(stock["quantity"]) - int(stock["reserved"])
+        if available < quantity:
+            raise TransactionAbort(
+                f"sku {params['sku']!r}: {available} available, "
+                f"{quantity} requested"
+            )
+        now = float(params.get("now", 0.0))
+        reserved = int(stock["reserved"]) + quantity
+        ctx.update(
+            "stock", params["sku"], {"reserved": reserved, "updated_at": now}
+        )
+        stock.update(reserved=reserved, updated_at=now)
+        return stock
+
+
+class PurchaseStock(StoredProcedure):
+    """Convert a reservation into a purchase (decrement inventory)."""
+
+    name = "PurchaseStock"
+    cost_weight = 1.2
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["sku"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Dict[str, Any]:
+        stock = ctx.require("stock", params["sku"])
+        quantity = int(params.get("quantity", 1))
+        if int(stock["reserved"]) < quantity:
+            raise TransactionAbort(
+                f"sku {params['sku']!r}: cannot purchase {quantity} with only "
+                f"{stock['reserved']} reserved"
+            )
+        now = float(params.get("now", 0.0))
+        changes = {
+            "reserved": int(stock["reserved"]) - quantity,
+            "quantity": int(stock["quantity"]) - quantity,
+            "updated_at": now,
+        }
+        if changes["quantity"] < 0:
+            raise TransactionAbort("inventory cannot go negative")
+        ctx.update("stock", params["sku"], changes)
+        stock.update(**changes)
+        return stock
+
+
+class CancelStockReservation(StoredProcedure):
+    """Release a reservation, making the units available again."""
+
+    name = "CancelStockReservation"
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["sku"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Dict[str, Any]:
+        stock = ctx.require("stock", params["sku"])
+        quantity = int(params.get("quantity", 1))
+        if int(stock["reserved"]) < quantity:
+            raise TransactionAbort(
+                f"sku {params['sku']!r}: only {stock['reserved']} reserved"
+            )
+        now = float(params.get("now", 0.0))
+        reserved = int(stock["reserved"]) - quantity
+        ctx.update(
+            "stock", params["sku"], {"reserved": reserved, "updated_at": now}
+        )
+        stock.update(reserved=reserved, updated_at=now)
+        return stock
+
+
+# ----------------------------------------------------------------------
+# Stock-transaction bookkeeping
+# ----------------------------------------------------------------------
+
+
+class CreateStockTransaction(StoredProcedure):
+    """Record that an item in a cart has been reserved."""
+
+    name = "CreateStockTransaction"
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["transaction_id"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Dict[str, Any]:
+        row = {
+            "transaction_id": params["transaction_id"],
+            "sku": params["sku"],
+            "cart_id": params["cart_id"],
+            "quantity": int(params.get("quantity", 1)),
+            "status": "reserved",
+            "created_at": float(params.get("now", 0.0)),
+        }
+        ctx.insert("stock_transaction", row)
+        return row
+
+
+class GetStockTransaction(StoredProcedure):
+    """Retrieve a stock transaction."""
+
+    name = "GetStockTransaction"
+    read_only = True
+    cost_weight = 0.8
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["transaction_id"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Dict[str, Any]:
+        return ctx.require("stock_transaction", params["transaction_id"])
+
+
+class UpdateStockTransaction(StoredProcedure):
+    """Mark a stock transaction purchased or cancelled."""
+
+    name = "UpdateStockTransaction"
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["transaction_id"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Dict[str, Any]:
+        row = ctx.require("stock_transaction", params["transaction_id"])
+        status = params["status"]
+        if status not in ("purchased", "cancelled"):
+            raise TransactionAbort(f"illegal stock-transaction status {status!r}")
+        if row["status"] != "reserved":
+            raise TransactionAbort(
+                f"stock transaction {params['transaction_id']!r} is "
+                f"{row['status']}; only reserved ones can change"
+            )
+        ctx.update("stock_transaction", params["transaction_id"], {"status": status})
+        row["status"] = status
+        return row
+
+
+# ----------------------------------------------------------------------
+# Checkout transactions
+# ----------------------------------------------------------------------
+
+
+class CreateCheckout(StoredProcedure):
+    """Start the checkout process for a cart's contents."""
+
+    name = "CreateCheckout"
+    cost_weight = 1.4
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["checkout_id"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Dict[str, Any]:
+        lines = list(params.get("lines", []))
+        row = {
+            "checkout_id": params["checkout_id"],
+            "cart_id": params["cart_id"],
+            "customer_id": params.get("customer_id", "anonymous"),
+            "lines": lines,
+            "payment": None,
+            "status": "open",
+            "total": sum(
+                l["quantity"] * l["unit_price"] for l in lines
+            ),
+            "created_at": float(params.get("now", 0.0)),
+        }
+        ctx.insert("checkout", row)
+        return row
+
+
+class CreateCheckoutPayment(StoredProcedure):
+    """Attach payment information to a checkout."""
+
+    name = "CreateCheckoutPayment"
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["checkout_id"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Dict[str, Any]:
+        checkout = ctx.require("checkout", params["checkout_id"])
+        if checkout["status"] != "open":
+            raise TransactionAbort("payment allowed only on open checkouts")
+        payment = dict(params["payment"])
+        ctx.update("checkout", params["checkout_id"], {"payment": payment})
+        checkout["payment"] = payment
+        return checkout
+
+
+class AddLineToCheckout(StoredProcedure):
+    """Add an item to an open checkout."""
+
+    name = "AddLineToCheckout"
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["checkout_id"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Dict[str, Any]:
+        checkout = ctx.require("checkout", params["checkout_id"])
+        if checkout["status"] != "open":
+            raise TransactionAbort("only open checkouts can be edited")
+        line = {
+            "sku": params["sku"],
+            "quantity": int(params.get("quantity", 1)),
+            "unit_price": float(params.get("unit_price", 0.0)),
+        }
+        lines = list(checkout["lines"]) + [line]
+        total = sum(l["quantity"] * l["unit_price"] for l in lines)
+        ctx.update(
+            "checkout", params["checkout_id"], {"lines": lines, "total": total}
+        )
+        checkout.update(lines=lines, total=total)
+        return checkout
+
+
+class DeleteLineFromCheckout(StoredProcedure):
+    """Remove an item from an open checkout (e.g. it went out of stock)."""
+
+    name = "DeleteLineFromCheckout"
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["checkout_id"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Dict[str, Any]:
+        checkout = ctx.require("checkout", params["checkout_id"])
+        if checkout["status"] != "open":
+            raise TransactionAbort("only open checkouts can be edited")
+        lines = [l for l in checkout["lines"] if l["sku"] != params["sku"]]
+        if len(lines) == len(checkout["lines"]):
+            raise TransactionAbort(
+                f"sku {params['sku']!r} is not in checkout "
+                f"{params['checkout_id']!r}"
+            )
+        total = sum(l["quantity"] * l["unit_price"] for l in lines)
+        ctx.update(
+            "checkout", params["checkout_id"], {"lines": lines, "total": total}
+        )
+        checkout.update(lines=lines, total=total)
+        return checkout
+
+
+class GetCheckout(StoredProcedure):
+    """Retrieve a checkout document."""
+
+    name = "GetCheckout"
+    read_only = True
+    cost_weight = 0.8
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["checkout_id"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Dict[str, Any]:
+        return ctx.require("checkout", params["checkout_id"])
+
+
+class DeleteCheckout(StoredProcedure):
+    """Delete a checkout document."""
+
+    name = "DeleteCheckout"
+
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        return params["checkout_id"]
+
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> bool:
+        if not ctx.delete("checkout", params["checkout_id"]):
+            raise TransactionAbort(f"no checkout {params['checkout_id']!r}")
+        return True
+
+
+#: All nineteen procedures of Table 4, keyed by name.
+ALL_PROCEDURES = {
+    proc.name: proc
+    for proc in (
+        AddLineToCart(),
+        DeleteLineFromCart(),
+        GetCart(),
+        DeleteCart(),
+        GetStock(),
+        GetStockQuantity(),
+        ReserveStock(),
+        PurchaseStock(),
+        CancelStockReservation(),
+        CreateStockTransaction(),
+        ReserveCart(),
+        GetStockTransaction(),
+        UpdateStockTransaction(),
+        CreateCheckout(),
+        CreateCheckoutPayment(),
+        AddLineToCheckout(),
+        DeleteLineFromCheckout(),
+        GetCheckout(),
+        DeleteCheckout(),
+    )
+}

@@ -1,0 +1,311 @@
+"""Command-line interface for the P-Store reproduction.
+
+Subcommands
+-----------
+``generate``
+    write a synthetic B2W-like load trace to CSV;
+``predict``
+    fit SPAR (or a baseline) on a trace and print a forecast;
+``plan``
+    forecast and run the DP planner, printing the move schedule;
+``simulate``
+    run the fast capacity simulator for a provisioning strategy;
+``experiment``
+    run one of the paper's experiments at reduced scale.
+
+Run ``pstore <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import PStoreConfig, default_config
+from .analysis import ascii_table, series_block
+from .core import Planner
+from .elasticity import (
+    PStoreStrategy,
+    ReactiveStrategy,
+    SimpleStrategy,
+    StaticStrategy,
+)
+from .errors import InfeasiblePlanError, PStoreError
+from .prediction import ArmaPredictor, ArPredictor, SparPredictor
+from .sim import run_capacity_simulation
+from .workload import b2w_like_trace
+from .workload.io import read_trace_csv, write_trace_csv
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pstore",
+        description="P-Store: predictive elastic provisioning (SIGMOD'18 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic load trace to CSV")
+    gen.add_argument("output", help="output CSV path")
+    gen.add_argument("--days", type=int, default=35)
+    gen.add_argument("--slot-seconds", type=float, default=300.0)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument(
+        "--peak-tps",
+        type=float,
+        default=1450.0,
+        help="approximate daily peak in txn/s",
+    )
+
+    pred = sub.add_parser("predict", help="forecast a trace with SPAR")
+    pred.add_argument("trace", help="input CSV (see `generate`)")
+    pred.add_argument("--model", choices=("spar", "arma", "ar"), default="spar")
+    pred.add_argument("--train-days", type=int, default=28)
+    pred.add_argument("--horizon", type=int, default=12, help="slots ahead")
+
+    plan = sub.add_parser("plan", help="plan reconfigurations for a trace")
+    plan.add_argument("trace", help="input CSV")
+    plan.add_argument("--config", default=None,
+                      help="JSON config file (see PStoreConfig.from_file)")
+    plan.add_argument("--train-days", type=int, default=28)
+    plan.add_argument("--machines", type=int, default=0,
+                      help="current cluster size (0 = fit to current load)")
+    plan.add_argument("--horizon", type=int, default=12)
+
+    sim = sub.add_parser("simulate", help="capacity-simulate a strategy")
+    sim.add_argument(
+        "strategy",
+        help="p-store | reactive | static:<N> | simple:<day>/<night>",
+    )
+    sim.add_argument("--days", type=int, default=14)
+    sim.add_argument("--seed", type=int, default=7)
+    sim.add_argument("--peak-tps", type=float, default=1450.0)
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument(
+        "name",
+        choices=(
+            "fig01", "fig02", "fig04", "fig05", "fig06", "fig07", "fig08",
+            "tab01", "sec5",
+        ),
+        help="experiment id (lightweight ones only; use the bench "
+        "harness for Figs 9-13)",
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+
+
+def _cmd_generate(args) -> int:
+    trace = b2w_like_trace(
+        n_days=args.days,
+        slot_seconds=args.slot_seconds,
+        seed=args.seed,
+        base_level=args.peak_tps * args.slot_seconds,
+    )
+    write_trace_csv(trace, args.output)
+    print(f"wrote {trace.describe()} to {args.output}")
+    return 0
+
+
+def _fit_model(name: str, values: np.ndarray, period: int, train_slots: int):
+    if name == "spar":
+        model = SparPredictor(period=period, n_periods=7, m_recent=30)
+    elif name == "arma":
+        model = ArmaPredictor(p=30, q=10)
+    else:
+        model = ArPredictor(order=30)
+    model.fit(values[:train_slots])
+    return model
+
+
+def _cmd_predict(args) -> int:
+    trace = read_trace_csv(args.trace)
+    period = trace.slots_per_day
+    train_slots = args.train_days * period
+    if train_slots >= len(trace):
+        print(
+            f"error: trace has {len(trace)} slots; cannot train on "
+            f"{args.train_days} days",
+            file=sys.stderr,
+        )
+        return 2
+    values = trace.as_rate_per_second()
+    model = _fit_model(args.model, values, period, train_slots)
+    forecast = model.predict_horizon(values, args.horizon)
+    print(series_block("history (txn/s)", values[-3 * period :]))
+    rows = [
+        (i + 1, f"{v:,.1f}") for i, v in enumerate(forecast)
+    ]
+    print(ascii_table(["slots ahead", "forecast txn/s"], rows,
+                      title=f"{args.model.upper()} forecast"))
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    config = (
+        PStoreConfig.from_file(args.config) if args.config else default_config()
+    )
+    trace = read_trace_csv(args.trace)
+    config = config.with_interval(trace.slot_seconds)
+    period = trace.slots_per_day
+    train_slots = args.train_days * period
+    values = trace.as_rate_per_second()
+    if train_slots >= len(trace):
+        print("error: not enough data after the training window", file=sys.stderr)
+        return 2
+    model = _fit_model("spar", values, period, train_slots)
+    forecast = model.predict_horizon(values, args.horizon)
+    inflated = forecast * config.prediction_inflation
+    current_load = float(values[-1])
+    machines = args.machines or config.servers_for_load(current_load * 1.1)
+
+    print(f"current load {current_load:,.0f} txn/s on {machines} machines")
+    try:
+        schedule = Planner(config).plan(
+            list(inflated), machines, current_load=current_load
+        )
+    except InfeasiblePlanError as infeasible:
+        print(
+            f"no feasible plan: scale out reactively to "
+            f"{infeasible.required_machines} machines"
+        )
+        return 1
+    print(schedule.describe())
+    first = schedule.first_real_move
+    if first is None:
+        print("=> no reconfiguration needed within the horizon")
+    else:
+        direction = "out" if first.is_scale_out else "in"
+        print(
+            f"=> first move: scale {direction} {first.before} -> "
+            f"{first.after} starting at interval {first.start}"
+        )
+    return 0
+
+
+def _parse_strategy(spec: str, config, setup):
+    values, train = setup
+    if spec == "p-store":
+        period = 288
+        spar = SparPredictor(period=period, n_periods=7, m_recent=30).fit(train)
+        return PStoreStrategy(config, spar), list(train)
+    if spec == "reactive":
+        return ReactiveStrategy(config, scale_in_patience=12), []
+    if spec.startswith("static:"):
+        return StaticStrategy(int(spec.split(":", 1)[1])), []
+    if spec.startswith("simple:"):
+        day, night = spec.split(":", 1)[1].split("/")
+        return (
+            SimpleStrategy(int(day), int(night), slots_per_day=288,
+                           morning_hour=5.0),
+            [],
+        )
+    raise PStoreError(f"unknown strategy spec {spec!r}")
+
+
+def _cmd_simulate(args) -> int:
+    config = default_config().with_interval(300.0)
+    full = b2w_like_trace(
+        n_days=28 + args.days,
+        slot_seconds=300.0,
+        seed=args.seed,
+        base_level=args.peak_tps * 300.0,
+    )
+    train = full.slice_days(0, 28).as_rate_per_second()
+    evaluation = full.slice_days(28, args.days)
+    strategy, history = _parse_strategy(args.strategy, config, (None, train))
+    initial = (
+        strategy.machines
+        if isinstance(strategy, StaticStrategy)
+        else max(1, math.ceil(evaluation.as_rate_per_second()[0] * 1.3 / config.q))
+    )
+    result = run_capacity_simulation(
+        evaluation, strategy, config, initial, history_seed=history
+    )
+    print(series_block("load (txn/s)", result.load_tps))
+    print(series_block("machines", result.machines))
+    print()
+    print(result.summary())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from . import experiments as ex
+
+    if args.name == "fig01":
+        r = ex.run_figure1()
+        print(f"peak/trough {r.peak_to_trough:.1f}x, "
+              f"day-lag autocorrelation {r.daily_autocorrelation:.2f}")
+    elif args.name == "fig02":
+        r = ex.run_figure2()
+        print(f"step allocation overhead vs ideal: {r.overhead_pct:.1f}%")
+    elif args.name == "fig04":
+        r = ex.run_figure4()
+        for case in r.cases:
+            print(
+                f"{case.before} -> {case.after}: {case.duration_in_d:.3f} D, "
+                f"max allocation/eff-cap gap {case.max_allocation_gap:.2f} machines"
+            )
+    elif args.name == "fig05":
+        r = ex.run_figure5()
+        for tau, mre in sorted(r.mre_by_tau.items()):
+            print(f"tau={tau:>3} min: MRE {100 * mre:.1f}%")
+    elif args.name == "fig06":
+        r = ex.run_figure6()
+        for lang in (r.english, r.german):
+            errors = ", ".join(
+                f"{t}h={100 * m:.1f}%" for t, m in sorted(lang.mre_by_tau.items())
+            )
+            print(f"{lang.language}: {errors}")
+    elif args.name == "fig07":
+        r = ex.run_figure7()
+        print(f"saturation {r.saturation_tps:.0f} txn/s; "
+              f"Q-hat {r.q_hat:.0f}; Q {r.q:.0f}")
+    elif args.name == "fig08":
+        r = ex.run_figure8()
+        for run in r.runs:
+            label = "static" if run.chunk_kb is None else f"{run.chunk_kb:.0f}kB"
+            print(
+                f"{label:>7}: p99 peak {run.p99_peak_ms:7.0f} ms, "
+                f"migration {run.migration_seconds:5.0f} s"
+            )
+    elif args.name == "tab01":
+        r = ex.run_table1()
+        print(r.schedule.describe())
+        print(f"average machines {r.average_machines:.3f} "
+              f"(Algorithm 4: {r.algorithm4_average:.3f})")
+    else:  # sec5
+        r = ex.run_model_comparison()
+        for name in r.ordering:
+            print(f"{name:>5}: MRE {100 * r.mre_by_model[name]:.1f}%")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "predict": _cmd_predict,
+    "plan": _cmd_plan,
+    "simulate": _cmd_simulate,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except PStoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

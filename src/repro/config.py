@@ -1,0 +1,183 @@
+"""System-wide configuration for the P-Store reproduction.
+
+:class:`PStoreConfig` carries the empirically-discovered parameters of the
+paper's model (Section 4.1):
+
+``Q``
+    target throughput of one server (txn/s) — the planner provisions so
+    that predicted load never exceeds ``Q`` per server;
+``Q_hat``
+    maximum throughput of one server (txn/s) — beyond this the latency
+    SLA is violated;
+``D``
+    shortest time (seconds) to migrate the whole database once with a
+    single sender/receiver thread pair without disturbing the workload.
+
+Defaults reproduce the values the paper discovers for the B2W workload on
+H-Store with 6 partitions per node: saturation at 438 txn/s, ``Q̂ = 350``
+(80%), ``Q = 285`` (65%), ``D = 4646 s`` (77 minutes, including the 10%
+buffer) and a migration rate ``R = 244 kB/s`` over a 1106 MB database.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from .errors import ConfigurationError
+
+#: Saturation throughput of a single 6-partition server (txn/s, Fig. 7).
+SINGLE_NODE_SATURATION_TPS = 438.0
+
+#: Fraction of saturation used for the maximum throughput Q̂ (Sec. 4.1).
+Q_HAT_FRACTION = 0.80
+
+#: Fraction of saturation used for the target throughput Q (Sec. 4.1).
+Q_FRACTION = 0.65
+
+#: Single-thread full-database migration time, seconds (Sec. 8.1).
+DEFAULT_D_SECONDS = 4646.0
+
+#: Database size used for D discovery (kB); 1106 MB of carts/checkouts.
+DEFAULT_DATABASE_KB = 1106 * 1024
+
+#: Calibrated safe migration rate R (kB/s) from Sec. 8.1.
+DEFAULT_MIGRATION_RATE_KBPS = 244.0
+
+#: SLA threshold from Sec. 8.2: 500 ms is the largest unnoticeable delay.
+DEFAULT_SLA_LATENCY_MS = 500.0
+
+
+@dataclass(frozen=True)
+class PStoreConfig:
+    """Immutable bundle of model parameters shared by planner and simulator.
+
+    Parameters mirror the symbols of the paper (Appendix A).  All times are
+    seconds; all rates are transactions per second unless noted.
+    """
+
+    #: Target average throughput per server, ``Q`` (txn/s).
+    q: float = Q_FRACTION * SINGLE_NODE_SATURATION_TPS
+    #: Maximum throughput per server, ``Q̂`` (txn/s).
+    q_hat: float = Q_HAT_FRACTION * SINGLE_NODE_SATURATION_TPS
+    #: Single-thread full-database migration time ``D`` (seconds).
+    d_seconds: float = DEFAULT_D_SECONDS
+    #: Logical data partitions per server, ``P``.
+    partitions_per_node: int = 6
+    #: Length of one planner time interval (seconds).  The paper plans at
+    #: minute granularity for live runs and 5-minute granularity for the
+    #: long simulations of Section 8.3.
+    interval_seconds: float = 60.0
+    #: Latency SLA threshold (milliseconds).
+    sla_latency_ms: float = DEFAULT_SLA_LATENCY_MS
+    #: Multiplier applied to load predictions to absorb prediction error
+    #: ("we inflate all predictions by 15%", Sec. 8.2).
+    prediction_inflation: float = 1.15
+    #: Number of consecutive planning cycles that must agree before a
+    #: scale-in move is executed (Sec. 6).
+    scale_in_confirmations: int = 3
+    #: Upper bound on machines the planner may allocate; 0 means unbounded
+    #: (Z is then derived from the predicted peak as in Algorithm 1).
+    max_machines: int = 0
+    #: Database size in kB (used to convert chunk sizes to fractions).
+    database_kb: float = DEFAULT_DATABASE_KB
+
+    def __post_init__(self) -> None:
+        if self.q <= 0 or self.q_hat <= 0:
+            raise ConfigurationError("Q and Q_hat must be positive")
+        if self.q > self.q_hat:
+            raise ConfigurationError(
+                f"target throughput Q={self.q} must not exceed Q_hat={self.q_hat}"
+            )
+        if self.d_seconds <= 0:
+            raise ConfigurationError("D must be positive")
+        if self.partitions_per_node < 1:
+            raise ConfigurationError("partitions_per_node must be >= 1")
+        if self.interval_seconds <= 0:
+            raise ConfigurationError("interval_seconds must be positive")
+        if self.prediction_inflation <= 0:
+            raise ConfigurationError("prediction_inflation must be positive")
+        if self.scale_in_confirmations < 1:
+            raise ConfigurationError("scale_in_confirmations must be >= 1")
+        if self.max_machines < 0:
+            raise ConfigurationError("max_machines must be >= 0 (0 = unbounded)")
+
+    @property
+    def d_intervals(self) -> float:
+        """``D`` expressed in planner time intervals (may be fractional)."""
+        return self.d_seconds / self.interval_seconds
+
+    @property
+    def migration_rate_kbps(self) -> float:
+        """Single-pair migration rate ``R`` implied by ``D`` (kB/s)."""
+        return self.database_kb / self.d_seconds
+
+    def with_q(self, q: float) -> "PStoreConfig":
+        """Return a copy with a different target throughput ``Q``.
+
+        Used by the capacity-cost sweeps of Figure 12, which vary ``Q`` to
+        trade cost against headroom.
+        """
+        return dataclasses.replace(self, q=q)
+
+    def with_interval(self, interval_seconds: float) -> "PStoreConfig":
+        """Return a copy with a different planning interval."""
+        return dataclasses.replace(self, interval_seconds=interval_seconds)
+
+    def servers_for_load(self, load_tps: float) -> int:
+        """Minimum whole servers so that per-server load stays below ``Q``."""
+        import math
+
+        if load_tps <= 0:
+            return 1
+        return max(1, math.ceil(load_tps / self.q))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PStoreConfig":
+        """Build a config from a plain mapping (e.g. parsed JSON).
+
+        Unknown keys raise, so typos in config files fail loudly.
+        """
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - valid
+        if unknown:
+            raise ConfigurationError(
+                f"unknown config keys {sorted(unknown)}; valid keys are "
+                f"{sorted(valid)}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_file(cls, path) -> "PStoreConfig":
+        """Load a config from a JSON file.
+
+        Example file::
+
+            {"q": 285.0, "q_hat": 350.0, "d_seconds": 4646,
+             "interval_seconds": 300, "prediction_inflation": 1.15}
+        """
+        import json
+        import pathlib
+
+        text = pathlib.Path(path).read_text()
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"config file {path} is not valid JSON: {exc}")
+        if not isinstance(data, dict):
+            raise ConfigurationError("config file must contain a JSON object")
+        return cls.from_dict(data)
+
+    def to_dict(self) -> dict:
+        """The config as a plain mapping (for serialisation/round trips)."""
+        return dataclasses.asdict(self)
+
+
+def default_config() -> PStoreConfig:
+    """The configuration used throughout the paper's evaluation."""
+    return PStoreConfig()
+
+
+#: Fractions of the saturation throughput swept in Figure 12.  Each value
+#: of Q yields one point on a strategy's capacity-cost curve.
+FIGURE12_Q_FRACTIONS = (0.35, 0.45, 0.55, 0.65, 0.75)

@@ -1,0 +1,183 @@
+"""The Predictive Controller (Section 6 of the paper).
+
+The controller runs the monitor -> predict -> plan -> migrate cycle:
+
+1. it watches the measured aggregate load (supplied by the simulator or
+   by a live monitoring hook);
+2. when no migration is in flight, it asks the Predictor for a load
+   forecast over the planning horizon and inflates it by the configured
+   buffer (15% by default, Sec. 8.2);
+3. it hands the forecast to the Planner (Algorithms 1-3) and keeps only
+   the *first* move of the optimal schedule — receding-horizon control;
+4. scale-in moves are debounced: the planner must call for them on
+   ``scale_in_confirmations`` consecutive cycles before one is issued;
+5. if the planner reports that no feasible schedule exists (a flash
+   crowd), the controller falls back to a reactive emergency scale-out,
+   either at the regular migration rate or at a boosted rate
+   (Sec. 4.3.1; both strategies are compared in Fig. 11).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..config import PStoreConfig
+from ..errors import InfeasiblePlanError, PlanningError
+from ..prediction.base import Predictor
+from .moves import MoveSchedule
+from .planner import Planner, PlanRequest
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one controller cycle.
+
+    ``target_machines`` is None when the controller decides to do
+    nothing this cycle.  ``emergency`` marks a reactive fallback taken
+    because the planner found no feasible schedule; ``rate_multiplier``
+    is the migration-rate boost to apply (1 = regular rate ``R``).
+    """
+
+    target_machines: Optional[int] = None
+    emergency: bool = False
+    rate_multiplier: float = 1.0
+    planned_schedule: Optional[MoveSchedule] = None
+    reason: str = "no-op"
+
+    @property
+    def acts(self) -> bool:
+        return self.target_machines is not None
+
+
+class PredictiveController:
+    """Receding-horizon controller over a Predictor and a Planner.
+
+    Parameters
+    ----------
+    config:
+        model parameters; also supplies the 15% prediction inflation and
+        the 3-cycle scale-in debounce.
+    predictor:
+        fitted :class:`~repro.prediction.base.Predictor`.
+    horizon_intervals:
+        forecast window ``T`` in planner intervals.  Defaults to the
+        paper's lower bound of ``2 D / P`` (time for two back-to-back
+        parallel migrations), rounded up, plus one.
+    emergency_rate_multiplier:
+        migration-rate boost used on infeasible plans (1.0 reproduces
+        the paper's default "keep rate R" policy; 8.0 the boosted one).
+    """
+
+    def __init__(
+        self,
+        config: PStoreConfig,
+        predictor: Predictor,
+        horizon_intervals: Optional[int] = None,
+        emergency_rate_multiplier: float = 1.0,
+    ):
+        if emergency_rate_multiplier <= 0:
+            raise PlanningError("emergency_rate_multiplier must be positive")
+        self.config = config
+        self.predictor = predictor
+        self.planner = Planner(config)
+        self.horizon_intervals = (
+            horizon_intervals
+            if horizon_intervals is not None
+            else self.minimum_horizon_intervals(config)
+        )
+        if self.horizon_intervals < 1:
+            raise PlanningError("horizon must be at least one interval")
+        self.emergency_rate_multiplier = emergency_rate_multiplier
+        self._scale_in_streak = 0
+        self._last_schedule: Optional[MoveSchedule] = None
+
+    @staticmethod
+    def minimum_horizon_intervals(config: PStoreConfig) -> int:
+        """The paper's bound: the horizon must cover two reconfigurations
+        with parallel migration, ``2 D / P`` (Sec. 5, "Discussion")."""
+        return int(math.ceil(2.0 * config.d_intervals / config.partitions_per_node)) + 1
+
+    @property
+    def last_schedule(self) -> Optional[MoveSchedule]:
+        """The most recent full plan (for introspection and tests)."""
+        return self._last_schedule
+
+    def decide(
+        self,
+        history: Sequence[float],
+        current_machines: int,
+        current_load: Optional[float] = None,
+    ) -> Decision:
+        """Run one predict-plan cycle and return the action to take.
+
+        ``history`` is the measured load per planner interval up to now
+        (in txn/s); ``current_machines`` is the active cluster size.
+        """
+        if current_machines < 1:
+            raise PlanningError("current_machines must be >= 1")
+        forecast = self.predictor.predict_horizon(history, self.horizon_intervals)
+        inflated = np.asarray(forecast, dtype=float) * self.config.prediction_inflation
+        measured_now = float(history[-1]) if current_load is None else current_load
+
+        try:
+            schedule = self.planner.best_moves(
+                PlanRequest(
+                    predicted_load=tuple(inflated),
+                    initial_machines=current_machines,
+                    current_load=measured_now,
+                )
+            )
+        except InfeasiblePlanError as infeasible:
+            # Flash crowd: scale straight to the required size, reactively.
+            self._scale_in_streak = 0
+            self._last_schedule = None
+            target = max(infeasible.required_machines, current_machines)
+            if self.config.max_machines:
+                target = min(target, self.config.max_machines)
+            if target == current_machines:
+                return Decision(reason="infeasible-but-at-size")
+            return Decision(
+                target_machines=target,
+                emergency=True,
+                rate_multiplier=self.emergency_rate_multiplier,
+                reason="no feasible plan; reactive scale-out",
+            )
+
+        self._last_schedule = schedule
+        first = schedule.first_real_move
+        if first is None:
+            self._scale_in_streak = 0
+            return Decision(planned_schedule=schedule, reason="plan is steady")
+        if first.start > 0:
+            # The first real move starts in the future; wait for it.
+            self._scale_in_streak = 0
+            return Decision(
+                planned_schedule=schedule,
+                reason=f"first move starts at interval {first.start}",
+            )
+
+        if first.is_scale_in:
+            self._scale_in_streak += 1
+            if self._scale_in_streak < self.config.scale_in_confirmations:
+                return Decision(
+                    planned_schedule=schedule,
+                    reason=(
+                        f"scale-in pending confirmation "
+                        f"({self._scale_in_streak}/"
+                        f"{self.config.scale_in_confirmations})"
+                    ),
+                )
+        self._scale_in_streak = 0
+        return Decision(
+            target_machines=first.after,
+            planned_schedule=schedule,
+            reason="scale-in confirmed" if first.is_scale_in else "scale-out due",
+        )
+
+    def notify_move_started(self) -> None:
+        """Reset debounce state when a migration begins."""
+        self._scale_in_streak = 0

@@ -1,0 +1,311 @@
+"""Analytic model of reconfigurations (Sections 4.4.2-4.4.4 of the paper).
+
+This module answers, in closed form, the four questions the planner needs
+when evaluating a candidate move from ``B`` to ``A`` machines:
+
+* how many transfers can run in parallel — :func:`max_parallel` (Eq. 2);
+* how long the move takes — :func:`move_time` (Eq. 3);
+* what the move costs in machine-time — :func:`move_cost` (Eq. 4) via
+  :func:`avg_machines_allocated` (Algorithm 4);
+* how much capacity the system retains while data is in flight —
+  :func:`effective_capacity` (Eq. 7).
+
+All functions treat scale-in and scale-out symmetrically, exactly as the
+paper does.  Times are expressed in units of ``D`` (the single-thread
+full-database migration time) unless a config is supplied to convert them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import PlanningError
+
+
+def _check_move(before: int, after: int) -> None:
+    if before < 1 or after < 1:
+        raise PlanningError(
+            f"cluster sizes must be >= 1 (got B={before}, A={after})"
+        )
+
+
+def capacity(n_machines: int, q: float) -> float:
+    """Total capacity of ``n`` evenly-loaded machines: ``cap(N) = Q * N`` (Eq. 5)."""
+    if n_machines < 0:
+        raise PlanningError(f"machine count must be >= 0 (got {n_machines})")
+    return q * n_machines
+
+
+def max_parallel(before: int, after: int, partitions_per_node: int = 1) -> int:
+    """Maximum number of parallel data transfers during a move (Eq. 2).
+
+    Each partition may exchange data with at most one other partition at a
+    time, so parallelism is bounded by the smaller of the sender and
+    receiver partition counts.
+    """
+    _check_move(before, after)
+    p = partitions_per_node
+    if p < 1:
+        raise PlanningError(f"partitions_per_node must be >= 1 (got {p})")
+    if before == after:
+        return 0
+    if before < after:
+        return p * min(before, after - before)
+    return p * min(after, before - after)
+
+
+def moved_fraction(before: int, after: int) -> float:
+    """Fraction of the database that a ``B -> A`` move transfers.
+
+    Scaling out from B to A moves ``1 - B/A`` of the data (each of the B
+    senders goes from 1/B to 1/A); scale-in is symmetric.
+    """
+    _check_move(before, after)
+    if before == after:
+        return 0.0
+    if before < after:
+        return 1.0 - before / after
+    return 1.0 - after / before
+
+
+def move_time(
+    before: int,
+    after: int,
+    partitions_per_node: int = 1,
+    d: float = 1.0,
+) -> float:
+    """Time for a reconfiguration from ``B`` to ``A`` machines (Eq. 3).
+
+    ``d`` is the single-thread full-database migration time; the result is
+    in the same unit.  With maximum parallelism the whole database could be
+    moved in ``d / max_parallel``; only the fraction given by
+    :func:`moved_fraction` actually moves.
+    """
+    _check_move(before, after)
+    if before == after:
+        return 0.0
+    par = max_parallel(before, after, partitions_per_node)
+    return (d / par) * moved_fraction(before, after)
+
+
+def avg_machines_allocated(before: int, after: int) -> float:
+    """Average machines allocated during a move (Algorithm 4, Appendix B).
+
+    Machines are allocated just-in-time (scale-out) or released as soon as
+    they are drained (scale-in), following the three scheduling cases of
+    Section 4.4.1:
+
+    1. ``s >= delta``: all machines present for the whole move;
+    2. ``delta`` a multiple of ``s``: blocks of ``s`` machines are
+       allocated one block at a time;
+    3. otherwise: the three-phase schedule.
+    """
+    _check_move(before, after)
+    larger = max(before, after)
+    smaller = min(before, after)
+    delta = larger - smaller
+    if delta == 0:
+        return float(before)
+    remainder = delta % smaller
+
+    # Case 1: all machines added or removed at once.
+    if smaller >= delta:
+        return float(larger)
+
+    # Case 2: delta is a perfect multiple of the smaller cluster.
+    if remainder == 0:
+        return (2 * smaller + larger) / 2.0
+
+    # Case 3: three phases.
+    n1 = delta // smaller - 1              # full blocks in phase 1
+    t1 = smaller / delta                   # time per phase-1 step
+    m1 = (smaller + larger - remainder) / 2.0
+    phase1 = n1 * t1 * m1
+
+    t2 = remainder / delta                 # time for phase 2
+    m2 = larger - remainder
+    phase2 = t2 * m2
+
+    t3 = smaller / delta                   # time for phase 3
+    m3 = larger
+    phase3 = t3 * m3
+
+    return phase1 + phase2 + phase3
+
+
+def move_cost(
+    before: int,
+    after: int,
+    partitions_per_node: int = 1,
+    d: float = 1.0,
+) -> float:
+    """Cost of a move in machine-time (Eq. 4): ``T(B,A) * avg-mach-alloc``."""
+    _check_move(before, after)
+    if before == after:
+        return 0.0
+    return move_time(before, after, partitions_per_node, d) * avg_machines_allocated(
+        before, after
+    )
+
+
+def effective_capacity(
+    before: int,
+    after: int,
+    fraction_moved: float,
+    q: float,
+) -> float:
+    """Effective system capacity after ``fraction_moved`` of a move (Eq. 7).
+
+    While data is in flight it is not evenly distributed, so the busiest
+    original machine bounds the whole system's throughput.  ``fraction_moved``
+    is the fraction *of the data being moved in this move* that has already
+    been transferred (0 at the start, 1 at the end).
+    """
+    _check_move(before, after)
+    if not 0.0 <= fraction_moved <= 1.0:
+        raise PlanningError(
+            f"fraction_moved must be in [0, 1] (got {fraction_moved})"
+        )
+    b, a, f = before, after, fraction_moved
+    if b == a:
+        return capacity(b, q)
+    if b < a:
+        # Each of the B senders shrinks from 1/B of the data to 1/A.
+        largest_share = 1.0 / b - f * (1.0 / b - 1.0 / a)
+    else:
+        # Each of the A survivors grows from 1/B of the data to 1/A.
+        largest_share = 1.0 / b + f * (1.0 / a - 1.0 / b)
+    return q / largest_share
+
+
+def machines_allocated_at(before: int, after: int, fraction_elapsed: float) -> int:
+    """Machines physically allocated after ``fraction_elapsed`` of a move.
+
+    This is the instantaneous step function whose time-average Algorithm 4
+    computes.  Scale-out allocates just in time; scale-in releases machines
+    as soon as they are drained (symmetric).
+    """
+    _check_move(before, after)
+    if not 0.0 <= fraction_elapsed <= 1.0:
+        raise PlanningError(
+            f"fraction_elapsed must be in [0, 1] (got {fraction_elapsed})"
+        )
+    larger = max(before, after)
+    smaller = min(before, after)
+    delta = larger - smaller
+    if delta == 0:
+        return before
+    extra = _extra_machines_at(smaller, delta, fraction_elapsed)
+    if before < after:      # scale-out: machines appear over time
+        return smaller + extra
+    # Scale-in mirrors scale-out in reverse: machines still allocated at
+    # elapsed fraction f equal those a scale-out would have at 1 - f.
+    return smaller + _extra_machines_at(smaller, delta, 1.0 - fraction_elapsed)
+
+
+def _extra_machines_at(smaller: int, delta: int, f: float) -> int:
+    """Extra machines (beyond the smaller cluster) present at fraction ``f``
+    of a scale-out, under just-in-time allocation."""
+    if f >= 1.0:
+        return delta
+    remainder = delta % smaller
+    if smaller >= delta:
+        # Case 1: everything allocated up front.
+        return delta
+    if remainder == 0:
+        # Case 2: blocks of ``smaller`` machines; block k appears at k*s/delta.
+        blocks = delta // smaller
+        active = 1 + int(f * blocks)
+        return min(delta, active * smaller)
+    # Case 3: phase 1 has n1 steps of length s/delta, phase 2 length
+    # r/delta, phase 3 length s/delta.
+    n1 = delta // smaller - 1
+    step = smaller / delta
+    # Boundaries (in elapsed fraction) after which each block is present.
+    # Block j (j = 1..n1+1 of size s) appears at (j-1) boundaries; the final
+    # r machines appear at the start of phase 3.
+    t = 0.0
+    extra = smaller            # first block present from the start
+    for _ in range(n1):
+        t += step
+        if f >= t - 1e-12:
+            extra += smaller
+        else:
+            return extra
+    # phase 2 -> phase 3 boundary
+    t += remainder / delta
+    if f >= t - 1e-12:
+        extra += remainder
+    return min(extra, delta)
+
+
+@dataclass(frozen=True)
+class MoveProfile:
+    """Precomputed trajectory of a single move, sampled per round.
+
+    Attributes
+    ----------
+    before, after:
+        cluster sizes around the move.
+    rounds:
+        number of migration rounds (``max(s, delta)`` for unequal sizes).
+    times:
+        elapsed-fraction grid, one entry per round boundary (0..1).
+    machines:
+        machines allocated in each inter-boundary segment.
+    eff_cap:
+        effective capacity at each boundary.
+    """
+
+    before: int
+    after: int
+    rounds: int
+    times: tuple
+    machines: tuple
+    eff_cap: tuple
+
+
+def move_profile(before: int, after: int, q: float) -> MoveProfile:
+    """Sample machine allocation and effective capacity across a move.
+
+    Used to draw Figure 4 and by tests that cross-check Algorithm 4's
+    closed-form average against the explicit step function.
+    """
+    _check_move(before, after)
+    if before == after:
+        return MoveProfile(before, after, 0, (0.0,), (before,), (capacity(before, q),))
+    larger = max(before, after)
+    smaller = min(before, after)
+    rounds = max(smaller, larger - smaller)
+    boundaries = [i / rounds for i in range(rounds + 1)]
+    machines = [
+        machines_allocated_at(before, after, (i + 0.5) / rounds) for i in range(rounds)
+    ]
+    eff = [effective_capacity(before, after, f, q) for f in boundaries]
+    return MoveProfile(
+        before=before,
+        after=after,
+        rounds=rounds,
+        times=tuple(boundaries),
+        machines=tuple(machines),
+        eff_cap=tuple(eff),
+    )
+
+
+def move_time_intervals(
+    before: int,
+    after: int,
+    partitions_per_node: int,
+    d_intervals: float,
+) -> int:
+    """``T(B,A)`` rounded up to whole planner intervals.
+
+    The DP of Section 4.3 discretises time; each move lasts a positive
+    integer number of intervals (the "do nothing" move is handled by the
+    planner itself, which forces a minimum length of one interval).
+    """
+    t = move_time(before, after, partitions_per_node, d_intervals)
+    if t == 0.0:
+        return 0
+    return max(1, math.ceil(t - 1e-9))

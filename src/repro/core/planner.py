@@ -1,0 +1,410 @@
+"""Predictive-elasticity move planner (Algorithms 1-3 of the paper).
+
+Given a time series of predicted load ``L[1..T]`` and the current cluster
+size ``N0``, the planner finds the cheapest feasible sequence of
+reconfiguration *moves* such that the predicted load never exceeds the
+system's (effective) capacity — including while data is in flight, when
+capacity is degraded per Eq. 7.
+
+Two equivalent implementations are provided:
+
+* :class:`Planner` — a bottom-up dynamic program over the ``(t, A)`` grid.
+  One table serves every candidate final size, so the outer loop of
+  Algorithm 1 costs nothing extra.  This is the production path.
+* :func:`best_moves_reference` — a direct transcription of the paper's
+  recursive, memoised Algorithms 1-3.  It is slower and kept as an oracle
+  for differential testing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import PStoreConfig
+from ..errors import InfeasiblePlanError, PlanningError
+from . import model
+from .moves import Move, MoveSchedule
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """Inputs to one planning run.
+
+    Attributes
+    ----------
+    predicted_load:
+        ``L[1..T]``: predicted aggregate load (txn/s) for each of the next
+        ``T`` planner intervals.  Entry 0 of the internal array is the
+        current load, supplied separately.
+    initial_machines:
+        ``N0``, machines allocated now.
+    current_load:
+        measured aggregate load right now (defaults to the first predicted
+        point); used for the ``t = 0`` feasibility check.
+    """
+
+    predicted_load: Tuple[float, ...]
+    initial_machines: int
+    current_load: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.predicted_load:
+            raise PlanningError("predicted_load must be non-empty")
+        if self.initial_machines < 1:
+            raise PlanningError("initial_machines must be >= 1")
+        if any(v < 0 for v in self.predicted_load):
+            raise PlanningError("predicted load values must be non-negative")
+
+    @property
+    def horizon(self) -> int:
+        return len(self.predicted_load)
+
+    def load_array(self) -> List[float]:
+        """``L[0..T]`` with ``L[0]`` the current load."""
+        current = (
+            self.current_load
+            if self.current_load is not None
+            else self.predicted_load[0]
+        )
+        return [current, *self.predicted_load]
+
+
+class Planner:
+    """Bottom-up dynamic-programming planner.
+
+    Parameters
+    ----------
+    config:
+        supplies ``Q`` (per-server target rate), ``D`` (in intervals via
+        ``d_intervals``), partitions per node, and the optional hard cap on
+        machine count.
+    """
+
+    def __init__(self, config: PStoreConfig):
+        self._config = config
+        # Caches keyed by (B, A): durations in intervals and per-move cost,
+        # plus the per-interval effective-capacity profile of each move.
+        self._duration_cache: Dict[Tuple[int, int], int] = {}
+        self._cost_cache: Dict[Tuple[int, int], float] = {}
+        self._effcap_cache: Dict[Tuple[int, int], Tuple[float, ...]] = {}
+
+    @property
+    def config(self) -> PStoreConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Move primitives (cached)
+    # ------------------------------------------------------------------
+
+    def move_duration(self, before: int, after: int) -> int:
+        """``T(B,A)`` in whole planner intervals (0 for the no-op move)."""
+        key = (before, after)
+        cached = self._duration_cache.get(key)
+        if cached is None:
+            cached = model.move_time_intervals(
+                before,
+                after,
+                self._config.partitions_per_node,
+                self._config.d_intervals,
+            )
+            self._duration_cache[key] = cached
+        return cached
+
+    def move_cost(self, before: int, after: int) -> float:
+        """``C(B,A)`` in machine-intervals (``B`` for the no-op move)."""
+        key = (before, after)
+        cached = self._cost_cache.get(key)
+        if cached is None:
+            if before == after:
+                cached = float(before)
+            else:
+                cached = self.move_duration(before, after) * model.avg_machines_allocated(
+                    before, after
+                )
+            self._cost_cache[key] = cached
+        return cached
+
+    def capacity(self, machines: int) -> float:
+        return model.capacity(machines, self._config.q)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def machines_needed(self, peak_load: float) -> int:
+        """Machines needed so per-server load stays at or below ``Q``."""
+        if peak_load <= 0:
+            return 1
+        return max(1, math.ceil(peak_load / self._config.q - 1e-9))
+
+    def best_moves(self, request: PlanRequest) -> MoveSchedule:
+        """Algorithm 1: cheapest feasible move sequence over the horizon.
+
+        Raises :class:`InfeasiblePlanError` when no feasible sequence
+        exists (the cluster cannot scale out fast enough for the predicted
+        load), carrying the machine count the spike would require.
+        """
+        loads = request.load_array()
+        horizon = request.horizon
+        n0 = request.initial_machines
+        z = max(self.machines_needed(max(loads)), n0)
+        if self._config.max_machines:
+            z = min(z, self._config.max_machines)
+
+        cost_table, backptr = self._fill_tables(loads, horizon, n0, z)
+
+        for final in range(1, z + 1):
+            if cost_table[horizon][final] != _INF:
+                return self._backtrack(backptr, horizon, final, n0)
+        raise InfeasiblePlanError(
+            f"no feasible move sequence from N0={n0} over horizon T={horizon}",
+            required_machines=self.machines_needed(max(loads)),
+        )
+
+    def plan(
+        self,
+        predicted_load: Sequence[float],
+        initial_machines: int,
+        current_load: Optional[float] = None,
+    ) -> MoveSchedule:
+        """Convenience wrapper around :meth:`best_moves`."""
+        return self.best_moves(
+            PlanRequest(
+                predicted_load=tuple(predicted_load),
+                initial_machines=initial_machines,
+                current_load=current_load,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _fill_tables(
+        self,
+        loads: List[float],
+        horizon: int,
+        n0: int,
+        z: int,
+    ) -> Tuple[List[List[float]], List[List[Optional[Tuple[int, int]]]]]:
+        """Compute ``cost[t][A]`` and back-pointers for all states.
+
+        ``cost[t][A]`` is the minimum cost of a feasible series of moves
+        that ends with ``A`` machines at interval ``t``; ``backptr[t][A]``
+        is ``(prev_t, prev_machines)`` of the last move of that series.
+        """
+        q = self._config.q
+        cost = [[_INF] * (z + 1) for _ in range(horizon + 1)]
+        backptr: List[List[Optional[Tuple[int, int]]]] = [
+            [None] * (z + 1) for _ in range(horizon + 1)
+        ]
+
+        # Base case (Algorithm 2, lines 5-6): at t=0 only N0 is reachable,
+        # and only if the current load fits under target capacity.
+        if n0 <= z and loads[0] <= self.capacity(n0) + 1e-9:
+            cost[0][n0] = float(n0)
+
+        for t in range(1, horizon + 1):
+            for after in range(1, z + 1):
+                if loads[t] > self.capacity(after) + 1e-9:
+                    continue  # insufficient capacity at rest
+                best = _INF
+                best_prev: Optional[Tuple[int, int]] = None
+                for before in range(1, z + 1):
+                    candidate = self._sub_cost(
+                        cost, loads, t, before, after
+                    )
+                    if candidate < best:
+                        best = candidate
+                        duration = max(1, self.move_duration(before, after))
+                        best_prev = (t - duration, before)
+                if best_prev is not None:
+                    cost[t][after] = best
+                    backptr[t][after] = best_prev
+        return cost, backptr
+
+    def _sub_cost(
+        self,
+        cost: List[List[float]],
+        loads: List[float],
+        t: int,
+        before: int,
+        after: int,
+    ) -> float:
+        """Algorithm 3: cost of ending at ``t`` with a final ``B -> A`` move."""
+        duration = self.move_duration(before, after)
+        if duration == 0:  # the "do nothing" move lasts one interval
+            duration = 1
+        start = t - duration
+        if start < 0:
+            return _INF  # the move would have to start in the past
+        prior = cost[start][before]
+        if prior == _INF:
+            return _INF
+        # The predicted load must stay under the effective capacity for
+        # every interval of the move (Algorithm 3, lines 6-9).
+        for i, eff in enumerate(self._effcap_profile(before, after, duration)):
+            if loads[start + 1 + i] > eff + 1e-9:
+                return _INF
+        return prior + self.move_cost(before, after)
+
+    def _effcap_profile(
+        self, before: int, after: int, duration: int
+    ) -> Tuple[float, ...]:
+        """Effective capacity at the end of each interval of a move."""
+        key = (before, after)
+        cached = self._effcap_cache.get(key)
+        if cached is None:
+            q = self._config.q
+            cached = tuple(
+                model.effective_capacity(before, after, i / duration, q)
+                for i in range(1, duration + 1)
+            )
+            self._effcap_cache[key] = cached
+        return cached
+
+    def _backtrack(
+        self,
+        backptr: List[List[Optional[Tuple[int, int]]]],
+        horizon: int,
+        final: int,
+        n0: int,
+    ) -> MoveSchedule:
+        moves: List[Move] = []
+        t, machines = horizon, final
+        while t > 0:
+            prev = backptr[t][machines]
+            if prev is None:  # pragma: no cover - table invariant
+                raise PlanningError("broken back-pointer chain")
+            prev_t, prev_machines = prev
+            moves.append(
+                Move(start=prev_t, end=t, before=prev_machines, after=machines)
+            )
+            t, machines = prev_t, prev_machines
+        if t != 0 or machines != n0:  # pragma: no cover - table invariant
+            raise PlanningError("backtracking did not reach the initial state")
+        moves.reverse()
+        return MoveSchedule(moves)
+
+
+# ----------------------------------------------------------------------
+# Reference implementation: literal Algorithms 1-3 (recursive, memoised)
+# ----------------------------------------------------------------------
+
+
+def best_moves_reference(
+    predicted_load: Sequence[float],
+    initial_machines: int,
+    config: PStoreConfig,
+    current_load: Optional[float] = None,
+) -> MoveSchedule:
+    """Literal transcription of the paper's Algorithms 1-3.
+
+    Used as a differential-testing oracle for :class:`Planner`.  Matches
+    the paper's structure: for each candidate final size (smallest first),
+    reset the memo table, compute ``cost(T, i)`` recursively, and backtrack
+    through the memoised best moves on the first feasible hit.
+    """
+    request = PlanRequest(
+        predicted_load=tuple(predicted_load),
+        initial_machines=initial_machines,
+        current_load=current_load,
+    )
+    loads = request.load_array()
+    horizon = request.horizon
+    n0 = request.initial_machines
+    planner = Planner(config)  # reuse cached move primitives only
+    z = max(planner.machines_needed(max(loads)), n0)
+    if config.max_machines:
+        z = min(z, config.max_machines)
+
+    for final in range(1, z + 1):
+        memo: Dict[Tuple[int, int], Tuple[float, Optional[Tuple[int, int]]]] = {}
+        if _cost_recursive(horizon, final, loads, n0, planner, memo) != _INF:
+            moves: List[Move] = []
+            t, machines = horizon, final
+            while t > 0:
+                _, prev = memo[(t, machines)]
+                assert prev is not None
+                prev_t, prev_machines = prev
+                moves.append(
+                    Move(start=prev_t, end=t, before=prev_machines, after=machines)
+                )
+                t, machines = prev_t, prev_machines
+            moves.reverse()
+            return MoveSchedule(moves)
+    raise InfeasiblePlanError(
+        f"no feasible move sequence from N0={n0} over horizon T={horizon}",
+        required_machines=planner.machines_needed(max(loads)),
+    )
+
+
+def _cost_recursive(
+    t: int,
+    after: int,
+    loads: List[float],
+    n0: int,
+    planner: Planner,
+    memo: Dict[Tuple[int, int], Tuple[float, Optional[Tuple[int, int]]]],
+) -> float:
+    """Algorithm 2 (``cost``)."""
+    if t < 0 or (t == 0 and after != n0):
+        return _INF
+    if loads[t] > planner.capacity(after) + 1e-9:
+        return _INF
+    if (t, after) in memo:
+        return memo[(t, after)][0]
+    if t == 0:
+        memo[(t, after)] = (float(after), None)
+        return float(after)
+    best = _INF
+    best_prev: Optional[Tuple[int, int]] = None
+    for before in range(1, len(memo_z_bound(loads, n0, planner)) + 1):
+        candidate = _sub_cost_recursive(t, before, after, loads, n0, planner, memo)
+        if candidate < best:
+            best = candidate
+            duration = max(1, planner.move_duration(before, after))
+            best_prev = (t - duration, before)
+    memo[(t, after)] = (best, best_prev)
+    return best
+
+
+def memo_z_bound(loads: List[float], n0: int, planner: Planner) -> range:
+    """Machines 1..Z that Algorithm 2's argmin ranges over."""
+    z = max(planner.machines_needed(max(loads)), n0)
+    if planner.config.max_machines:
+        z = min(z, planner.config.max_machines)
+    return range(z)
+
+
+def _sub_cost_recursive(
+    t: int,
+    before: int,
+    after: int,
+    loads: List[float],
+    n0: int,
+    planner: Planner,
+    memo: Dict[Tuple[int, int], Tuple[float, Optional[Tuple[int, int]]]],
+) -> float:
+    """Algorithm 3 (``sub-cost``)."""
+    duration = planner.move_duration(before, after)
+    move_cost = planner.move_cost(before, after)
+    if duration == 0:
+        duration = 1
+        move_cost = float(before)
+    start = t - duration
+    if start < 0:
+        return _INF
+    q = planner.config.q
+    for i in range(1, duration + 1):
+        eff = model.effective_capacity(before, after, i / duration, q)
+        if loads[start + i] > eff + 1e-9:
+            return _INF
+    prior = _cost_recursive(start, before, loads, n0, planner, memo)
+    if prior == _INF:
+        return _INF
+    return prior + move_cost

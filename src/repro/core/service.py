@@ -1,0 +1,232 @@
+"""PStoreService: the end-to-end system of Section 6 on a live cluster.
+
+The paper's "Putting It All Together" wires a Predictive Controller to
+H-Store's monitoring calls and Squall's migration engine.  This module
+is that glue for the row-level substrate: feed it transactions and
+advance simulated time, and it
+
+* measures the aggregate load per planner interval (:class:`LoadMonitor`);
+* streams measurements into an (optionally online/active-learning)
+  predictor;
+* runs the predict -> plan cycle whenever no migration is in flight,
+  executing the first move of each plan (receding horizon);
+* drives the Squall-like migrator so bucket moves commit round by round;
+* optionally applies E-Store-style hot-bucket rebalancing between
+  reconfigurations (the paper's proposed future work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import PStoreConfig
+from ..elasticity.predictive import PStoreStrategy
+from ..errors import SimulationError
+from ..hstore.cluster import Cluster
+from ..hstore.engine import TransactionExecutor
+from ..hstore.monitor import LoadMonitor
+from ..hstore.txn import Transaction, TxnResult
+from ..prediction.base import Predictor
+from ..prediction.online import OnlinePredictor
+from ..squall.migrator import ClusterMigrator
+from ..squall.rebalance import (
+    apply_rebalance,
+    hot_bucket_report,
+    make_skew_rebalance_plan,
+)
+
+
+@dataclass
+class ServiceEvent:
+    """One provisioning action taken by the service (for auditing)."""
+
+    time: float
+    kind: str          # "scale-out" | "scale-in" | "emergency" | "rebalance"
+    detail: str
+
+
+class PStoreService:
+    """A self-driving elastic database node manager.
+
+    Parameters
+    ----------
+    cluster:
+        the row-level cluster to manage.
+    config:
+        model parameters; ``interval_seconds`` sets the planning cadence.
+    predictor:
+        any fitted predictor, or an :class:`OnlinePredictor` that will
+        learn from the measured load stream.
+    max_machines:
+        optional hard cap on cluster size.
+    skew_rebalancing:
+        enable hot-bucket rebalancing between reconfigurations.
+    skew_threshold_share:
+        the hottest partition's load share that triggers a rebalance.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: PStoreConfig,
+        predictor: Predictor,
+        max_machines: Optional[int] = None,
+        chunk_kb: float = 1000.0,
+        skew_rebalancing: bool = False,
+        skew_threshold_share: float = 0.25,
+    ):
+        if max_machines is not None and max_machines < 1:
+            raise SimulationError("max_machines must be >= 1 when set")
+        self.cluster = cluster
+        self.config = config
+        self.predictor = predictor
+        self.max_machines = max_machines
+        self.skew_rebalancing = skew_rebalancing
+        self.skew_threshold_share = skew_threshold_share
+
+        self.executor = TransactionExecutor(cluster)
+        self.monitor = LoadMonitor(config.interval_seconds)
+        self.migrator = ClusterMigrator(cluster, config, chunk_kb=chunk_kb)
+        self._strategy: Optional[PStoreStrategy] = None
+        if predictor.is_fitted or isinstance(predictor, OnlinePredictor):
+            self._ensure_strategy()
+        self._now = 0.0
+        self._migration_target: Optional[int] = None
+        self.events: List[ServiceEvent] = []
+
+    def _ensure_strategy(self) -> None:
+        if self._strategy is None and self.predictor.is_fitted:
+            self._strategy = PStoreStrategy(self.config, self.predictor)
+
+    # ------------------------------------------------------------------
+    # Transaction path
+    # ------------------------------------------------------------------
+
+    def execute(self, txn: Transaction) -> TxnResult:
+        """Execute one transaction and record it for load monitoring."""
+        if txn.submit_time < self._now:
+            txn.submit_time = self._now
+        result = self.executor.execute(txn)
+        self.monitor.record(txn.submit_time)
+        return result
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def machines(self) -> int:
+        return self.cluster.n_nodes
+
+    @property
+    def migrating(self) -> bool:
+        return self.migrator.migrating
+
+    def advance_time(self, dt: float) -> None:
+        """Move the service clock forward, planning and migrating.
+
+        Called by the host once per (sub-)interval; ``dt`` need not align
+        with the planner interval.
+        """
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        self._now += dt
+
+        if self.migrator.migrating:
+            finished = self.migrator.advance(dt)
+            if finished and self._migration_target is not None:
+                self.events.append(
+                    ServiceEvent(
+                        time=self._now,
+                        kind="move-complete",
+                        detail=f"now at {self.cluster.n_nodes} machines",
+                    )
+                )
+                self._migration_target = None
+
+        closed = self.monitor.record(self._now, count=0.0)
+        if closed and isinstance(self.predictor, OnlinePredictor):
+            history = self.monitor.history_tps()
+            for rate in history[-closed:]:
+                self.predictor.observe(float(rate))
+            self._ensure_strategy()
+
+        if closed and not self.migrator.migrating:
+            self._plan()
+            if self.skew_rebalancing:
+                self._maybe_rebalance()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _plan(self) -> None:
+        self._ensure_strategy()
+        if self._strategy is None:
+            return  # predictor still warming up
+        history = self.monitor.history_tps()
+        if history.size == 0:
+            return
+        slot = self.monitor.completed_intervals - 1
+        decision = self._strategy.decide(slot, history, self.cluster.n_nodes)
+        if not decision.acts:
+            return
+        target = decision.target_machines
+        assert target is not None
+        if self.max_machines is not None:
+            target = min(target, self.max_machines)
+        before = self.cluster.n_nodes
+        if target == before or target < 1:
+            return
+        self.migrator.rate_multiplier = decision.rate_multiplier
+        self.migrator.start_move(target)
+        self._migration_target = target
+        kind = (
+            "emergency"
+            if decision.emergency
+            else ("scale-out" if target > before else "scale-in")
+        )
+        self.events.append(
+            ServiceEvent(
+                time=self._now,
+                kind=kind,
+                detail=f"{decision.reason} -> {target} machines",
+            )
+        )
+        self._strategy.notify_move_started(target)
+
+    def _maybe_rebalance(self) -> None:
+        report = hot_bucket_report(self.cluster)
+        fair = 1.0 / max(1, len(self.cluster.partition_ids))
+        if report.hottest_share <= max(self.skew_threshold_share, 2 * fair):
+            return
+        plan = make_skew_rebalance_plan(self.cluster)
+        if not plan.moves:
+            return
+        moved_kb = apply_rebalance(self.cluster, plan)
+        self.cluster.reset_bucket_accesses()
+        self.events.append(
+            ServiceEvent(
+                time=self._now,
+                kind="rebalance",
+                detail=f"moved {len(plan.moves)} hot buckets ({moved_kb:.0f} kB)",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def status(self) -> str:
+        """One-line status for logs/UIs."""
+        state = "migrating" if self.migrating else "steady"
+        return (
+            f"t={self._now:,.0f}s machines={self.machines} {state} "
+            f"intervals={self.monitor.completed_intervals} "
+            f"events={len(self.events)}"
+        )

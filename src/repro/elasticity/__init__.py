@@ -1,0 +1,22 @@
+"""Provisioning strategies: P-Store and the paper's baselines."""
+
+from .base import NO_ACTION, ProvisioningStrategy, ScaleDecision
+from .composite import CompositeStrategy, ManualReservation
+from .manual import ManualStrategy
+from .predictive import PStoreStrategy
+from .reactive import ReactiveStrategy
+from .simple import SimpleStrategy
+from .static import StaticStrategy
+
+__all__ = [
+    "CompositeStrategy",
+    "ManualReservation",
+    "ManualStrategy",
+    "NO_ACTION",
+    "PStoreStrategy",
+    "ProvisioningStrategy",
+    "ReactiveStrategy",
+    "ScaleDecision",
+    "SimpleStrategy",
+    "StaticStrategy",
+]

@@ -1,0 +1,71 @@
+"""Provisioning-strategy interface shared by all simulators.
+
+A strategy is consulted once per planning interval, *only while no
+reconfiguration is in flight* (both P-Store's controller and the reactive
+baseline wait for the current migration to finish before planning the
+next, Sec. 6).  It sees the measured load history at planner-interval
+granularity and the current cluster size and answers with a
+:class:`ScaleDecision`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """What a strategy wants done right now.
+
+    ``target_machines`` of None means "do nothing".  ``rate_multiplier``
+    scales the migration rate (the paper's emergency R x 8 mode);
+    ``emergency`` tags reactive fallbacks for reporting.
+    """
+
+    target_machines: Optional[int] = None
+    rate_multiplier: float = 1.0
+    emergency: bool = False
+    reason: str = ""
+
+    @property
+    def acts(self) -> bool:
+        return self.target_machines is not None
+
+
+#: The "do nothing" decision.
+NO_ACTION = ScaleDecision()
+
+
+class ProvisioningStrategy(abc.ABC):
+    """Base class for allocation strategies (Figs. 9, 12, 13)."""
+
+    #: Short name used in reports ("static-10", "reactive", "p-store").
+    name: str = "strategy"
+
+    def reset(self, initial_machines: int) -> None:
+        """Called once before a simulation run starts."""
+        if initial_machines < 1:
+            raise SimulationError("initial_machines must be >= 1")
+
+    @abc.abstractmethod
+    def decide(
+        self,
+        slot: int,
+        history_tps: Sequence[float],
+        current_machines: int,
+    ) -> ScaleDecision:
+        """Choose an action for planner interval ``slot``.
+
+        ``history_tps`` holds the measured aggregate load (txn/s) for
+        every interval up to and including the current one.
+        """
+
+    def notify_move_started(self, target_machines: int) -> None:
+        """Hook: a reconfiguration the strategy requested has begun."""
+
+    def notify_move_finished(self, machines: int) -> None:
+        """Hook: the in-flight reconfiguration has completed."""

@@ -1,0 +1,80 @@
+"""P-Store's predictive strategy: a thin adapter over the controller.
+
+Wraps :class:`~repro.core.controller.PredictiveController` in the
+:class:`~repro.elasticity.base.ProvisioningStrategy` interface so the
+simulators can drive P-Store exactly like the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..config import PStoreConfig
+from ..core.controller import PredictiveController
+from ..errors import SimulationError
+from ..prediction.base import Predictor
+from .base import NO_ACTION, ProvisioningStrategy, ScaleDecision
+
+
+class PStoreStrategy(ProvisioningStrategy):
+    """Predictive provisioning driven by the DP planner.
+
+    Parameters
+    ----------
+    config:
+        model parameters (Q, D, inflation, debounce, ...).
+    predictor:
+        a fitted predictor (SPAR for "P-Store SPAR", an
+        :class:`~repro.prediction.oracle.OraclePredictor` for
+        "P-Store Oracle" in Fig. 12).
+    horizon_intervals:
+        forecast window; defaults to the controller's ``2D/P`` bound.
+    emergency_rate_multiplier:
+        migration-rate boost for infeasible plans (Fig. 11 compares
+        1.0 and 8.0).
+    """
+
+    def __init__(
+        self,
+        config: PStoreConfig,
+        predictor: Predictor,
+        horizon_intervals: Optional[int] = None,
+        emergency_rate_multiplier: float = 1.0,
+        name: str = "p-store",
+    ):
+        if not predictor.is_fitted:
+            raise SimulationError("predictor must be fitted before use")
+        self.config = config
+        self.controller = PredictiveController(
+            config=config,
+            predictor=predictor,
+            horizon_intervals=horizon_intervals,
+            emergency_rate_multiplier=emergency_rate_multiplier,
+        )
+        self.name = name
+
+    @property
+    def min_history(self) -> int:
+        """Measured intervals the predictor needs before the first plan."""
+        return getattr(self.controller.predictor, "min_history", 1)
+
+    def decide(
+        self,
+        slot: int,
+        history_tps: Sequence[float],
+        current_machines: int,
+    ) -> ScaleDecision:
+        if len(history_tps) < self.min_history:
+            return NO_ACTION  # still warming up the predictor
+        decision = self.controller.decide(history_tps, current_machines)
+        if not decision.acts:
+            return NO_ACTION
+        return ScaleDecision(
+            target_machines=decision.target_machines,
+            rate_multiplier=decision.rate_multiplier,
+            emergency=decision.emergency,
+            reason=decision.reason,
+        )
+
+    def notify_move_started(self, target_machines: int) -> None:
+        self.controller.notify_move_started()

@@ -1,0 +1,61 @@
+"""Experiment: Figure 2 — ideal capacity vs integral server allocation.
+
+Figure 2 is the problem statement in miniature: for a sinusoidal demand
+curve, the *ideal* capacity tracks demand with a small buffer (2a), but
+real allocations are an integral number of servers, so the achievable
+capacity is a step function (2b).  We quantify the gap: the step
+function's cost overhead relative to the ideal fractional allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import PStoreConfig, default_config
+from ..workload import sine_trace
+
+
+@dataclass
+class Figure2Result:
+    """Ideal vs step allocation series and their cost gap."""
+
+    demand_tps: np.ndarray
+    ideal_capacity: np.ndarray        # demand * (1 + buffer)
+    ideal_servers: np.ndarray         # fractional servers for ideal capacity
+    allocated_servers: np.ndarray     # the step function (2b)
+    step_cost: float                  # sum of allocated servers
+    ideal_cost: float                 # sum of fractional servers
+    overhead_pct: float               # step vs ideal cost
+
+
+def run_figure2(
+    buffer_fraction: float = 0.10,
+    config: PStoreConfig | None = None,
+    slots: int = 288,
+) -> Figure2Result:
+    """Compute the ideal and step allocations for one sinusoidal day."""
+    config = config or default_config()
+    slot_seconds = 86_400.0 / slots
+    trace = sine_trace(
+        n_days=1,
+        slot_seconds=slot_seconds,
+        low=0.5 * config.q * slot_seconds,
+        high=7.5 * config.q * slot_seconds,
+    )
+    demand = trace.as_rate_per_second()
+    ideal_capacity = demand * (1.0 + buffer_fraction)
+    ideal_servers = ideal_capacity / config.q
+    allocated = np.ceil(ideal_servers - 1e-9).clip(1)
+    ideal_cost = float(ideal_servers.sum())
+    step_cost = float(allocated.sum())
+    return Figure2Result(
+        demand_tps=demand,
+        ideal_capacity=ideal_capacity,
+        ideal_servers=ideal_servers,
+        allocated_servers=allocated,
+        step_cost=step_cost,
+        ideal_cost=ideal_cost,
+        overhead_pct=100.0 * (step_cost - ideal_cost) / ideal_cost,
+    )

@@ -1,0 +1,66 @@
+"""Experiment: Figure 4 — servers allocated and effective capacity
+during migration.
+
+For the paper's three scheduling cases (3->5, 3->9, 3->14 with one
+partition per server) we tabulate, across the move, the just-in-time
+machine allocation and the effective capacity of Eq. 7 — showing how far
+effective capacity lags behind the machines physically present for large
+moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..config import default_config
+from ..core.model import MoveProfile, move_profile, move_time
+
+#: The three cases shown in the paper's Figure 4.
+FIGURE4_CASES: Tuple[Tuple[int, int], ...] = ((3, 5), (3, 9), (3, 14))
+
+
+@dataclass
+class Figure4Case:
+    """One move's duration, trajectory, and allocation gap."""
+
+    before: int
+    after: int
+    duration_in_d: float      # move duration in units of D
+    profile: MoveProfile
+    max_allocation_gap: float  # max (machines - effcap/Q) across the move
+
+
+@dataclass
+class Figure4Result:
+    """Trajectories for the three Fig. 4 migration cases."""
+
+    cases: List[Figure4Case]
+
+    def case(self, before: int, after: int) -> Figure4Case:
+        for case in self.cases:
+            if (case.before, case.after) == (before, after):
+                return case
+        raise KeyError((before, after))
+
+
+def run_figure4(q: float | None = None) -> Figure4Result:
+    """Compute allocation and effective-capacity trajectories."""
+    q = q if q is not None else default_config().q
+    cases = []
+    for before, after in FIGURE4_CASES:
+        profile = move_profile(before, after, q=q)
+        gaps = [
+            machines - eff / q
+            for machines, eff in zip(profile.machines, profile.eff_cap[1:])
+        ]
+        cases.append(
+            Figure4Case(
+                before=before,
+                after=after,
+                duration_in_d=move_time(before, after),
+                profile=profile,
+                max_allocation_gap=max(gaps) if gaps else 0.0,
+            )
+        )
+    return Figure4Result(cases=cases)

@@ -1,0 +1,86 @@
+"""Experiment: Figure 6 — SPAR on the Wikipedia page-view workloads.
+
+Hourly English- and German-language page requests, four weeks of
+training, forecast windows of 1-6 hours.  The paper reports errors under
+10% up to two hours ahead even for the less predictable German trace,
+and within ~13% at six hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..prediction import SparPredictor
+from ..workload import wikipedia_like_trace
+
+#: Forecast windows (hours) swept in Fig. 6b.
+FIGURE6_TAUS = (1, 2, 3, 4, 5, 6)
+
+
+@dataclass
+class LanguageResult:
+    """SPAR accuracy for one Wikipedia edition."""
+
+    language: str
+    actual_24h: np.ndarray
+    predicted_24h: np.ndarray
+    mre_by_tau: Dict[int, float]
+
+
+@dataclass
+class Figure6Result:
+    """SPAR accuracy for the English and German editions."""
+
+    english: LanguageResult
+    german: LanguageResult
+
+
+def _evaluate_language(
+    language: str,
+    train_days: int,
+    eval_days: int,
+    seed: int,
+    taus: Sequence[int],
+) -> LanguageResult:
+    trace = wikipedia_like_trace(
+        n_days=train_days + eval_days, language=language, seed=seed
+    )
+    period = trace.slots_per_day  # 24 hourly slots
+    train = train_days * period
+    spar = SparPredictor(period=period, n_periods=7, m_recent=12).fit(
+        trace.values[:train]
+    )
+    track = spar.backtest(
+        trace.values, tau=1, start=train, stop=train + period
+    )
+    mre_by_tau = {
+        tau: spar.backtest(
+            trace.values,
+            tau=tau,
+            start=train,
+            stop=train + eval_days * period,
+        ).mean_relative_error()
+        for tau in taus
+    }
+    return LanguageResult(
+        language=language,
+        actual_24h=track.actual,
+        predicted_24h=track.predicted,
+        mre_by_tau=mre_by_tau,
+    )
+
+
+def run_figure6(
+    train_days: int = 28,
+    eval_days: int = 14,
+    seed: int = 11,
+    taus: Sequence[int] = FIGURE6_TAUS,
+) -> Figure6Result:
+    """Evaluate SPAR on both Wikipedia-like hourly traces."""
+    return Figure6Result(
+        english=_evaluate_language("en", train_days, eval_days, seed, taus),
+        german=_evaluate_language("de", train_days, eval_days, seed + 1, taus),
+    )

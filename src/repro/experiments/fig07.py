@@ -1,0 +1,74 @@
+"""Experiment: Figure 7 — single-machine throughput ramp.
+
+The parameter-discovery experiment of Sec. 8.1: drive one 6-partition
+server with a steadily increasing transaction rate and find the
+saturation point — the paper measures 438 txn/s, then sets
+Q-hat = 350 (80%) and Q = 285 (65%).
+
+We reproduce it with the calibrated queueing engine: offered load ramps
+linearly, completed throughput plateaus at saturation, and average
+latency explodes past it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import PStoreConfig, default_config
+from ..elasticity import StaticStrategy
+from ..sim import ElasticDbSimulator
+
+
+@dataclass
+class Figure7Result:
+    """Throughput/latency ramp and derived Q, Q-hat."""
+
+    offered_tps: np.ndarray
+    completed_tps: np.ndarray
+    p50_ms: np.ndarray
+    p99_ms: np.ndarray
+    saturation_tps: float          # measured completed-throughput plateau
+    q_hat: float                   # 80% of saturation
+    q: float                       # 65% of saturation
+    latency_knee_tps: float        # offered rate where p99 crosses the SLA
+
+
+def run_figure7(
+    max_offered: float = 900.0,
+    duration_seconds: int = 2500,
+    config: PStoreConfig | None = None,
+    seed: int = 5,
+) -> Figure7Result:
+    """Ramp a single server from idle to far beyond saturation."""
+    config = config or default_config()
+    offered = np.linspace(10.0, max_offered, duration_seconds)
+    simulator = ElasticDbSimulator(
+        config,
+        max_machines=1,
+        initial_machines=1,
+        seed=seed,
+        engine_kwargs={"hot_episode_rate": 0.0, "skew_sigma": 0.02},
+    )
+    result = simulator.run(offered, StaticStrategy(1))
+    completed = result.completed_tps
+    p50 = result.latency.series(50.0)
+    p99 = result.latency.series(99.0)
+
+    # Saturation = the completed-throughput plateau (mean of the last 5%).
+    tail = max(10, duration_seconds // 20)
+    saturation = float(completed[-tail:].mean())
+
+    over = np.nonzero(p99 > config.sla_latency_ms)[0]
+    knee = float(offered[over[0]]) if over.size else float("inf")
+    return Figure7Result(
+        offered_tps=offered,
+        completed_tps=completed,
+        p50_ms=p50,
+        p99_ms=p99,
+        saturation_tps=saturation,
+        q_hat=0.80 * saturation,
+        q=0.65 * saturation,
+        latency_knee_tps=knee,
+    )

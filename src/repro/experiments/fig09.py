@@ -1,0 +1,101 @@
+"""Experiment: Figure 9 — comparison of elasticity approaches.
+
+Runs the B2W benchmark (3 days at 10x speed, ~26k simulated seconds)
+under four provisioning approaches:
+
+* static allocation with 10 machines (peak-provisioned, Fig. 9a);
+* static allocation with 4 machines (trough-provisioned, Fig. 9b);
+* reactive provisioning in the E-Store style (Fig. 9c);
+* P-Store with the SPAR predictive model (Fig. 9d).
+
+The result feeds Figure 10 (tail-latency CDFs) and Table 2 (SLA
+violations and machine usage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..elasticity import PStoreStrategy, ReactiveStrategy, StaticStrategy
+from ..sim import ElasticDbSimulator, SimulationResult
+from .common import BenchmarkSetup, benchmark_setup
+
+#: Engine seed shared across approaches so they see the same skew.
+ENGINE_SEED = 77
+
+
+@dataclass
+class Figure9Result:
+    """All four runs, keyed the way the paper names them."""
+
+    runs: Dict[str, SimulationResult]
+    setup: BenchmarkSetup
+
+    @property
+    def pstore(self) -> SimulationResult:
+        return self.runs["p-store"]
+
+    @property
+    def reactive(self) -> SimulationResult:
+        return self.runs["reactive"]
+
+    @property
+    def static_peak(self) -> SimulationResult:
+        return self.runs["static-10"]
+
+    @property
+    def static_trough(self) -> SimulationResult:
+        return self.runs["static-4"]
+
+
+def run_figure9(
+    eval_days: int = 3,
+    seed: int = 21,
+    setup: Optional[BenchmarkSetup] = None,
+    approaches: Optional[Dict[str, bool]] = None,
+) -> Figure9Result:
+    """Run the Figure 9 comparison.
+
+    ``eval_days`` can be reduced for quick runs (the paper uses 3).
+    ``approaches`` optionally restricts which runs execute, keyed by
+    "static-10" / "static-4" / "reactive" / "p-store".
+    """
+    setup = setup or benchmark_setup(eval_days=eval_days, seed=seed)
+    config = setup.config
+    wanted = approaches or {
+        "static-10": True,
+        "static-4": True,
+        "reactive": True,
+        "p-store": True,
+    }
+    runs: Dict[str, SimulationResult] = {}
+
+    def simulator(initial: int) -> ElasticDbSimulator:
+        return ElasticDbSimulator(
+            config,
+            max_machines=10,
+            initial_machines=initial,
+            seed=ENGINE_SEED,
+        )
+
+    if wanted.get("static-10"):
+        runs["static-10"] = simulator(10).run(
+            setup.offered_tps, StaticStrategy(10)
+        )
+    if wanted.get("static-4"):
+        runs["static-4"] = simulator(4).run(
+            setup.offered_tps, StaticStrategy(4)
+        )
+    if wanted.get("reactive"):
+        runs["reactive"] = simulator(4).run(
+            setup.offered_tps,
+            ReactiveStrategy(config, scale_in_patience=10),
+        )
+    if wanted.get("p-store"):
+        runs["p-store"] = simulator(4).run(
+            setup.offered_tps,
+            PStoreStrategy(config, setup.spar),
+            history_seed_tps=setup.train_interval_tps,
+        )
+    return Figure9Result(runs=runs, setup=setup)

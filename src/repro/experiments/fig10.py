@@ -1,0 +1,53 @@
+"""Experiment: Figure 10 — CDFs of the worst 1% of tail latencies.
+
+For each of the four Figure 9 runs, the CDF of the top 1% of per-second
+50th/95th/99th percentile latencies.  "Curves that are higher and far to
+the left are better": the reactive approach is worst everywhere;
+static-10 is best; P-Store beats static-4 at the tails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..analysis import EmpiricalCdf, top_tail_cdf
+from .fig09 import Figure9Result, run_figure9
+
+#: Probe latencies (ms) at which the bench tabulates each CDF.
+PROBES_MS = (300.0, 500.0, 1000.0, 2000.0, 5000.0)
+
+
+@dataclass
+class Figure10Result:
+    """Top-1% tail CDFs per percentile and run."""
+
+    #: percentile -> run name -> CDF of its top-1% values.
+    cdfs: Dict[float, Dict[str, EmpiricalCdf]]
+    figure9: Figure9Result
+
+    def probability_table(
+        self, percentile: float, probes: Tuple[float, ...] = PROBES_MS
+    ) -> Dict[str, Dict[float, float]]:
+        """P(latency <= probe) per run at the given percentile."""
+        return {
+            name: {p: cdf.probability_at(p) for p in probes}
+            for name, cdf in self.cdfs[percentile].items()
+        }
+
+
+def run_figure10(
+    figure9: Optional[Figure9Result] = None,
+    eval_days: int = 3,
+    seed: int = 21,
+    fraction: float = 0.01,
+) -> Figure10Result:
+    """Build the tail CDFs (reusing Figure 9 runs when supplied)."""
+    figure9 = figure9 or run_figure9(eval_days=eval_days, seed=seed)
+    cdfs: Dict[float, Dict[str, EmpiricalCdf]] = {}
+    for q in (50.0, 95.0, 99.0):
+        cdfs[q] = {
+            name: top_tail_cdf(result.latency, q, fraction)
+            for name, result in figure9.runs.items()
+        }
+    return Figure10Result(cdfs=cdfs, figure9=figure9)

@@ -1,0 +1,294 @@
+"""Experiment: Figure 12 — capacity-cost curves over 4.5 months.
+
+Each allocation strategy is simulated over the August-December window
+(including Black Friday, promotions, load tests and one unexpected
+spike) once per value of the per-server target rate Q.  Every simulation
+yields one point: (normalised cost, % of time with insufficient
+capacity).  The paper's findings:
+
+* "P-Store Oracle" (perfect predictions) bounds what P-Store can do;
+* "P-Store SPAR" sits just behind the oracle;
+* the reactive strategy can reach low violation rates only at much
+  higher cost (big allocation buffers);
+* "Simple" (clock-driven) and "Static" are dominated — they are
+  inflexible and break on deviations from the pattern.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.capacity import CapacityCostCurve, SweepPoint
+from ..config import PStoreConfig, default_config
+from ..elasticity import (
+    PStoreStrategy,
+    ReactiveStrategy,
+    SimpleStrategy,
+    StaticStrategy,
+)
+from ..prediction import OraclePredictor, SparPredictor
+from ..sim import CapacitySimResult, run_capacity_simulation
+from ..workload import LoadTrace, b2w_like_trace, retail_season_calendar
+from .common import TRAIN_DAYS
+
+#: Per-slot scale chosen so the seasonal trace peaks near 1.45k txn/s
+#: (ordinary days) with Black Friday reaching ~3x that.
+SEASON_BASE_LEVEL = 1250.0 * 300.0
+
+#: Q sweep (fractions of the 438 txn/s saturation rate).
+DEFAULT_Q_FRACTIONS = (0.45, 0.55, 0.65, 0.75)
+
+#: Static cluster sizes plotted as points in Fig. 12.
+STATIC_SIZES = (4, 6, 8, 10)
+
+SATURATION_TPS = 438.0
+
+
+@dataclass
+class SeasonSetup:
+    """The 4.5-month workload plus SPAR training artefacts."""
+
+    config: PStoreConfig
+    trace: LoadTrace                  # evaluation window (5-min slots)
+    train_tps: np.ndarray             # per-slot tps of the training window
+    eval_tps: np.ndarray
+    spar: SparPredictor
+    oracle: OraclePredictor
+
+
+def season_setup(
+    n_days: int = 135,
+    seed: int = 7,
+    config: Optional[PStoreConfig] = None,
+    include_black_friday: bool = True,
+) -> SeasonSetup:
+    """Build the Aug-Dec workload: 4 training weeks + ``n_days`` eval."""
+    config = config or default_config().with_interval(300.0)
+    slots_per_day = 288
+    rng = np.random.default_rng(seed)
+    calendar = retail_season_calendar(
+        slots_per_day=slots_per_day,
+        n_days=n_days,
+        rng=rng,
+        black_friday_day=116 if (include_black_friday and n_days > 118) else -1,
+    )
+    # Shift the calendar past the training window.
+    from ..workload.events import EventCalendar, LoadEvent
+
+    shifted = EventCalendar(
+        LoadEvent(
+            start_slot=e.start_slot + TRAIN_DAYS * slots_per_day,
+            duration_slots=e.duration_slots,
+            magnitude=e.magnitude,
+            shape=e.shape,
+            label=e.label,
+        )
+        for e in calendar
+    )
+    full = b2w_like_trace(
+        n_days=TRAIN_DAYS + n_days,
+        slot_seconds=300.0,
+        seed=rng,
+        base_level=SEASON_BASE_LEVEL,
+        calendar=shifted,
+        name="b2w-aug-dec",
+    )
+    train = full.slice_days(0, TRAIN_DAYS)
+    evaluation = full.slice_days(TRAIN_DAYS, n_days)
+    train_tps = train.as_rate_per_second()
+    eval_tps = evaluation.as_rate_per_second()
+    spar = SparPredictor(period=slots_per_day, n_periods=7, m_recent=30).fit(
+        train_tps
+    )
+    oracle = OraclePredictor(np.concatenate([train_tps, eval_tps]))
+    return SeasonSetup(
+        config=config,
+        trace=evaluation,
+        train_tps=train_tps,
+        eval_tps=eval_tps,
+        spar=spar,
+        oracle=oracle,
+    )
+
+
+@dataclass
+class Figure12Result:
+    """Capacity-cost curves and the normalisation baseline."""
+
+    curves: Dict[str, CapacityCostCurve]
+    baseline_cost: float              # default P-Store SPAR run (cost = 1.0)
+    default_runs: Dict[str, CapacitySimResult]
+    setup: SeasonSetup
+
+    def normalized_points(self) -> List[dict]:
+        rows = []
+        for name, curve in self.curves.items():
+            for point in curve.points:
+                rows.append(
+                    {
+                        "strategy": name,
+                        "q_fraction": point.q_fraction,
+                        "normalized_cost": point.cost_machine_slots
+                        / self.baseline_cost,
+                        "pct_insufficient": point.pct_time_insufficient,
+                    }
+                )
+        return rows
+
+
+def _initial_machines(setup: SeasonSetup, q: float) -> int:
+    first_load = float(setup.eval_tps[0])
+    return max(1, math.ceil(first_load * 1.3 / q))
+
+
+#: Simple-strategy clock: scale out at 05:00, back in at 23:30.
+SIMPLE_MORNING_HOUR = 5.0
+SIMPLE_NIGHT_HOUR = 23.5
+
+
+def simple_strategy_for(setup: SeasonSetup, config: PStoreConfig) -> SimpleStrategy:
+    """Size the clock-driven Simple strategy the way an operator would:
+    from the *typical* time-of-day profile of the training data.
+
+    Day machines cover the typical daily peak (plus a small buffer);
+    night machines cover the highest load seen inside the night window.
+    Deviations from the pattern — promotions, spikes, Black Friday — are
+    exactly what this sizing cannot anticipate (Fig. 13, right).
+    """
+    slots_per_day = 288
+    usable = (setup.train_tps.size // slots_per_day) * slots_per_day
+    profile = setup.train_tps[:usable].reshape(-1, slots_per_day).mean(axis=0)
+    hours = np.arange(slots_per_day) * 24.0 / slots_per_day
+    night_mask = (hours >= SIMPLE_NIGHT_HOUR) | (hours < SIMPLE_MORNING_HOUR)
+    day_need = float(profile.max()) * 1.10
+    night_need = float(profile[night_mask].max()) * 1.10
+    day_machines = max(2, math.ceil(day_need / config.q))
+    night_machines = max(1, math.ceil(night_need / config.q))
+    return SimpleStrategy(
+        day_machines=max(day_machines, night_machines),
+        night_machines=min(day_machines, night_machines),
+        slots_per_day=slots_per_day,
+        morning_hour=SIMPLE_MORNING_HOUR,
+        night_hour=SIMPLE_NIGHT_HOUR,
+    )
+
+
+def _run_sweep(
+    setup: SeasonSetup,
+    name: str,
+    factory,
+    q_fractions: Sequence[float],
+    seed_history: bool,
+) -> CapacityCostCurve:
+    points: List[SweepPoint] = []
+    default_result: Optional[CapacitySimResult] = None
+    for fraction in q_fractions:
+        q = min(fraction * SATURATION_TPS, setup.config.q_hat)
+        config = setup.config.with_q(q)
+        strategy = factory(config, fraction)
+        result = run_capacity_simulation(
+            setup.trace,
+            strategy,
+            config,
+            initial_machines=_initial_machines(setup, config.q),
+            history_seed=list(setup.train_tps) if seed_history else [],
+        )
+        points.append(
+            SweepPoint(
+                strategy=name,
+                q_fraction=fraction,
+                q=config.q,
+                cost_machine_slots=result.cost_machine_slots,
+                average_machines=result.average_machines,
+                pct_time_insufficient=result.pct_time_insufficient,
+            )
+        )
+    return CapacityCostCurve(strategy=name, points=points)
+
+
+def run_figure12(
+    n_days: int = 135,
+    seed: int = 7,
+    q_fractions: Sequence[float] = DEFAULT_Q_FRACTIONS,
+    setup: Optional[SeasonSetup] = None,
+    include_oracle: bool = True,
+) -> Figure12Result:
+    """Sweep every allocation strategy over Q (Fig. 12).
+
+    ``n_days`` and ``q_fractions`` can be reduced for quick runs; the
+    paper uses the full 4.5 months.
+    """
+    setup = setup or season_setup(n_days=n_days, seed=seed)
+
+    curves: Dict[str, CapacityCostCurve] = {}
+    curves["p-store-spar"] = _run_sweep(
+        setup,
+        "p-store-spar",
+        lambda cfg, f: PStoreStrategy(cfg, setup.spar, name="p-store-spar"),
+        q_fractions,
+        seed_history=True,
+    )
+    if include_oracle:
+        curves["p-store-oracle"] = _run_sweep(
+            setup,
+            "p-store-oracle",
+            lambda cfg, f: PStoreStrategy(
+                cfg, setup.oracle, name="p-store-oracle"
+            ),
+            q_fractions,
+            seed_history=True,
+        )
+    curves["reactive"] = _run_sweep(
+        setup,
+        "reactive",
+        lambda cfg, f: ReactiveStrategy(cfg, scale_in_patience=12),
+        q_fractions,
+        seed_history=False,
+    )
+    curves["simple"] = _run_sweep(
+        setup,
+        "simple",
+        lambda cfg, f: simple_strategy_for(setup, cfg),
+        q_fractions,
+        seed_history=False,
+    )
+    static_points: List[SweepPoint] = []
+    for size in STATIC_SIZES:
+        config = setup.config
+        result = run_capacity_simulation(
+            setup.trace,
+            StaticStrategy(size),
+            config,
+            initial_machines=size,
+        )
+        static_points.append(
+            SweepPoint(
+                strategy=f"static-{size}",
+                q_fraction=float("nan"),
+                q=config.q,
+                cost_machine_slots=result.cost_machine_slots,
+                average_machines=result.average_machines,
+                pct_time_insufficient=result.pct_time_insufficient,
+            )
+        )
+    curves["static"] = CapacityCostCurve(strategy="static", points=static_points)
+
+    # Baseline: P-Store SPAR at the default Q (0.65 of saturation).
+    spar_curve = curves["p-store-spar"]
+    default_fraction = min(
+        q_fractions, key=lambda f: abs(f - 0.65)
+    )
+    baseline = next(
+        p for p in spar_curve.points if p.q_fraction == default_fraction
+    )
+    default_runs: Dict[str, CapacitySimResult] = {}
+    return Figure12Result(
+        curves=curves,
+        baseline_cost=baseline.cost_machine_slots,
+        default_runs=default_runs,
+        setup=setup,
+    )

@@ -1,0 +1,101 @@
+"""Experiment: Figure 13 — effective capacity around Black Friday.
+
+Two 4-day windows of the seasonal simulation: an ordinary window at the
+start, and the Black Friday surge (hour ~2800 of the trace, i.e. day
+~116).  The claim: the "Simple" clock-driven strategy looks adequate on
+ordinary days but breaks on the surge, while P-Store (predictive +
+reactive fallback) keeps effective capacity above the load even on
+Black Friday.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..elasticity import PStoreStrategy
+from ..sim import CapacitySimResult, run_capacity_simulation
+from .fig12 import SeasonSetup, season_setup, simple_strategy_for
+
+
+@dataclass
+class WindowSeries:
+    """Load and per-strategy effective capacity for one 4-day window."""
+
+    start_day: float
+    hours: np.ndarray
+    load_tps: np.ndarray
+    eff_cap: Dict[str, np.ndarray]
+
+    def insufficient_fraction(self, strategy: str) -> float:
+        """Fraction of the window where load exceeds effective capacity."""
+        cap = self.eff_cap[strategy]
+        return float(np.mean(self.load_tps > cap + 1e-9))
+
+
+@dataclass
+class Figure13Result:
+    """Ordinary and Black-Friday windows plus full runs."""
+
+    ordinary: WindowSeries
+    black_friday: WindowSeries
+    runs: Dict[str, CapacitySimResult]
+    setup: SeasonSetup
+
+
+def _window(
+    setup: SeasonSetup,
+    runs: Dict[str, CapacitySimResult],
+    start_day: float,
+    n_days: float,
+) -> WindowSeries:
+    slots_per_day = 288
+    lo = int(start_day * slots_per_day)
+    hi = int((start_day + n_days) * slots_per_day)
+    load = setup.eval_tps[lo:hi]
+    hours = (np.arange(lo, hi) * 300.0) / 3600.0
+    eff = {
+        name: result.eff_cap_max[lo:hi] for name, result in runs.items()
+    }
+    return WindowSeries(
+        start_day=start_day, hours=hours, load_tps=load, eff_cap=eff
+    )
+
+
+def run_figure13(
+    n_days: int = 120,
+    seed: int = 7,
+    setup: Optional[SeasonSetup] = None,
+    black_friday_day: int = 116,
+) -> Figure13Result:
+    """Simulate P-Store SPAR and Simple over the season; extract windows."""
+    setup = setup or season_setup(n_days=n_days, seed=seed)
+    config = setup.config
+    initial = max(1, math.ceil(float(setup.eval_tps[0]) * 1.3 / config.q))
+
+    runs: Dict[str, CapacitySimResult] = {}
+    runs["p-store-spar"] = run_capacity_simulation(
+        setup.trace,
+        PStoreStrategy(config, setup.spar, name="p-store-spar"),
+        config,
+        initial_machines=initial,
+        history_seed=list(setup.train_tps),
+    )
+    runs["simple"] = run_capacity_simulation(
+        setup.trace,
+        simple_strategy_for(setup, config),
+        config,
+        initial_machines=initial,
+    )
+
+    eval_days = len(setup.trace) / 288.0
+    bf_start = min(black_friday_day - 1.5, eval_days - 4.0)
+    return Figure13Result(
+        ordinary=_window(setup, runs, start_day=0.5, n_days=4.0),
+        black_friday=_window(setup, runs, start_day=max(0.0, bf_start), n_days=4.0),
+        runs=runs,
+        setup=setup,
+    )

@@ -1,0 +1,47 @@
+"""Experiment: Table 1 — schedule of parallel migrations for 3 -> 14.
+
+Regenerates the paper's worked example: the complete 11-round,
+three-phase schedule, with each round's sender -> receiver pairs and the
+just-in-time machine allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.model import avg_machines_allocated
+from ..squall import MigrationSchedule, build_migration_schedule, validate_schedule
+
+
+@dataclass
+class Table1Result:
+    """The 3 -> 14 schedule and its summary statistics."""
+
+    schedule: MigrationSchedule
+    n_rounds: int
+    naive_rounds: int           # rounds without the three-phase trick
+    average_machines: float
+    algorithm4_average: float
+    phases: List[Tuple[int, int]]  # (first_round, machines_allocated) steps
+
+
+def run_table1(before: int = 3, after: int = 14) -> Table1Result:
+    """Build and validate the Table 1 schedule."""
+    schedule = build_migration_schedule(before, after)
+    validate_schedule(schedule)
+    smaller = min(before, after)
+    delta = abs(after - before)
+    naive = -(-delta // smaller) * smaller  # ceil(delta/s) full blocks
+    phases: List[Tuple[int, int]] = []
+    for idx, allocated in enumerate(schedule.allocation):
+        if not phases or phases[-1][1] != allocated:
+            phases.append((idx + 1, allocated))
+    return Table1Result(
+        schedule=schedule,
+        n_rounds=schedule.n_rounds,
+        naive_rounds=naive,
+        average_machines=schedule.average_machines(),
+        algorithm4_average=avg_machines_allocated(before, after),
+        phases=phases,
+    )

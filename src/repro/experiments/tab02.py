@@ -1,0 +1,62 @@
+"""Experiment: Table 2 — SLA violations and machine usage per approach.
+
+The paper's headline comparison: seconds in which the 50th/95th/99th
+percentile latency exceeded 500 ms, plus the average machines allocated,
+for static-10, static-4, reactive, and P-Store.  The claims to
+reproduce: static-10 has the fewest violations but >= 2x the machines;
+P-Store causes roughly a third of the reactive approach's violations
+(72% fewer, summed) while using about half of peak provisioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..sim.metrics import SlaRow, sla_table
+from .fig09 import Figure9Result, run_figure9
+
+#: The paper's Table 2, for side-by-side reporting.
+PAPER_TABLE2 = (
+    SlaRow("static-10", 0, 13, 25, 10.0),
+    SlaRow("static-4", 0, 157, 249, 4.0),
+    SlaRow("reactive", 35, 220, 327, 4.02),
+    SlaRow("p-store", 0, 37, 92, 5.05),
+)
+
+
+@dataclass
+class Table2Result:
+    """Measured Table 2 rows plus comparison helpers."""
+
+    rows: List[SlaRow]
+    figure9: Figure9Result
+
+    def row(self, approach: str) -> SlaRow:
+        for row in self.rows:
+            if row.approach == approach:
+                return row
+        raise KeyError(approach)
+
+    def total_violations(self, approach: str) -> int:
+        row = self.row(approach)
+        return row.violations_p50 + row.violations_p95 + row.violations_p99
+
+    @property
+    def pstore_vs_reactive_reduction_pct(self) -> float:
+        """The paper's "72% fewer latency violations" headline."""
+        reactive = self.total_violations("reactive")
+        pstore = self.total_violations("p-store")
+        return 100.0 * (reactive - pstore) / max(reactive, 1)
+
+
+def run_table2(
+    figure9: Optional[Figure9Result] = None,
+    eval_days: int = 3,
+    seed: int = 21,
+) -> Table2Result:
+    """Compute Table 2 (reusing Figure 9 runs when supplied)."""
+    figure9 = figure9 or run_figure9(eval_days=eval_days, seed=seed)
+    order = ["static-10", "static-4", "reactive", "p-store"]
+    results = [figure9.runs[name] for name in order if name in figure9.runs]
+    return Table2Result(rows=sla_table(results), figure9=figure9)

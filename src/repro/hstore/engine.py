@@ -1,0 +1,389 @@
+"""Execution engines: row-level transaction execution and the calibrated
+analytic queueing model.
+
+Two engines share the cluster/routing substrate:
+
+* :class:`TransactionExecutor` actually runs stored procedures against
+  the in-memory row stores, modelling each partition as a single-server
+  queue in simulated time.  It powers the examples, the functional tests,
+  and small benches (e.g. Figure 7 at reduced scale).
+* :class:`QueueingEngine` is a per-partition M/M/1-style analytic model
+  with explicit overload backlog and migration interference.  One tick
+  aggregates a whole second of traffic, so the multi-hour experiments of
+  Figures 9-11 run in seconds of wall time.  It is calibrated to the
+  paper's measurement that one 6-partition node saturates at 438 txn/s.
+
+Both engines report per-second latency percentiles through
+:mod:`repro.hstore.latency`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..config import SINGLE_NODE_SATURATION_TPS
+from ..errors import SimulationError, TransactionAbort
+from .cluster import Cluster
+from .latency import LatencyRecorder, PercentileSeries
+from .txn import Transaction, TxnContext, TxnResult
+
+#: Calibrated service rate of one partition (txn/s): a 6-partition node
+#: saturates at 438 txn/s (Fig. 7), i.e. 73 txn/s per partition.
+DEFAULT_MU_PARTITION = SINGLE_NODE_SATURATION_TPS / 6.0
+
+#: CPU cost of processing one kB of migration data, in seconds.  244 kB/s
+#: (the calibrated safe rate R) then consumes ~5% of a partition — small
+#: enough to be "unnoticeable" below Q-hat, exactly as Sec. 8.1 found.
+CPU_SECONDS_PER_KB = 2.0e-4
+
+
+# ----------------------------------------------------------------------
+# Row-level executor
+# ----------------------------------------------------------------------
+
+
+class TransactionExecutor:
+    """Executes transactions against real rows with simulated queueing.
+
+    Each partition is a single-server FIFO queue: a transaction's latency
+    is its queue wait (time until the partition frees up) plus an
+    exponential service time with mean ``1 / mu_partition`` scaled by the
+    procedure's cost weight.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        mu_partition: float = DEFAULT_MU_PARTITION,
+        seed: int = 1,
+        recorder: Optional[LatencyRecorder] = None,
+    ):
+        if mu_partition <= 0:
+            raise SimulationError("mu_partition must be positive")
+        self.cluster = cluster
+        self.mu_partition = mu_partition
+        self._rng = np.random.default_rng(seed)
+        self.recorder = recorder if recorder is not None else LatencyRecorder()
+        self._busy_until: Dict[int, float] = {}
+        self.committed = 0
+        self.aborted = 0
+
+    def execute(self, txn: Transaction) -> TxnResult:
+        """Run one transaction at its submit time; returns the result."""
+        ctx = TxnContext(self.cluster, txn.routing_key())
+        partition = self.cluster.partition(ctx.partition_id)
+        partition.record_access()
+
+        start = txn.submit_time
+        free_at = self._busy_until.get(ctx.partition_id, 0.0)
+        begin = max(start, free_at)
+        service = (
+            self._rng.exponential(1.0 / self.mu_partition)
+            * txn.procedure.cost_weight
+        )
+        finish = begin + service
+        self._busy_until[ctx.partition_id] = finish
+        latency_ms = (finish - start) * 1000.0
+
+        try:
+            result = txn.procedure.run(ctx, txn.params)
+        except TransactionAbort as abort:
+            self.aborted += 1
+            self.recorder.record(start, latency_ms)
+            return TxnResult(
+                txn=txn,
+                committed=False,
+                latency_ms=latency_ms,
+                partition_id=ctx.partition_id,
+                abort_reason=str(abort),
+            )
+        self.committed += 1
+        self.recorder.record(start, latency_ms)
+        return TxnResult(
+            txn=txn,
+            committed=True,
+            latency_ms=latency_ms,
+            partition_id=ctx.partition_id,
+            result=result,
+        )
+
+    def add_migration_stall(
+        self, partition_id: int, at_time: float, stall_seconds: float
+    ) -> None:
+        """Block a partition while it processes a migration chunk."""
+        if stall_seconds < 0:
+            raise SimulationError("stall must be non-negative")
+        free_at = self._busy_until.get(partition_id, 0.0)
+        self._busy_until[partition_id] = max(free_at, at_time) + stall_seconds
+
+    def finalize_latencies(self) -> PercentileSeries:
+        return self.recorder.finalize()
+
+
+# ----------------------------------------------------------------------
+# Analytic queueing engine
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class MigrationInterference:
+    """Per-partition migration overhead for one tick.
+
+    ``busy_fraction[p]`` is the fraction of partition ``p``'s CPU spent
+    moving data; ``stall_seconds[p]`` is the length of one chunk-processing
+    stall (0 when the partition is not migrating).
+    """
+
+    busy_fraction: np.ndarray
+    stall_seconds: np.ndarray
+
+    @classmethod
+    def none(cls, n_partitions: int) -> "MigrationInterference":
+        return cls(np.zeros(n_partitions), np.zeros(n_partitions))
+
+    @classmethod
+    def for_rate(
+        cls,
+        n_partitions: int,
+        migrating: Sequence[int],
+        rate_kbps: float,
+        chunk_kb: float,
+    ) -> "MigrationInterference":
+        """Overhead of moving ``rate_kbps`` with ``chunk_kb`` chunks on the
+        given partitions."""
+        busy = np.zeros(n_partitions)
+        stall = np.zeros(n_partitions)
+        fraction = min(0.95, rate_kbps * CPU_SECONDS_PER_KB)
+        for p in migrating:
+            busy[p] = fraction
+            stall[p] = chunk_kb * CPU_SECONDS_PER_KB
+        return cls(busy, stall)
+
+
+@dataclass
+class TickStats:
+    """Latency and throughput of one engine tick."""
+
+    time: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    completed_tps: float
+    offered_tps: float
+    max_utilization: float
+    backlog: float
+
+
+class QueueingEngine:
+    """Per-partition analytic queueing model with transient skew.
+
+    The engine holds one queue per partition.  Each tick the caller
+    supplies the aggregate offered load and the per-partition load shares
+    (which follow the data distribution); the engine layers on transient
+    skew, applies migration interference, advances the backlog dynamics,
+    and reports sampled latency percentiles.
+
+    Transient skew is *key-based*, as in the real workload: during a
+    "hot key" episode one partition receives an extra fraction of the
+    **total** offered load (a popular product draws the same share of
+    site traffic no matter how many machines host the database).  This is
+    the phenomenon behind the brief latency blips that even the
+    peak-provisioned static cluster shows in Fig. 9a.  A small lognormal
+    wobble models ordinary second-to-second imbalance.
+    """
+
+    def __init__(
+        self,
+        n_partitions: int,
+        mu_partition: float = DEFAULT_MU_PARTITION,
+        seed: int = 1,
+        skew_sigma: float = 0.04,
+        hot_episode_rate: float = 1.0 / 20_000.0,
+        hot_extra_range=(0.010, 0.025),
+        hot_duration_range=(10.0, 45.0),
+        extreme_episode_prob: float = 0.06,
+        extreme_extra_range=(0.03, 0.06),
+        samples_per_tick: int = 256,
+    ):
+        if n_partitions < 1:
+            raise SimulationError("need at least one partition")
+        if mu_partition <= 0:
+            raise SimulationError("mu_partition must be positive")
+        self.mu_partition = mu_partition
+        self.skew_sigma = skew_sigma
+        self.hot_episode_rate = hot_episode_rate
+        self.hot_extra_range = hot_extra_range
+        self.hot_duration_range = hot_duration_range
+        self.extreme_episode_prob = extreme_episode_prob
+        self.extreme_extra_range = extreme_extra_range
+        self.samples_per_tick = samples_per_tick
+        self._rng = np.random.default_rng(seed)
+        self._backlog = np.zeros(n_partitions)
+        self._hot_remaining = np.zeros(n_partitions)
+        self._hot_extra = np.zeros(n_partitions)
+        self._time = 0.0
+
+    @property
+    def n_partitions(self) -> int:
+        return self._backlog.size
+
+    @property
+    def time(self) -> float:
+        return self._time
+
+    def resize(self, n_partitions: int) -> None:
+        """Grow or shrink the partition set, preserving existing backlog."""
+        if n_partitions < 1:
+            raise SimulationError("need at least one partition")
+        old = self.n_partitions
+        if n_partitions == old:
+            return
+        if n_partitions > old:
+            pad = n_partitions - old
+            self._backlog = np.concatenate([self._backlog, np.zeros(pad)])
+            self._hot_remaining = np.concatenate([self._hot_remaining, np.zeros(pad)])
+            self._hot_extra = np.concatenate([self._hot_extra, np.zeros(pad)])
+        else:
+            # Removed partitions' residual backlog drains onto survivors.
+            residual = self._backlog[n_partitions:].sum()
+            self._backlog = self._backlog[:n_partitions].copy()
+            self._backlog += residual / n_partitions
+            self._hot_remaining = self._hot_remaining[:n_partitions].copy()
+            self._hot_extra = self._hot_extra[:n_partitions].copy()
+
+    def _advance_skew(self, dt: float):
+        """Update hot-key episodes; returns (wobble, extra_fractions).
+
+        ``wobble`` multiplies each partition's base share; ``extra``
+        is the fraction of *total* load diverted to each hot partition.
+        """
+        n = self.n_partitions
+        self._hot_remaining = np.maximum(0.0, self._hot_remaining - dt)
+        self._hot_extra[self._hot_remaining <= 0.0] = 0.0
+        # New episode?  Poisson with the configured rate per partition.
+        if self._rng.random() < self.hot_episode_rate * n * dt:
+            victim = int(self._rng.integers(0, n))
+            self._hot_remaining[victim] = self._rng.uniform(*self.hot_duration_range)
+            # Most episodes are mild; a small fraction are the extreme
+            # transient skews that even static-10 feels (Fig. 9a).
+            if self._rng.random() < self.extreme_episode_prob:
+                self._hot_extra[victim] = self._rng.uniform(
+                    *self.extreme_extra_range
+                )
+            else:
+                self._hot_extra[victim] = self._rng.uniform(*self.hot_extra_range)
+        wobble = np.exp(self._rng.normal(0.0, self.skew_sigma, n))
+        return wobble, self._hot_extra.copy()
+
+    def step(
+        self,
+        dt: float,
+        offered_tps: float,
+        shares: np.ndarray,
+        interference: Optional[MigrationInterference] = None,
+    ) -> TickStats:
+        """Advance one tick of length ``dt`` seconds.
+
+        ``shares`` is the per-partition fraction of the offered load
+        (length ``n_partitions``; it is normalised internally so callers
+        may pass raw data fractions).
+        """
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        if offered_tps < 0:
+            raise SimulationError("offered load cannot be negative")
+        shares = np.asarray(shares, dtype=float)
+        if shares.size != self.n_partitions:
+            raise SimulationError(
+                f"shares has {shares.size} entries for {self.n_partitions} partitions"
+            )
+        if np.any(shares < 0):
+            raise SimulationError("shares must be non-negative")
+        total_share = shares.sum()
+        if total_share <= 0:
+            raise SimulationError("at least one partition must receive load")
+        shares = shares / total_share
+        if interference is None:
+            interference = MigrationInterference.none(self.n_partitions)
+
+        wobble, extra = self._advance_skew(dt)
+        weighted = shares * wobble
+        weighted /= weighted.sum()
+        # Hot keys divert a fraction of *total* traffic to their
+        # partitions; the remainder follows the (wobbled) data shares.
+        total_extra = min(0.5, float(extra.sum()))
+        arrivals = offered_tps * (
+            weighted * (1.0 - total_extra) + extra
+        )                                                       # txn/s per partition
+        mu_eff = self.mu_partition * (1.0 - interference.busy_fraction)
+        mu_eff = np.maximum(mu_eff, 1e-6)
+
+        # Backlog dynamics: demand this tick is queued work plus arrivals;
+        # capacity is mu_eff * dt.
+        capacity = mu_eff * dt
+        demand = self._backlog + arrivals * dt
+        completed = np.minimum(demand, capacity)
+        new_backlog = demand - completed
+        backlog_mid = 0.5 * (self._backlog + new_backlog)
+        self._backlog = new_backlog
+        self._time += dt
+
+        stats = self._sample_latencies(
+            arrivals, mu_eff, backlog_mid, completed, interference
+        )
+        utilization = float(np.max(arrivals / mu_eff))
+        return TickStats(
+            time=self._time,
+            p50_ms=stats[0],
+            p95_ms=stats[1],
+            p99_ms=stats[2],
+            completed_tps=float(completed.sum() / dt),
+            offered_tps=offered_tps,
+            max_utilization=utilization,
+            backlog=float(new_backlog.sum()),
+        )
+
+    def _sample_latencies(
+        self,
+        arrivals: np.ndarray,
+        mu_eff: np.ndarray,
+        backlog_mid: np.ndarray,
+        completed: np.ndarray,
+        interference: MigrationInterference,
+    ):
+        """Monte-Carlo latency percentiles across the partition mixture."""
+        total_completed = completed.sum()
+        if total_completed <= 0:
+            return 0.0, 0.0, 0.0
+        weights = completed / total_completed
+        n_samples = self.samples_per_tick
+        partitions = self._rng.choice(
+            self.n_partitions, size=n_samples, p=weights
+        )
+        mu = mu_eff[partitions]
+        lam = arrivals[partitions]
+        backlog = backlog_mid[partitions]
+
+        # Stationary M/M/1 sojourn when under-loaded; backlog-dominated
+        # wait when the queue is growing.
+        headroom = np.maximum(mu - lam, 0.02 * mu)
+        stationary = self._rng.exponential(1.0 / headroom)
+        overloaded = backlog / mu + self._rng.exponential(1.0 / mu)
+        latency = np.where(backlog > 0.5, overloaded, stationary)
+
+        # Migration stalls: a txn arriving while its partition processes a
+        # chunk waits out the remainder of the chunk.
+        busy = interference.busy_fraction[partitions]
+        stall = interference.stall_seconds[partitions]
+        hit = self._rng.random(n_samples) < busy
+        latency = latency + hit * self._rng.uniform(0.0, 1.0, n_samples) * stall
+
+        ms = latency * 1000.0
+        return (
+            float(np.percentile(ms, 50)),
+            float(np.percentile(ms, 95)),
+            float(np.percentile(ms, 99)),
+        )

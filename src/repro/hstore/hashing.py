@@ -1,0 +1,83 @@
+"""MurmurHash3 (32-bit, x86) for partitioning keys.
+
+The paper hashes B2W's cart/checkout keys with MurmurHash 2.0 and finds
+the resulting partition-level access and data skew negligible (Sec. 8.1).
+We implement Murmur3-32 — same family, same statistical behaviour — in
+pure Python, plus helpers to map arbitrary keys onto hash buckets.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+_MASK32 = 0xFFFFFFFF
+
+Key = Union[str, bytes, int]
+
+
+def _rotl32(x: int, r: int) -> int:
+    return ((x << r) | (x >> (32 - r))) & _MASK32
+
+
+def murmur3_32(data: bytes, seed: int = 0) -> int:
+    """MurmurHash3 x86 32-bit of ``data`` with the given ``seed``."""
+    c1, c2 = 0xCC9E2D51, 0x1B873593
+    h = seed & _MASK32
+    length = len(data)
+    rounded = length & ~0x3
+
+    for i in range(0, rounded, 4):
+        k = int.from_bytes(data[i : i + 4], "little")
+        k = (k * c1) & _MASK32
+        k = _rotl32(k, 15)
+        k = (k * c2) & _MASK32
+        h ^= k
+        h = _rotl32(h, 13)
+        h = (h * 5 + 0xE6546B64) & _MASK32
+
+    # Tail.
+    k = 0
+    tail = data[rounded:]
+    if len(tail) >= 3:
+        k ^= tail[2] << 16
+    if len(tail) >= 2:
+        k ^= tail[1] << 8
+    if len(tail) >= 1:
+        k ^= tail[0]
+        k = (k * c1) & _MASK32
+        k = _rotl32(k, 15)
+        k = (k * c2) & _MASK32
+        h ^= k
+
+    # Finalisation mix.
+    h ^= length
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK32
+    h ^= h >> 16
+    return h
+
+
+def key_bytes(key: Key) -> bytes:
+    """Canonical byte encoding of a partitioning key."""
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, int):
+        # Fixed-width little-endian so ints hash stably across runs.
+        return key.to_bytes(8, "little", signed=True)
+    raise TypeError(f"unhashable partitioning key type: {type(key).__name__}")
+
+
+def hash_key(key: Key, seed: int = 0) -> int:
+    """32-bit Murmur3 hash of a partitioning key."""
+    return murmur3_32(key_bytes(key), seed)
+
+
+def bucket_for_key(key: Key, n_buckets: int, seed: int = 0) -> int:
+    """Map a key onto one of ``n_buckets`` hash buckets."""
+    if n_buckets < 1:
+        raise ValueError(f"n_buckets must be >= 1 (got {n_buckets})")
+    return hash_key(key, seed) % n_buckets

@@ -1,0 +1,137 @@
+"""Transactions and stored procedures.
+
+H-Store executes pre-declared *stored procedures*; a transaction is one
+invocation with concrete parameters.  The B2W workload is single-key —
+every transaction touches rows of exactly one partitioning key (Sec. 7) —
+so the executor routes each transaction to one partition and the
+:class:`TxnContext` enforces that its reads and writes stay there.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from ..errors import RoutingError, TransactionAbort
+from .cluster import Cluster
+
+
+class TxnContext:
+    """Partition-scoped data access handed to a stored procedure.
+
+    All operations verify that the accessed key hashes to the bucket the
+    transaction was routed by; violating this raises
+    :class:`RoutingError`, which is how the "few distributed transactions"
+    assumption of Section 4.2 is kept honest in tests.
+    """
+
+    def __init__(self, cluster: Cluster, routing_key: Any):
+        self._cluster = cluster
+        self._bucket = cluster.bucket_of(routing_key)
+        self._partition = cluster.partition(cluster.plan.owner(self._bucket))
+        self.routing_key = routing_key
+        #: Number of row operations performed (statistics).
+        self.ops = 0
+        cluster.record_bucket_access(self._bucket)
+
+    @property
+    def bucket(self) -> int:
+        return self._bucket
+
+    @property
+    def partition_id(self) -> int:
+        return self._partition.partition_id
+
+    def _check_key(self, part_key: Any) -> None:
+        if self._cluster.bucket_of(part_key) != self._bucket:
+            raise RoutingError(
+                f"key {part_key!r} is outside this transaction's partition "
+                "(multi-partition transactions are not supported)"
+            )
+
+    def insert(self, table_name: str, row: Mapping[str, Any]) -> None:
+        table = self._cluster.schema.table(table_name)
+        self._check_key(row[table.partition_key])
+        self._cluster.insert(table_name, row)
+        self.ops += 1
+
+    def upsert(self, table_name: str, row: Mapping[str, Any]) -> bool:
+        table = self._cluster.schema.table(table_name)
+        self._check_key(row[table.partition_key])
+        created = self._cluster.upsert(table_name, row)
+        self.ops += 1
+        return created
+
+    def get(self, table_name: str, key: Any) -> Optional[Dict[str, Any]]:
+        self._check_key(key)
+        self.ops += 1
+        return self._cluster.get(table_name, key)
+
+    def require(self, table_name: str, key: Any) -> Dict[str, Any]:
+        row = self.get(table_name, key)
+        if row is None:
+            raise TransactionAbort(
+                f"no row with key {key!r} in table {table_name!r}"
+            )
+        return row
+
+    def update(self, table_name: str, key: Any, changes: Mapping[str, Any]) -> None:
+        self._check_key(key)
+        self._cluster.update(table_name, key, changes)
+        self.ops += 1
+
+    def delete(self, table_name: str, key: Any) -> bool:
+        self._check_key(key)
+        self.ops += 1
+        return self._cluster.delete(table_name, key)
+
+
+class StoredProcedure(abc.ABC):
+    """A named, pre-declared transaction program.
+
+    Subclasses set :attr:`name` and :attr:`read_only` and implement
+    :meth:`routing_key` (which parameter carries the partitioning key)
+    and :meth:`run` (the transaction logic).
+    """
+
+    name: str = ""
+    read_only: bool = False
+    #: Relative CPU weight; 1.0 is a typical single-row read/write.
+    cost_weight: float = 1.0
+
+    @abc.abstractmethod
+    def routing_key(self, params: Mapping[str, Any]) -> Any:
+        """Extract the partitioning key from the parameters."""
+
+    @abc.abstractmethod
+    def run(self, ctx: TxnContext, params: Mapping[str, Any]) -> Any:
+        """Execute the procedure body; return the client-visible result."""
+
+
+@dataclass
+class Transaction:
+    """One invocation of a stored procedure."""
+
+    procedure: StoredProcedure
+    params: Dict[str, Any]
+    submit_time: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.procedure.name
+
+    def routing_key(self) -> Any:
+        return self.procedure.routing_key(self.params)
+
+
+@dataclass
+class TxnResult:
+    """Outcome of executing one transaction."""
+
+    txn: Transaction
+    committed: bool
+    latency_ms: float
+    partition_id: int
+    result: Any = None
+    abort_reason: str = ""

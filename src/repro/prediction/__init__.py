@@ -1,0 +1,39 @@
+"""Load time-series prediction (Section 5 of the paper).
+
+SPAR is the default model; AR and ARMA are the baselines the paper
+compares against, the seasonal-naive and last-value predictors are sanity
+baselines, and the oracle supplies perfect predictions for Figure 12's
+"P-Store Oracle" upper bound.
+"""
+
+from .ar import ArPredictor, fit_ar_coefficients
+from .arma import ArmaPredictor
+from .base import BacktestResult, Predictor, as_series
+from .metrics import (
+    horizon_error_sweep,
+    mean_absolute_error,
+    mean_relative_error,
+    root_mean_squared_error,
+)
+from .naive import LastValuePredictor, SeasonalNaivePredictor
+from .online import OnlinePredictor
+from .oracle import OraclePredictor
+from .spar import SparPredictor
+
+__all__ = [
+    "ArPredictor",
+    "ArmaPredictor",
+    "BacktestResult",
+    "LastValuePredictor",
+    "OnlinePredictor",
+    "OraclePredictor",
+    "Predictor",
+    "SeasonalNaivePredictor",
+    "SparPredictor",
+    "as_series",
+    "fit_ar_coefficients",
+    "horizon_error_sweep",
+    "mean_absolute_error",
+    "mean_relative_error",
+    "root_mean_squared_error",
+]

@@ -1,0 +1,100 @@
+"""Plain auto-regressive (AR) predictor — the simplest baseline in Sec. 5.
+
+AR(p) models ``y(t) = c + sum_{i=1..p} phi_i * y(t-i)``.  Multi-step
+forecasts are produced recursively, feeding earlier forecasts back in as
+pseudo-observations.  The paper reports that on the B2W load this baseline
+reaches 12.5% MRE at tau = 60 minutes, versus 10.4% for SPAR.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import PredictionError
+from .base import Predictor, as_series
+
+
+def fit_ar_coefficients(
+    series: np.ndarray, order: int, ridge: float = 1e-8
+) -> np.ndarray:
+    """Least-squares AR(p) fit; returns ``[c, phi_1 .. phi_p]``.
+
+    Shared by :class:`ArPredictor` and the Hannan-Rissanen first stage of
+    the ARMA fit.
+    """
+    if series.size <= order + 1:
+        raise PredictionError(
+            f"AR({order}) needs more than {order + 1} points (got {series.size})"
+        )
+    rows = series.size - order
+    design = np.empty((rows, order + 1))
+    design[:, 0] = 1.0
+    for lag in range(1, order + 1):
+        design[:, lag] = series[order - lag : series.size - lag]
+    targets = series[order:]
+    gram = design.T @ design + ridge * np.eye(order + 1)
+    return np.linalg.solve(gram, design.T @ targets)
+
+
+class ArPredictor(Predictor):
+    """AR(p) baseline predictor.
+
+    Parameters
+    ----------
+    order:
+        number of auto-regressive lags ``p``.
+    """
+
+    def __init__(self, order: int = 30):
+        super().__init__()
+        if order < 1:
+            raise PredictionError(f"order must be >= 1 (got {order})")
+        self.order = order
+        self._coeffs: Optional[np.ndarray] = None
+
+    @property
+    def min_history(self) -> int:
+        return self.order
+
+    def fit(self, series: Sequence[float]) -> "ArPredictor":
+        arr = as_series(series)
+        self._coeffs = fit_ar_coefficients(arr, self.order)
+        self._fitted = True
+        return self
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        self._require_fitted()
+        assert self._coeffs is not None
+        return self._coeffs.copy()
+
+    def predict_horizon(
+        self, history: Sequence[float], horizon: int
+    ) -> np.ndarray:
+        self._require_fitted()
+        if horizon < 1:
+            raise PredictionError(f"horizon must be >= 1 (got {horizon})")
+        arr = as_series(history)
+        if arr.size < self.order:
+            raise PredictionError(
+                f"history of {arr.size} slots is shorter than AR order {self.order}"
+            )
+        assert self._coeffs is not None
+        intercept = self._coeffs[0]
+        phi = self._coeffs[1:]
+        # Working buffer: most recent `order` values, newest last.
+        window = list(arr[-self.order :])
+        out = np.empty(horizon)
+        for step in range(horizon):
+            value = intercept + sum(
+                phi[i] * window[-1 - i] for i in range(self.order)
+            )
+            out[step] = value
+            window.append(value)
+            window.pop(0)
+        return np.clip(out, 0.0, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArPredictor(order={self.order}, fitted={self._fitted})"

@@ -1,0 +1,136 @@
+"""ARMA(p, q) baseline predictor (Hannan-Rissanen estimation).
+
+The paper compares SPAR against an auto-regressive moving-average model
+(12.2% MRE at tau = 60 minutes on B2W, vs 10.4% for SPAR).  We estimate
+the model with the classic two-stage Hannan-Rissanen procedure:
+
+1. fit a long AR model and take its residuals as estimates of the
+   unobservable innovations;
+2. regress ``y(t)`` on ``p`` lags of ``y`` and ``q`` lags of the estimated
+   innovations with least squares.
+
+Forecasting is recursive with future innovations set to zero (their
+conditional mean).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import PredictionError
+from .ar import fit_ar_coefficients
+from .base import Predictor, as_series
+
+
+class ArmaPredictor(Predictor):
+    """ARMA(p, q) predictor fitted by Hannan-Rissanen least squares.
+
+    Parameters
+    ----------
+    p:
+        auto-regressive order.
+    q:
+        moving-average order.
+    long_ar_order:
+        order of the first-stage AR used to estimate innovations; defaults
+        to ``p + q + 10``.
+    """
+
+    def __init__(self, p: int = 30, q: int = 10, long_ar_order: Optional[int] = None):
+        super().__init__()
+        if p < 1 or q < 0:
+            raise PredictionError(f"need p >= 1, q >= 0 (got p={p}, q={q})")
+        self.p = p
+        self.q = q
+        self.long_ar_order = long_ar_order or (p + q + 10)
+        self._intercept: float = 0.0
+        self._phi: Optional[np.ndarray] = None
+        self._theta: Optional[np.ndarray] = None
+        self._long_ar: Optional[np.ndarray] = None
+
+    @property
+    def min_history(self) -> int:
+        # Enough to rebuild innovations for the q MA lags.
+        return self.long_ar_order + max(self.p, self.q) + 1
+
+    def fit(self, series: Sequence[float]) -> "ArmaPredictor":
+        arr = as_series(series)
+        needed = self.long_ar_order + self.p + self.q + 2
+        if arr.size < needed:
+            raise PredictionError(
+                f"ARMA({self.p},{self.q}) needs at least {needed} training "
+                f"slots (got {arr.size})"
+            )
+        # Stage 1: long AR for innovation estimates.
+        self._long_ar = fit_ar_coefficients(arr, self.long_ar_order)
+        innovations = self._innovations(arr)
+
+        # Stage 2: regress y(t) on lags of y and lags of innovations.
+        start = self.long_ar_order + max(self.p, self.q)
+        rows = arr.size - start
+        design = np.empty((rows, 1 + self.p + self.q))
+        design[:, 0] = 1.0
+        anchors = np.arange(start, arr.size)
+        for lag in range(1, self.p + 1):
+            design[:, lag] = arr[anchors - lag]
+        for lag in range(1, self.q + 1):
+            design[:, self.p + lag] = innovations[anchors - lag]
+        targets = arr[anchors]
+        gram = design.T @ design + 1e-8 * np.eye(design.shape[1])
+        weights = np.linalg.solve(gram, design.T @ targets)
+        self._intercept = float(weights[0])
+        self._phi = weights[1 : 1 + self.p]
+        self._theta = weights[1 + self.p :]
+        self._fitted = True
+        return self
+
+    def _innovations(self, arr: np.ndarray) -> np.ndarray:
+        """One-step residuals of the long AR model, zero-padded at the front."""
+        assert self._long_ar is not None
+        order = self.long_ar_order
+        coeffs = self._long_ar
+        innovations = np.zeros(arr.size)
+        if arr.size <= order:
+            return innovations
+        anchors = np.arange(order, arr.size)
+        fitted = np.full(anchors.size, coeffs[0])
+        for lag in range(1, order + 1):
+            fitted += coeffs[lag] * arr[anchors - lag]
+        innovations[order:] = arr[anchors] - fitted
+        return innovations
+
+    def predict_horizon(
+        self, history: Sequence[float], horizon: int
+    ) -> np.ndarray:
+        self._require_fitted()
+        if horizon < 1:
+            raise PredictionError(f"horizon must be >= 1 (got {horizon})")
+        arr = as_series(history)
+        if arr.size < self.min_history:
+            raise PredictionError(
+                f"history of {arr.size} slots is shorter than the minimum "
+                f"context of {self.min_history}"
+            )
+        assert self._phi is not None and self._theta is not None
+        innovations = list(self._innovations(arr)[-max(self.q, 1) :]) if self.q else []
+        values = list(arr[-self.p :])
+        out = np.empty(horizon)
+        for step in range(horizon):
+            forecast = self._intercept + sum(
+                self._phi[i] * values[-1 - i] for i in range(self.p)
+            )
+            for j in range(self.q):
+                if j < len(innovations):
+                    forecast += self._theta[j] * innovations[-1 - j]
+            out[step] = forecast
+            values.append(forecast)
+            values.pop(0)
+            if self.q:
+                innovations.append(0.0)  # future innovations have mean zero
+                innovations.pop(0)
+        return np.clip(out, 0.0, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArmaPredictor(p={self.p}, q={self.q}, fitted={self._fitted})"

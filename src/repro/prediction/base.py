@@ -1,0 +1,138 @@
+"""Common interface for load predictors (Section 5 of the paper).
+
+A predictor is *fitted* on a training window of historical load (one value
+per time slot) and then asked, given the history observed so far, to
+forecast the next ``horizon`` slots.  All predictors in this package:
+
+* operate on 1-D ``numpy`` arrays of non-negative load values;
+* are deterministic given their inputs;
+* raise :class:`~repro.errors.NotFittedError` if used before fitting.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import NotFittedError, PredictionError
+
+
+def as_series(values: Sequence[float]) -> np.ndarray:
+    """Validate and convert a load series to a float array."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise PredictionError(f"load series must be 1-D (got shape {arr.shape})")
+    if arr.size == 0:
+        raise PredictionError("load series must be non-empty")
+    if np.any(~np.isfinite(arr)):
+        raise PredictionError("load series contains NaN or infinite values")
+    return arr
+
+
+class Predictor(abc.ABC):
+    """Abstract base class for time-series load predictors."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before predicting"
+            )
+
+    @abc.abstractmethod
+    def fit(self, series: Sequence[float]) -> "Predictor":
+        """Fit model parameters on a training window.  Returns ``self``."""
+
+    @abc.abstractmethod
+    def predict_horizon(
+        self, history: Sequence[float], horizon: int
+    ) -> np.ndarray:
+        """Forecast the next ``horizon`` slots given observed ``history``.
+
+        ``history`` must include at least the model's minimum context (for
+        SPAR: ``n`` periods plus ``m`` recent slots).  Returns an array of
+        length ``horizon``; forecasts are clipped at zero since load cannot
+        be negative.
+        """
+
+    def predict_at(
+        self, series: Sequence[float], t: int, tau: int
+    ) -> float:
+        """Forecast the single value ``series[t + tau]`` using data up to ``t``.
+
+        Convenience for backtesting: equivalent to slicing the history at
+        ``t`` and reading entry ``tau - 1`` of :meth:`predict_horizon`.
+        """
+        if tau < 1:
+            raise PredictionError(f"tau must be >= 1 (got {tau})")
+        history = as_series(series)[: t + 1]
+        return float(self.predict_horizon(history, tau)[tau - 1])
+
+    def backtest(
+        self,
+        series: Sequence[float],
+        tau: int,
+        start: Optional[int] = None,
+        stop: Optional[int] = None,
+        step: int = 1,
+    ) -> "BacktestResult":
+        """Roll through ``series`` producing ``tau``-ahead forecasts.
+
+        For each evaluation index ``t`` in ``[start, stop)`` (stepping by
+        ``step``), forecast ``series[t]`` using only data up to
+        ``t - tau``.  Returns actual/predicted pairs for error analysis
+        (Figures 5 and 6 of the paper).
+        """
+        self._require_fitted()
+        arr = as_series(series)
+        if tau < 1:
+            raise PredictionError(f"tau must be >= 1 (got {tau})")
+        lo = tau if start is None else start
+        hi = arr.size if stop is None else stop
+        if not tau <= lo <= hi <= arr.size:
+            raise PredictionError(
+                f"invalid backtest range [{lo}, {hi}) for series of {arr.size}"
+            )
+        indices = list(range(lo, hi, step))
+        actual = np.empty(len(indices))
+        predicted = np.empty(len(indices))
+        for out, t in enumerate(indices):
+            history = arr[: t - tau + 1]
+            predicted[out] = self.predict_horizon(history, tau)[tau - 1]
+            actual[out] = arr[t]
+        return BacktestResult(
+            indices=np.asarray(indices), actual=actual, predicted=predicted, tau=tau
+        )
+
+
+class BacktestResult:
+    """Actual-vs-predicted pairs produced by :meth:`Predictor.backtest`."""
+
+    def __init__(
+        self,
+        indices: np.ndarray,
+        actual: np.ndarray,
+        predicted: np.ndarray,
+        tau: int,
+    ):
+        self.indices = indices
+        self.actual = actual
+        self.predicted = predicted
+        self.tau = tau
+
+    def mean_relative_error(self) -> float:
+        """MRE over all evaluation points with non-zero actual load."""
+        from .metrics import mean_relative_error
+
+        return mean_relative_error(self.actual, self.predicted)
+
+    def __len__(self) -> int:
+        return self.actual.size

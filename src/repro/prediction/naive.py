@@ -1,0 +1,91 @@
+"""Trivial predictors used as sanity baselines and in ablations.
+
+* :class:`SeasonalNaivePredictor` — "same time yesterday/last week":
+  ``y(t + tau) = y(t + tau - T)``.
+* :class:`LastValuePredictor` — "the load will stay where it is":
+  ``y(t + tau) = y(t)``.
+
+Neither has parameters to fit, but both follow the common
+:class:`~repro.prediction.base.Predictor` contract so they can be swapped
+into the controller and the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import PredictionError
+from .base import Predictor, as_series
+
+
+class SeasonalNaivePredictor(Predictor):
+    """Repeat the value observed one period earlier.
+
+    Parameters
+    ----------
+    period:
+        slots per period ``T``.
+    """
+
+    def __init__(self, period: int):
+        super().__init__()
+        if period < 1:
+            raise PredictionError(f"period must be >= 1 (got {period})")
+        self.period = period
+
+    @property
+    def min_history(self) -> int:
+        return self.period
+
+    def fit(self, series: Sequence[float]) -> "SeasonalNaivePredictor":
+        as_series(series)  # validate only; nothing to learn
+        self._fitted = True
+        return self
+
+    def predict_horizon(
+        self, history: Sequence[float], horizon: int
+    ) -> np.ndarray:
+        self._require_fitted()
+        if horizon < 1:
+            raise PredictionError(f"horizon must be >= 1 (got {horizon})")
+        if horizon >= self.period:
+            raise PredictionError(
+                f"horizon must be < period={self.period} (got {horizon})"
+            )
+        arr = as_series(history)
+        if arr.size < self.period:
+            raise PredictionError(
+                f"history of {arr.size} slots is shorter than period {self.period}"
+            )
+        t = arr.size - 1
+        out = np.array(
+            [arr[t + tau - self.period] for tau in range(1, horizon + 1)]
+        )
+        return np.clip(out, 0.0, None)
+
+
+class LastValuePredictor(Predictor):
+    """Forecast every future slot as the most recent observation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    @property
+    def min_history(self) -> int:
+        return 1
+
+    def fit(self, series: Sequence[float]) -> "LastValuePredictor":
+        as_series(series)
+        self._fitted = True
+        return self
+
+    def predict_horizon(
+        self, history: Sequence[float], horizon: int
+    ) -> np.ndarray:
+        self._require_fitted()
+        if horizon < 1:
+            raise PredictionError(f"horizon must be >= 1 (got {horizon})")
+        arr = as_series(history)
+        return np.full(horizon, max(arr[-1], 0.0))

@@ -1,0 +1,130 @@
+"""Online (active-learning) prediction, Section 6 of the paper.
+
+"P-Store has an active learning system.  If training data exists,
+parameters a_k and b_j can be learned offline.  Otherwise, P-Store
+constantly monitors the system over time and can actively learn the
+parameter values. ... we found that updating these parameters once per
+week is usually sufficient."
+
+:class:`OnlinePredictor` wraps any batch predictor with that behaviour:
+it accumulates observations, fits as soon as enough history exists, and
+refits on a fixed cadence (weekly by default).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import NotFittedError, PredictionError
+from .base import Predictor, as_series
+
+
+class OnlinePredictor(Predictor):
+    """Continuously-learning wrapper around a batch predictor.
+
+    Parameters
+    ----------
+    base:
+        the underlying model (e.g. a fresh :class:`SparPredictor`).
+    refit_every:
+        refit cadence in observed slots (e.g. one week of slots).
+    min_training:
+        observations needed before the first fit; defaults to the base
+        model's ``min_history`` plus one period-worth of targets when the
+        base exposes it.
+    max_history:
+        optional cap on retained history (old slots are dropped), so
+        long-running controllers don't grow without bound.
+    """
+
+    def __init__(
+        self,
+        base: Predictor,
+        refit_every: int,
+        min_training: Optional[int] = None,
+        max_history: Optional[int] = None,
+    ):
+        super().__init__()
+        if refit_every < 1:
+            raise PredictionError("refit_every must be >= 1")
+        if max_history is not None and max_history < 1:
+            raise PredictionError("max_history must be >= 1 when set")
+        self.base = base
+        self.refit_every = refit_every
+        if min_training is None:
+            base_min = getattr(base, "min_history", 1)
+            period = getattr(base, "period", 0)
+            min_training = base_min + max(period, 1)
+        self.min_training = min_training
+        self.max_history = max_history
+        self._history: List[float] = []
+        self._since_fit = 0
+        self.fit_count = 0
+
+    # ------------------------------------------------------------------
+    # Observation stream
+    # ------------------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Feed one measured load slot; refits when the cadence is due."""
+        if not np.isfinite(value) or value < 0:
+            raise PredictionError(f"invalid load observation {value!r}")
+        self._history.append(float(value))
+        if self.max_history is not None and len(self._history) > self.max_history:
+            del self._history[: len(self._history) - self.max_history]
+        self._since_fit += 1
+        due = (
+            not self.base.is_fitted and len(self._history) >= self.min_training
+        ) or (self.base.is_fitted and self._since_fit >= self.refit_every)
+        if due and len(self._history) >= self.min_training:
+            self.base.fit(self._history)
+            self._fitted = True
+            self._since_fit = 0
+            self.fit_count += 1
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def history(self) -> np.ndarray:
+        return np.asarray(self._history)
+
+    @property
+    def min_history(self) -> int:
+        return getattr(self.base, "min_history", 1)
+
+    # ------------------------------------------------------------------
+    # Predictor interface
+    # ------------------------------------------------------------------
+
+    def fit(self, series: Sequence[float]) -> "OnlinePredictor":
+        """Offline bootstrap: seed the history and fit immediately."""
+        arr = as_series(series)
+        self._history = [float(v) for v in arr]
+        self.base.fit(self._history)
+        self._fitted = True
+        self._since_fit = 0
+        self.fit_count += 1
+        return self
+
+    def predict_horizon(
+        self, history: Sequence[float], horizon: int
+    ) -> np.ndarray:
+        """Forecast using the internally-maintained model.
+
+        ``history`` may be the caller's own measured series (the
+        controller passes one); only the base model's requirements apply.
+        """
+        if not self.base.is_fitted:
+            raise NotFittedError(
+                f"online predictor has seen {len(self._history)} of the "
+                f"{self.min_training} observations needed for its first fit"
+            )
+        return self.base.predict_horizon(history, horizon)
+
+    def predict_next(self, horizon: int) -> np.ndarray:
+        """Forecast from the internal history (pure streaming use)."""
+        return self.predict_horizon(self._history, horizon)

@@ -1,0 +1,210 @@
+"""Sparse Periodic Auto-Regression (SPAR), Eq. 8 of the paper.
+
+SPAR models the load at time ``t + tau`` as the sum of a *periodic* term
+(the load at the same time-of-period in each of the previous ``n``
+periods) and a *recent-offset* term (how far the last ``m`` measurements
+deviate from their own periodic expectations)::
+
+    y(t + tau) = sum_{k=1..n} a_k * y(t + tau - k*T)
+               + sum_{j=1..m} b_j * dy(t - j)
+
+    dy(t - j)  = y(t - j) - (1/n) * sum_{k=1..n} y(t - j - k*T)
+
+``T`` is the period length in slots (1440 for per-minute data with a daily
+period), ``n`` the number of past periods (the paper uses 7 — one week of
+daily periods), and ``m`` the number of recent measurements (30).  The
+coefficients ``a_k`` and ``b_j`` are fitted with linear least squares,
+separately for each forecast offset ``tau`` (and cached), since the
+optimal mixing of periodic and recent information shifts with how far
+ahead we look.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import PredictionError
+from .base import Predictor, as_series
+
+
+class SparPredictor(Predictor):
+    """SPAR load predictor (the paper's default model).
+
+    Parameters
+    ----------
+    period:
+        slots per period ``T`` (e.g. 1440 one-minute slots per day).
+    n_periods:
+        ``n``, past periods used by the periodic term (default 7).
+    m_recent:
+        ``m``, recent measurements used by the offset term (default 30).
+    ridge:
+        small L2 regularisation added to the normal equations, which keeps
+        the fit stable when columns are collinear (e.g. a perfectly
+        periodic synthetic trace).
+    """
+
+    def __init__(
+        self,
+        period: int,
+        n_periods: int = 7,
+        m_recent: int = 30,
+        ridge: float = 1e-6,
+    ):
+        super().__init__()
+        if period < 2:
+            raise PredictionError(f"period must be >= 2 slots (got {period})")
+        if n_periods < 1:
+            raise PredictionError(f"n_periods must be >= 1 (got {n_periods})")
+        if m_recent < 0:
+            raise PredictionError(f"m_recent must be >= 0 (got {m_recent})")
+        if ridge < 0:
+            raise PredictionError(f"ridge must be >= 0 (got {ridge})")
+        self.period = period
+        self.n_periods = n_periods
+        self.m_recent = m_recent
+        self.ridge = ridge
+        self._train: Optional[np.ndarray] = None
+        self._coeffs: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # Context requirements
+    # ------------------------------------------------------------------
+
+    @property
+    def min_history(self) -> int:
+        """Fewest observed slots needed before any forecast can be made.
+
+        The periodic term of a ``tau``-ahead forecast reaches back
+        ``n*T - tau`` slots from "now"; the offset term reaches back
+        ``m + n*T``.  The latter dominates for ``tau < T``.
+        """
+        return self.m_recent + self.n_periods * self.period
+
+    def _check_tau(self, tau: int) -> None:
+        if tau < 1:
+            raise PredictionError(f"tau must be >= 1 (got {tau})")
+        if tau >= self.period:
+            raise PredictionError(
+                f"tau must be < period={self.period} so the periodic term "
+                f"references only observed data (got tau={tau})"
+            )
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit(self, series: Sequence[float]) -> "SparPredictor":
+        """Store the training window; coefficients are fitted lazily per tau."""
+        arr = as_series(series)
+        needed = self.min_history + self.period  # at least one target per tau
+        if arr.size < needed:
+            raise PredictionError(
+                f"SPAR(T={self.period}, n={self.n_periods}, m={self.m_recent}) "
+                f"needs at least {needed} training slots (got {arr.size})"
+            )
+        self._train = arr
+        self._coeffs = {}
+        self._fitted = True
+        return self
+
+    def _design(
+        self, series: np.ndarray, tau: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Build the regression design matrix for a fixed ``tau``.
+
+        Rows are anchored at "now" indices ``t``; the target is
+        ``series[t + tau]``.  Columns are the ``n`` periodic lags followed
+        by the ``m`` recent offsets.
+        """
+        t_len = series.size
+        n, m, period = self.n_periods, self.m_recent, self.period
+        # y(t + tau - k*T) must exist (index >= 0) and the offsets need
+        # y(t - j - k*T) >= 0; targets need t + tau < len.
+        t_min = max(n * period - tau, m + n * period)
+        t_max = t_len - tau - 1
+        if t_max < t_min:
+            raise PredictionError(
+                f"not enough training data for tau={tau}"
+            )
+        anchors = np.arange(t_min, t_max + 1)
+        cols = []
+        for k in range(1, n + 1):
+            cols.append(series[anchors + tau - k * period])
+        period_mean_cache = {}
+        for j in range(1, m + 1):
+            base = series[anchors - j]
+            mean = np.zeros_like(base)
+            for k in range(1, n + 1):
+                mean += series[anchors - j - k * period]
+            mean /= n
+            cols.append(base - mean)
+            period_mean_cache[j] = mean
+        design = np.column_stack(cols)
+        targets = series[anchors + tau]
+        return design, targets
+
+    def _fit_tau(self, tau: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Fit (and cache) coefficients for forecast offset ``tau``."""
+        self._require_fitted()
+        self._check_tau(tau)
+        cached = self._coeffs.get(tau)
+        if cached is not None:
+            return cached
+        assert self._train is not None
+        design, targets = self._design(self._train, tau)
+        n_cols = design.shape[1]
+        # Ridge-regularised normal equations: (X'X + rI) w = X'y.
+        gram = design.T @ design + self.ridge * np.eye(n_cols)
+        rhs = design.T @ targets
+        weights = np.linalg.solve(gram, rhs)
+        a = weights[: self.n_periods]
+        b = weights[self.n_periods :]
+        self._coeffs[tau] = (a, b)
+        return a, b
+
+    def coefficients(self, tau: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The fitted ``(a_k, b_j)`` for offset ``tau`` (fitting if needed)."""
+        return self._fit_tau(tau)
+
+    # ------------------------------------------------------------------
+    # Forecasting
+    # ------------------------------------------------------------------
+
+    def predict_horizon(
+        self, history: Sequence[float], horizon: int
+    ) -> np.ndarray:
+        """Forecast slots ``t+1 .. t+horizon`` where ``t`` is the last
+        index of ``history`` (Eq. 8 applied per tau)."""
+        self._require_fitted()
+        if horizon < 1:
+            raise PredictionError(f"horizon must be >= 1 (got {horizon})")
+        arr = as_series(history)
+        if arr.size < self.min_history:
+            raise PredictionError(
+                f"history of {arr.size} slots is shorter than the minimum "
+                f"context of {self.min_history}"
+            )
+        t = arr.size - 1
+        n, m, period = self.n_periods, self.m_recent, self.period
+        # Recent offsets are shared by every tau.
+        offsets = np.empty(m)
+        for j in range(1, m + 1):
+            mean = sum(arr[t - j - k * period] for k in range(1, n + 1)) / n
+            offsets[j - 1] = arr[t - j] - mean
+        out = np.empty(horizon)
+        for tau in range(1, horizon + 1):
+            a, b = self._fit_tau(tau)
+            periodic = sum(
+                a[k - 1] * arr[t + tau - k * period] for k in range(1, n + 1)
+            )
+            out[tau - 1] = periodic + float(b @ offsets) if m else periodic
+        return np.clip(out, 0.0, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SparPredictor(period={self.period}, n={self.n_periods}, "
+            f"m={self.m_recent}, fitted={self._fitted})"
+        )

@@ -1,0 +1,30 @@
+"""Simulation drivers: the full elastic-DBMS simulator (Figs. 7-11) and
+the fast capacity-level simulator used for the 4.5-month sweeps
+(Sec. 8.3, Figs. 12-13)."""
+
+from .capacity_sim import (
+    CapacitySimResult,
+    CapacitySimulator,
+    run_capacity_simulation,
+)
+from .metrics import (
+    CapacityCostPoint,
+    SlaRow,
+    capacity_cost_points,
+    relative_improvement,
+    sla_table,
+)
+from .simulator import ElasticDbSimulator, SimulationResult
+
+__all__ = [
+    "CapacityCostPoint",
+    "CapacitySimResult",
+    "CapacitySimulator",
+    "ElasticDbSimulator",
+    "SimulationResult",
+    "SlaRow",
+    "capacity_cost_points",
+    "relative_improvement",
+    "run_capacity_simulation",
+    "sla_table",
+]

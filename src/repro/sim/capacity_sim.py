@@ -1,0 +1,216 @@
+"""Fast capacity-level simulation (the Section 8.3 methodology).
+
+"It is not practical to run the B2W benchmark for longer than a few
+days ... Therefore, to compare the performance of the different
+allocation strategies and different parameter settings over a long
+period of time, we use simulation."
+
+The capacity simulator advances one planner slot at a time (5 minutes by
+default) and tracks, for any provisioning strategy:
+
+* machines allocated (with just-in-time allocation during moves);
+* the system's *effective capacity* while data is in flight (Eq. 7);
+* whether the actual load exceeded that capacity ("insufficient
+  capacity", the y-axis of Fig. 12);
+* total cost in machine-slots (Eq. 1, the x-axis of Fig. 12).
+
+Latency is not modelled here — that is the job of the full simulator in
+:mod:`repro.sim.simulator` — which is exactly the trade the paper makes
+for its 4.5-month sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..config import PStoreConfig
+from ..elasticity.base import ProvisioningStrategy
+from ..errors import SimulationError
+from ..squall.migrator import ActiveMigration
+from ..squall.schedule import build_migration_schedule
+from ..workload.trace import LoadTrace
+
+
+@dataclass
+class CapacitySimResult:
+    """Time series and summary statistics of one capacity-sim run."""
+
+    strategy_name: str
+    slot_seconds: float
+    load_tps: np.ndarray
+    peak_load_tps: np.ndarray    # instantaneous within-slot peak (Sec. 8.3)
+    machines: np.ndarray
+    eff_cap_target: np.ndarray   # capacity at the target rate Q (planning view)
+    eff_cap_max: np.ndarray      # capacity at the max rate Q-hat (violations)
+    migrating: np.ndarray
+    emergencies: int
+    moves_started: int
+
+    @property
+    def n_slots(self) -> int:
+        return int(self.load_tps.size)
+
+    @property
+    def cost_machine_slots(self) -> float:
+        """Eq. 1: the summed machine allocation over time."""
+        return float(self.machines.sum())
+
+    @property
+    def average_machines(self) -> float:
+        return float(self.machines.mean())
+
+    @property
+    def insufficient_slots(self) -> int:
+        """Slots where the *instantaneous* load exceeded the effective
+        max-rate capacity.  The paper: "The percentage of time with
+        insufficient capacity is not zero because the predictions are at
+        the granularity of five minutes, and instantaneous load may have
+        spikes."
+        """
+        return int(np.sum(self.peak_load_tps > self.eff_cap_max + 1e-9))
+
+    @property
+    def pct_time_insufficient(self) -> float:
+        return 100.0 * self.insufficient_slots / self.n_slots
+
+    def summary(self) -> str:
+        return (
+            f"{self.strategy_name}: avg machines {self.average_machines:.2f}, "
+            f"insufficient {self.pct_time_insufficient:.2f}% of time, "
+            f"{self.moves_started} moves ({self.emergencies} emergency)"
+        )
+
+
+class CapacitySimulator:
+    """Drives one strategy through a load trace at slot granularity."""
+
+    def __init__(
+        self,
+        config: PStoreConfig,
+        initial_machines: int,
+        history_seed: Sequence[float] = (),
+        peak_sigma: float = 0.08,
+        peak_seed: int = 101,
+    ):
+        if initial_machines < 1:
+            raise SimulationError("initial_machines must be >= 1")
+        if peak_sigma < 0:
+            raise SimulationError("peak_sigma must be >= 0")
+        self.config = config
+        self.initial_machines = initial_machines
+        #: Within-slot instantaneous peaks exceed the slot average by a
+        #: random factor ``1 + |N(0, peak_sigma)|``.
+        self.peak_sigma = peak_sigma
+        self.peak_seed = peak_seed
+        #: Measured-load history handed to strategies; benches seed it
+        #: with the predictor's training window so SPAR has context from
+        #: slot zero.
+        self.history: List[float] = [float(v) for v in history_seed]
+
+    def run(
+        self,
+        trace: LoadTrace,
+        strategy: ProvisioningStrategy,
+    ) -> CapacitySimResult:
+        """Simulate ``strategy`` over ``trace``, one slot at a time."""
+        config = self.config
+        if abs(trace.slot_seconds - config.interval_seconds) > 1e-9:
+            raise SimulationError(
+                f"trace slots ({trace.slot_seconds}s) must match the planner "
+                f"interval ({config.interval_seconds}s)"
+            )
+        load_tps = trace.as_rate_per_second()
+        n_slots = load_tps.size
+        slot_seconds = trace.slot_seconds
+        peak_rng = np.random.default_rng(self.peak_seed)
+        peak_load = load_tps * (
+            1.0 + np.abs(peak_rng.normal(0.0, self.peak_sigma, n_slots))
+        )
+
+        strategy.reset(self.initial_machines)
+        machines = self.initial_machines
+        migration: Optional[ActiveMigration] = None
+        migration_target = machines
+
+        out_machines = np.empty(n_slots)
+        out_eff_q = np.empty(n_slots)
+        out_eff_qhat = np.empty(n_slots)
+        out_migrating = np.zeros(n_slots, dtype=bool)
+        emergencies = 0
+        moves_started = 0
+        history = self.history
+
+        for slot in range(n_slots):
+            history.append(float(load_tps[slot]))
+
+            if migration is None:
+                decision = strategy.decide(slot, history, machines)
+                if decision.acts and decision.target_machines != machines:
+                    schedule = build_migration_schedule(
+                        machines, decision.target_machines
+                    )
+                    migration = ActiveMigration(
+                        schedule=schedule,
+                        database_kb=config.database_kb,
+                        rate_kbps=config.migration_rate_kbps
+                        * decision.rate_multiplier,
+                        partitions_per_node=config.partitions_per_node,
+                    )
+                    migration_target = decision.target_machines
+                    moves_started += 1
+                    if decision.emergency:
+                        emergencies += 1
+                    strategy.notify_move_started(decision.target_machines)
+
+            if migration is not None:
+                # State during this slot: sample at the slot midpoint.
+                migration.advance(slot_seconds / 2.0)
+                fractions = migration.data_fractions()
+                largest = float(fractions.max())
+                out_machines[slot] = migration.machines_allocated()
+                out_eff_q[slot] = config.q / largest
+                out_eff_qhat[slot] = config.q_hat / largest
+                out_migrating[slot] = True
+                migration.advance(slot_seconds / 2.0)
+                if migration.done:
+                    machines = migration_target
+                    migration = None
+                    strategy.notify_move_finished(machines)
+            else:
+                out_machines[slot] = machines
+                out_eff_q[slot] = config.q * machines
+                out_eff_qhat[slot] = config.q_hat * machines
+
+        return CapacitySimResult(
+            strategy_name=strategy.name,
+            slot_seconds=slot_seconds,
+            load_tps=np.asarray(load_tps, dtype=float).copy(),
+            peak_load_tps=peak_load,
+            machines=out_machines,
+            eff_cap_target=out_eff_q,
+            eff_cap_max=out_eff_qhat,
+            migrating=out_migrating,
+            emergencies=emergencies,
+            moves_started=moves_started,
+        )
+
+
+def run_capacity_simulation(
+    trace: LoadTrace,
+    strategy: ProvisioningStrategy,
+    config: PStoreConfig,
+    initial_machines: int,
+    history_seed: Sequence[float] = (),
+    peak_sigma: float = 0.08,
+) -> CapacitySimResult:
+    """Convenience wrapper: one strategy, one trace, one result."""
+    simulator = CapacitySimulator(
+        config=config,
+        initial_machines=initial_machines,
+        history_seed=history_seed,
+        peak_sigma=peak_sigma,
+    )
+    return simulator.run(trace, strategy)

@@ -1,0 +1,308 @@
+"""Full elastic-DBMS simulation: load, latency, and live migration.
+
+:class:`ElasticDbSimulator` reproduces the paper's benchmark experiments
+(Figures 7-11): it ticks second by second, feeding the offered load into
+the calibrated per-partition queueing engine, consulting the provisioning
+strategy once per planner interval, and executing reconfigurations with
+the three-case parallel schedule — including just-in-time machine
+allocation, the shifting data distribution (which sets each node's load
+share), and the CPU interference of chunked data movement.
+
+Outputs are per-second latency percentiles, throughput, and machine
+allocation — the same series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import PStoreConfig
+from ..elasticity.base import ProvisioningStrategy
+from ..errors import SimulationError
+from ..hstore.engine import (
+    MigrationInterference,
+    QueueingEngine,
+)
+from ..hstore.latency import PercentileSeries
+from ..squall.migrator import DEFAULT_CHUNK_KB, ActiveMigration
+from ..squall.schedule import build_migration_schedule
+
+
+@dataclass
+class SimulationResult:
+    """Per-second series plus summary statistics of one benchmark run."""
+
+    strategy_name: str
+    latency: PercentileSeries
+    offered_tps: np.ndarray
+    completed_tps: np.ndarray
+    machines: np.ndarray
+    migrating: np.ndarray
+    emergencies: int
+    moves_started: int
+    sla_ms: float
+
+    @property
+    def seconds(self) -> int:
+        return int(self.offered_tps.size)
+
+    @property
+    def average_machines(self) -> float:
+        return float(self.machines.mean())
+
+    def sla_violations(self) -> Dict[float, int]:
+        """Seconds above the SLA per tracked percentile (Table 2)."""
+        return self.latency.violation_summary(self.sla_ms)
+
+    def summary(self) -> str:
+        violations = self.sla_violations()
+        parts = ", ".join(
+            f"p{int(q)}={violations[q]}" for q in sorted(violations)
+        )
+        return (
+            f"{self.strategy_name}: SLA violations [{parts}] "
+            f"avg machines {self.average_machines:.2f} "
+            f"({self.moves_started} moves, {self.emergencies} emergency)"
+        )
+
+
+class ElasticDbSimulator:
+    """Second-granularity elastic DBMS simulation.
+
+    Parameters
+    ----------
+    config:
+        model parameters; ``interval_seconds`` sets how often the
+        strategy is consulted.
+    max_machines:
+        machines physically available (the paper's cluster has 10).
+    initial_machines:
+        active machines at t=0.
+    chunk_kb:
+        migration chunk size (Fig. 8 sweeps this).
+    seed, engine_kwargs:
+        forwarded to the queueing engine (skew/noise processes).
+    """
+
+    def __init__(
+        self,
+        config: PStoreConfig,
+        max_machines: int = 10,
+        initial_machines: int = 4,
+        chunk_kb: float = DEFAULT_CHUNK_KB,
+        seed: int = 1,
+        engine_kwargs: Optional[dict] = None,
+    ):
+        if not 1 <= initial_machines <= max_machines:
+            raise SimulationError(
+                f"need 1 <= initial_machines <= max_machines "
+                f"(got {initial_machines}, {max_machines})"
+            )
+        self.config = config
+        self.max_machines = max_machines
+        self.initial_machines = initial_machines
+        self.chunk_kb = chunk_kb
+        p = config.partitions_per_node
+        self.engine = QueueingEngine(
+            n_partitions=max_machines * p,
+            seed=seed,
+            **(engine_kwargs or {}),
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        offered_tps: Sequence[float],
+        strategy: ProvisioningStrategy,
+        history_seed_tps: Sequence[float] = (),
+    ) -> SimulationResult:
+        """Simulate ``len(offered_tps)`` seconds of the benchmark.
+
+        ``offered_tps[t]`` is the aggregate offered load during second
+        ``t``.  ``history_seed_tps`` pre-populates the strategy's
+        per-interval load history (one value per planner interval) so
+        predictive strategies start with enough context.
+        """
+        config = self.config
+        offered = np.asarray(offered_tps, dtype=float)
+        if offered.ndim != 1 or offered.size == 0:
+            raise SimulationError("offered_tps must be a non-empty 1-D array")
+        if np.any(offered < 0):
+            raise SimulationError("offered load cannot be negative")
+        interval = int(round(config.interval_seconds))
+        if interval < 1:
+            raise SimulationError("interval_seconds must be >= 1 second")
+
+        p = config.partitions_per_node
+        total_partitions = self.max_machines * p
+        active: List[int] = list(range(self.initial_machines))
+        machines = self.initial_machines
+        strategy.reset(machines)
+
+        migration: Optional[ActiveMigration] = None
+        migration_rate = config.migration_rate_kbps
+        migration_target = machines
+        retiring: List[int] = []
+
+        history: List[float] = [float(v) for v in history_seed_tps]
+        interval_accumulator: List[float] = []
+
+        n = offered.size
+        out_machines = np.empty(n)
+        out_migrating = np.zeros(n, dtype=bool)
+        out_completed = np.empty(n)
+        p50 = np.empty(n)
+        p95 = np.empty(n)
+        p99 = np.empty(n)
+        emergencies = 0
+        moves_started = 0
+
+        for t in range(n):
+            # ---------------- planning (per interval boundary) --------
+            interval_accumulator.append(float(offered[t]))
+            if len(interval_accumulator) == interval:
+                history.append(float(np.mean(interval_accumulator)))
+                interval_accumulator.clear()
+                if migration is None:
+                    slot = len(history) - 1
+                    decision = strategy.decide(slot, history, machines)
+                    if (
+                        decision.acts
+                        and decision.target_machines != machines
+                        and 1 <= decision.target_machines <= self.max_machines
+                    ):
+                        migration_rate = (
+                            config.migration_rate_kbps * decision.rate_multiplier
+                        )
+                        migration, retiring = self._start_move(
+                            active, machines, decision.target_machines,
+                            migration_rate,
+                        )
+                        migration_target = decision.target_machines
+                        moves_started += 1
+                        if decision.emergency:
+                            emergencies += 1
+                        strategy.notify_move_started(decision.target_machines)
+
+            # ---------------- capacity state for this second ----------
+            if migration is not None:
+                fractions = migration.data_fractions()
+                node_map = migration.node_map or {}
+                shares = np.zeros(total_partitions)
+                for logical, fraction in enumerate(fractions):
+                    machine = node_map.get(logical, logical)
+                    shares[machine * p : (machine + 1) * p] = fraction / p
+                busy_machines = migration.physical_nodes(
+                    migration.migrating_machines()
+                )
+                interference = self._interference(
+                    total_partitions, busy_machines, migration_rate
+                )
+                out_machines[t] = migration.machines_allocated()
+                out_migrating[t] = True
+            else:
+                shares = np.zeros(total_partitions)
+                for machine in active:
+                    shares[machine * p : (machine + 1) * p] = 1.0 / (
+                        machines * p
+                    )
+                interference = None
+                out_machines[t] = machines
+
+            stats = self.engine.step(1.0, float(offered[t]), shares, interference)
+            out_completed[t] = stats.completed_tps
+            p50[t] = stats.p50_ms
+            p95[t] = stats.p95_ms
+            p99[t] = stats.p99_ms
+
+            # ---------------- migration progress -----------------------
+            if migration is not None:
+                migration.advance(1.0)
+                if migration.done:
+                    if retiring:
+                        for machine in retiring:
+                            active.remove(machine)
+                        retiring = []
+                    machines = migration_target
+                    migration = None
+                    strategy.notify_move_finished(machines)
+
+        latency = PercentileSeries(
+            seconds=np.arange(n),
+            percentiles={50.0: p50, 95.0: p95, 99.0: p99},
+            throughput=out_completed,
+        )
+        return SimulationResult(
+            strategy_name=strategy.name,
+            latency=latency,
+            offered_tps=offered.copy(),
+            completed_tps=out_completed,
+            machines=out_machines,
+            migrating=out_migrating,
+            emergencies=emergencies,
+            moves_started=moves_started,
+            sla_ms=config.sla_latency_ms,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _start_move(
+        self, active: List[int], before: int, after: int, rate_kbps: float
+    ):
+        """Build the migration and its logical->physical machine map.
+
+        Scale-out activates the lowest inactive machine indices; scale-in
+        retires the highest active ones (drained just-in-time by the
+        reversed schedule).
+        """
+        schedule = build_migration_schedule(before, after)
+        if after > before:
+            inactive = [
+                m for m in range(self.max_machines) if m not in active
+            ]
+            newcomers = inactive[: after - before]
+            if len(newcomers) < after - before:
+                raise SimulationError(
+                    f"cannot scale to {after}: only "
+                    f"{len(active) + len(newcomers)} machines exist"
+                )
+            node_map = {i: m for i, m in enumerate(sorted(active) + newcomers)}
+            active.extend(newcomers)
+            retiring: List[int] = []
+        else:
+            ordered = sorted(active)
+            survivors = ordered[:after]
+            retiring = ordered[after:]
+            node_map = {
+                i: m for i, m in enumerate(survivors + retiring)
+            }
+        migration = ActiveMigration(
+            schedule=schedule,
+            database_kb=self.config.database_kb,
+            rate_kbps=rate_kbps,
+            partitions_per_node=self.config.partitions_per_node,
+            chunk_kb=self.chunk_kb,
+            node_map=node_map,
+        )
+        return migration, retiring
+
+    def _interference(
+        self,
+        total_partitions: int,
+        busy_machines,
+        rate_kbps: float,
+    ) -> MigrationInterference:
+        p = self.config.partitions_per_node
+        partitions: List[int] = []
+        for machine in busy_machines:
+            partitions.extend(range(machine * p, (machine + 1) * p))
+        return MigrationInterference.for_rate(
+            total_partitions,
+            partitions,
+            rate_kbps=rate_kbps,
+            chunk_kb=self.chunk_kb,
+        )

@@ -1,0 +1,319 @@
+"""Simulated-time execution of reconfigurations (the Squall role).
+
+:class:`ActiveMigration` advances one reconfiguration through its
+schedule in simulated time, tracking per-machine data fractions, the
+just-in-time machine allocation, and which machines are busy migrating —
+everything the queueing engine and the capacity accounting need.
+
+:class:`ClusterMigrator` binds migrations to a row-level
+:class:`~repro.hstore.cluster.Cluster`: it computes the bucket-level
+reconfiguration plan, and as each machine-pair transfer completes it
+commits the corresponding bucket moves so the rows physically relocate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from ..config import PStoreConfig
+from ..errors import MigrationError
+from ..hstore.cluster import Cluster
+from .plan import BucketMove, make_reconfiguration_plan
+from .schedule import MigrationSchedule, Transfer, build_migration_schedule
+
+#: Default migration chunk size (kB); Sec. 8.1 found 1000 kB safe.
+DEFAULT_CHUNK_KB = 1000.0
+#: Average spacing between chunks implied by chunk size 1000 kB moving at
+#: the calibrated R = 244 kB/s (Sec. 8.1, footnote 1).
+CHUNK_SPACING_SECONDS = 1000.0 / 244.0
+
+
+class ActiveMigration:
+    """One in-flight reconfiguration, advanced in simulated time.
+
+    Machine indices are the *logical* indices of the schedule (the
+    smaller cluster occupies 0..s-1); callers that operate on physical
+    nodes supply a ``node_map`` from logical index to node id.
+
+    Parameters
+    ----------
+    schedule:
+        transfer schedule from :func:`build_migration_schedule`.
+    database_kb:
+        total database size; each transfer carries
+        ``schedule.fraction_per_transfer * database_kb``.
+    rate_kbps:
+        migration rate of one partition-pair lane (the paper's ``R``;
+        pass ``8 * R`` for the boosted reactive mode of Fig. 11).
+    partitions_per_node:
+        parallel lanes per machine pair.
+    """
+
+    def __init__(
+        self,
+        schedule: MigrationSchedule,
+        database_kb: float,
+        rate_kbps: float,
+        partitions_per_node: int = 1,
+        chunk_kb: float = DEFAULT_CHUNK_KB,
+        node_map: Optional[Mapping[int, int]] = None,
+    ):
+        if database_kb <= 0:
+            raise MigrationError("database_kb must be positive")
+        if rate_kbps <= 0:
+            raise MigrationError("rate_kbps must be positive")
+        if partitions_per_node < 1:
+            raise MigrationError("partitions_per_node must be >= 1")
+        if chunk_kb <= 0:
+            raise MigrationError("chunk_kb must be positive")
+        self.schedule = schedule
+        self.database_kb = database_kb
+        self.rate_kbps = rate_kbps
+        self.partitions_per_node = partitions_per_node
+        self.chunk_kb = chunk_kb
+        self.node_map = dict(node_map) if node_map is not None else None
+
+        self._pair_kb = schedule.fraction_per_transfer * database_kb
+        # A machine pair moves its data over P parallel partition lanes.
+        lane_rate = rate_kbps * partitions_per_node
+        self._round_seconds = (
+            self._pair_kb / lane_rate if schedule.n_rounds else 0.0
+        )
+        self._round_index = 0
+        self._elapsed_in_round = 0.0
+        self._progress_applied = 0.0
+        larger = max(schedule.before, schedule.after)
+        self._fractions = np.zeros(larger)
+        smaller = min(schedule.before, schedule.after)
+        self._fractions[:smaller] = 1.0 / schedule.before
+        if schedule.before > schedule.after:
+            self._fractions[smaller:] = 1.0 / schedule.before
+        self._completed_rounds: List[Tuple[Transfer, ...]] = []
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._round_index >= self.schedule.n_rounds
+
+    @property
+    def round_seconds(self) -> float:
+        return self._round_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock duration of the whole reconfiguration."""
+        return self._round_seconds * self.schedule.n_rounds
+
+    @property
+    def elapsed_fraction(self) -> float:
+        if self.schedule.n_rounds == 0:
+            return 1.0
+        done = self._round_index + (
+            self._elapsed_in_round / self._round_seconds
+            if self._round_seconds > 0 and not self.done
+            else 0.0
+        )
+        return min(1.0, done / self.schedule.n_rounds)
+
+    @property
+    def fraction_moved(self) -> float:
+        """Fraction of the *data being moved in this move* transferred
+        so far (the ``f`` of Eq. 7)."""
+        return self.elapsed_fraction
+
+    def advance(self, dt: float) -> List[Tuple[Transfer, ...]]:
+        """Advance ``dt`` seconds; returns the rounds completed in it."""
+        if dt < 0:
+            raise MigrationError("dt must be non-negative")
+        completed: List[Tuple[Transfer, ...]] = []
+        remaining = dt
+        while remaining > 0 and not self.done:
+            left_in_round = self._round_seconds - self._elapsed_in_round
+            if remaining + 1e-12 >= left_in_round:
+                remaining -= left_in_round
+                round_ = self.schedule.rounds[self._round_index]
+                self._apply_round(round_, fraction=1.0 - self._progress_applied)
+                self._completed_rounds.append(round_)
+                completed.append(round_)
+                self._round_index += 1
+                self._elapsed_in_round = 0.0
+                self._progress_applied = 0.0
+            else:
+                # Partial progress within the current round.
+                step_fraction = remaining / self._round_seconds
+                round_ = self.schedule.rounds[self._round_index]
+                self._apply_round(round_, fraction=step_fraction)
+                self._progress_applied += step_fraction
+                self._elapsed_in_round += remaining
+                remaining = 0.0
+        return completed
+
+    def _apply_round(self, round_: Tuple[Transfer, ...], fraction: float) -> None:
+        delta = self.schedule.fraction_per_transfer * fraction
+        for transfer in round_:
+            self._fractions[transfer.sender] -= delta
+            self._fractions[transfer.receiver] += delta
+
+    # ------------------------------------------------------------------
+    # State exposed to engines and accounting
+    # ------------------------------------------------------------------
+
+    def data_fractions(self) -> np.ndarray:
+        """Per-logical-machine fraction of the database (sums to 1).
+
+        Drained machines are clipped at exactly zero (floating-point
+        round-off in the per-round updates can leave values like -1e-18).
+        """
+        return np.clip(self._fractions, 0.0, None)
+
+    def machines_allocated(self) -> int:
+        """Machines physically present right now (just-in-time policy)."""
+        if self.done:
+            return self.schedule.after
+        return self.schedule.allocation[self._round_index]
+
+    def active_transfers(self) -> Tuple[Transfer, ...]:
+        """Transfers running at this instant (empty when done)."""
+        if self.done:
+            return ()
+        return self.schedule.rounds[self._round_index]
+
+    def migrating_machines(self) -> Set[int]:
+        """Logical machines currently sending or receiving."""
+        busy: Set[int] = set()
+        for transfer in self.active_transfers():
+            busy.add(transfer.sender)
+            busy.add(transfer.receiver)
+        return busy
+
+    def physical_nodes(self, machines: Set[int]) -> Set[int]:
+        if self.node_map is None:
+            return machines
+        return {self.node_map[m] for m in machines}
+
+
+class ClusterMigrator:
+    """Drives bucket-accurate migrations on a row-level cluster.
+
+    Scale-out: provision the new nodes, compute a balanced bucket plan
+    over old + new partitions, build the machine schedule, and commit
+    each machine pair's buckets when its transfer completes.  Scale-in is
+    symmetric (retiring nodes are drained, then decommissioned).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: PStoreConfig,
+        chunk_kb: float = DEFAULT_CHUNK_KB,
+        rate_multiplier: float = 1.0,
+    ):
+        if rate_multiplier <= 0:
+            raise MigrationError("rate_multiplier must be positive")
+        self.cluster = cluster
+        self.config = config
+        self.chunk_kb = chunk_kb
+        self.rate_multiplier = rate_multiplier
+        self._active: Optional[ActiveMigration] = None
+        self._pair_buckets: Dict[Tuple[int, int], List[BucketMove]] = {}
+        self._retiring_nodes: List[int] = []
+
+    @property
+    def active(self) -> Optional[ActiveMigration]:
+        return self._active
+
+    @property
+    def migrating(self) -> bool:
+        return self._active is not None and not self._active.done
+
+    def start_move(self, target_nodes: int) -> ActiveMigration:
+        """Begin reconfiguring the cluster to ``target_nodes`` machines."""
+        if self.migrating:
+            raise MigrationError("a migration is already in progress")
+        before = self.cluster.n_nodes
+        after = target_nodes
+        if after < 1:
+            raise MigrationError("target_nodes must be >= 1")
+        if after == before:
+            raise MigrationError("target equals current size; nothing to do")
+
+        if after > before:
+            new_nodes = self.cluster.add_nodes(after - before)
+            ordered_nodes = [n.node_id for n in self.cluster.nodes]
+            # Logical: originals 0..B-1 then new machines B..A-1.
+            originals = [nid for nid in ordered_nodes if nid not in
+                         {n.node_id for n in new_nodes}]
+            logical_order = originals + [n.node_id for n in new_nodes]
+            self._retiring_nodes = []
+        else:
+            ordered_nodes = [n.node_id for n in self.cluster.nodes]
+            survivors = ordered_nodes[:after]
+            retiring = ordered_nodes[after:]
+            logical_order = survivors + retiring
+            self._retiring_nodes = retiring
+
+        node_map = {i: nid for i, nid in enumerate(logical_order)}
+        surviving = logical_order if after > before else logical_order[:after]
+        target_partitions: List[int] = []
+        for nid in surviving:
+            node = next(n for n in self.cluster.nodes if n.node_id == nid)
+            target_partitions.extend(node.partition_ids)
+
+        plan = make_reconfiguration_plan(self.cluster.plan, target_partitions)
+        node_of_partition = {
+            pid: node.node_id
+            for node in self.cluster.nodes
+            for pid in node.partition_ids
+        }
+        self._pair_buckets = {
+            pair: moves
+            for pair, moves in plan.moves_by_node_pair(node_of_partition).items()
+        }
+
+        schedule = build_migration_schedule(before, after)
+        self._active = ActiveMigration(
+            schedule=schedule,
+            database_kb=max(self.cluster.total_data_kb, 1.0),
+            rate_kbps=self.config.migration_rate_kbps * self.rate_multiplier,
+            partitions_per_node=self.config.partitions_per_node,
+            chunk_kb=self.chunk_kb,
+            node_map=node_map,
+        )
+        return self._active
+
+    def advance(self, dt: float) -> bool:
+        """Advance the active migration; returns True when it completes."""
+        if self._active is None:
+            raise MigrationError("no active migration")
+        completed_rounds = self._active.advance(dt)
+        for round_ in completed_rounds:
+            for transfer in round_:
+                self._commit_transfer(transfer)
+        if self._active.done:
+            self._finish()
+            return True
+        return False
+
+    def _commit_transfer(self, transfer: Transfer) -> None:
+        assert self._active is not None and self._active.node_map is not None
+        src_node = self._active.node_map[transfer.sender]
+        dst_node = self._active.node_map[transfer.receiver]
+        for move in self._pair_buckets.pop((src_node, dst_node), []):
+            self.cluster.move_bucket(move.bucket, move.destination_partition)
+
+    def _finish(self) -> None:
+        # Commit any residual bucket moves (pairs whose buckets were not
+        # perfectly covered by the machine schedule's transfers).
+        for moves in self._pair_buckets.values():
+            for move in moves:
+                self.cluster.move_bucket(move.bucket, move.destination_partition)
+        self._pair_buckets = {}
+        if self._retiring_nodes:
+            self.cluster.remove_nodes(self._retiring_nodes)
+            self._retiring_nodes = []
+        self._active = None

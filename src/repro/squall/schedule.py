@@ -1,0 +1,344 @@
+"""Parallel migration schedules (Section 4.4.1, Table 1 of the paper).
+
+A reconfiguration between ``B`` and ``A`` machines moves data between the
+``s = min(B, A)`` machines of the smaller cluster and the ``delta =
+|A - B|`` machines that are added (scale-out) or retired (scale-in).
+Because every machine of the smaller cluster must exchange an *equal*
+amount of data with every machine of the delta set, the transfer graph is
+the complete bipartite graph ``K(s, delta)`` — each edge carrying
+``1/(s * l)`` of the database (``l = max(B, A)``) — and a schedule is a
+decomposition of that graph into *rounds* in which each machine
+participates in at most one transfer.
+
+``K(s, delta)`` decomposes into exactly ``max(s, delta)`` rounds, and the
+paper's three scheduling cases are exactly the decompositions that also
+allocate machines just-in-time:
+
+1. ``delta <= s``: all delta machines allocated at once; ``s`` rounds of
+   rotating senders (Fig. 4a).
+2. ``delta`` a multiple of ``s``: blocks of ``s`` machines allocated one
+   block at a time, each block filled by a Latin-square rotation
+   (Fig. 4b).
+3. otherwise: three phases — full blocks, a partially-filled block, and
+   a final phase that finishes the partial block while filling the last
+   ``r = delta mod s`` machines (Fig. 4c, Table 1).
+
+Scale-in mirrors scale-out: generate the scale-out schedule and play it
+backwards, so retiring machines drain (and are released) just-in-time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..errors import MigrationError
+
+#: One transfer: (machine index in the smaller cluster,
+#:                machine index within the delta set).
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One sender -> receiver transfer within a round (machine indices
+    are *global*: 0..l-1, where the smaller cluster occupies 0..s-1 on
+    scale-out and the survivors occupy 0..s-1 on scale-in)."""
+
+    sender: int
+    receiver: int
+
+
+@dataclass(frozen=True)
+class MigrationSchedule:
+    """A complete schedule for one reconfiguration.
+
+    Attributes
+    ----------
+    before, after:
+        cluster sizes around the move.
+    rounds:
+        tuple of rounds; each round is a tuple of :class:`Transfer` that
+        run in parallel.
+    allocation:
+        machines allocated *during* each round (just-in-time policy).
+    fraction_per_transfer:
+        fraction of the whole database carried by one transfer.
+    """
+
+    before: int
+    after: int
+    rounds: Tuple[Tuple[Transfer, ...], ...]
+    allocation: Tuple[int, ...]
+    fraction_per_transfer: float
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def is_scale_out(self) -> bool:
+        return self.after > self.before
+
+    @property
+    def total_transfers(self) -> int:
+        return sum(len(r) for r in self.rounds)
+
+    @property
+    def moved_fraction(self) -> float:
+        return self.total_transfers * self.fraction_per_transfer
+
+    def average_machines(self) -> float:
+        """Time-average allocation (cross-checks Algorithm 4)."""
+        if not self.rounds:
+            return float(self.before)
+        return sum(self.allocation) / len(self.allocation)
+
+    def describe(self) -> str:
+        """Human-readable rendering in the style of the paper's Table 1."""
+        lines = []
+        for i, round_ in enumerate(self.rounds, start=1):
+            pairs = ", ".join(
+                f"{t.sender + 1} -> {t.receiver + 1}" for t in round_
+            )
+            lines.append(f"round {i:>2} [{self.allocation[i - 1]:>2} mach]: {pairs}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Bipartite edge colouring (König construction)
+# ----------------------------------------------------------------------
+
+
+def _edge_coloring(
+    edges: Sequence[Edge], n_left: int, n_right: int, n_colors: int
+) -> List[List[Edge]]:
+    """Partition bipartite ``edges`` into ``n_colors`` matchings.
+
+    Classic constructive proof of König's edge-colouring theorem: insert
+    edges one at a time; if no colour is free at both endpoints, swap
+    colours along an alternating path.  Works for any bipartite graph
+    with maximum degree <= ``n_colors``.
+    """
+    free_left: List[Set[int]] = [set(range(n_colors)) for _ in range(n_left)]
+    free_right: List[Set[int]] = [set(range(n_colors)) for _ in range(n_right)]
+    # colour -> endpoint adjacency, for the alternating-path walk.
+    left_with: List[Dict[int, int]] = [dict() for _ in range(n_left)]
+    right_with: List[Dict[int, int]] = [dict() for _ in range(n_right)]
+
+    def assign(u: int, v: int, color: int) -> None:
+        left_with[u][color] = v
+        right_with[v][color] = u
+        free_left[u].discard(color)
+        free_right[v].discard(color)
+
+    def unassign(u: int, v: int, color: int) -> None:
+        del left_with[u][color]
+        del right_with[v][color]
+        free_left[u].add(color)
+        free_right[v].add(color)
+
+    for u, v in edges:
+        if not free_left[u] or not free_right[v]:
+            raise MigrationError(
+                f"edge ({u}, {v}) exceeds the colour budget {n_colors}"
+            )
+        common = free_left[u] & free_right[v]
+        if common:
+            assign(u, v, min(common))
+            continue
+        # Alternating path: colour a free at u, colour b free at v.
+        a = min(free_left[u])
+        b = min(free_right[v])
+        # Walk the a/b alternating path starting from v and swap colours.
+        node, on_right, color = v, True, a
+        path: List[Tuple[int, int, int]] = []  # (left, right, colour)
+        while True:
+            if on_right:
+                partner = right_with[node].get(color)
+                if partner is None:
+                    break
+                path.append((partner, node, color))
+                node, on_right, color = partner, False, b
+            else:
+                partner = left_with[node].get(color)
+                if partner is None:
+                    break
+                path.append((node, partner, color))
+                node, on_right, color = partner, True, a
+        for left, right, color in path:
+            unassign(left, right, color)
+        for left, right, color in path:
+            assign(left, right, a if color == b else b)
+        assign(u, v, a)
+
+    rounds: List[List[Edge]] = [[] for _ in range(n_colors)]
+    for u in range(n_left):
+        for color, v in left_with[u].items():
+            rounds[color].append((u, v))
+    return rounds
+
+
+# ----------------------------------------------------------------------
+# Schedule construction
+# ----------------------------------------------------------------------
+
+
+def _scale_out_rounds(s: int, delta: int) -> Tuple[List[List[Edge]], List[int]]:
+    """Rounds (as (sender, delta-member) edges) plus per-round delta-set
+    allocation counts, for a scale-out of ``delta`` machines from ``s``."""
+    senders = list(range(s))
+    remainder = delta % s
+
+    # Case 1: all new machines allocated at once, receivers always busy.
+    if delta <= s:
+        receivers = list(range(delta))
+        rounds: List[List[Edge]] = []
+        for i in range(s):
+            # Receiver j takes sender (j + i) mod s; receivers all busy,
+            # senders rotate (some idle when delta < s).
+            rounds.append([((j + i) % s, j) for j in range(delta)])
+        allocation = [delta] * s
+        return rounds, allocation
+
+    rounds = []
+    allocation = []
+    full_blocks = delta // s if remainder == 0 else delta // s - 1
+
+    # Phase 1: full blocks of s machines, one Latin square each.
+    allocated = 0
+    for b in range(full_blocks):
+        block = list(range(b * s, (b + 1) * s))
+        allocated = (b + 1) * s
+        for i in range(s):
+            rounds.append([(p, block[(p + i) % s]) for p in senders])
+            allocation.append(allocated)
+
+    if remainder == 0:
+        return rounds, allocation
+
+    # Phase 2: next block of s machines, filled for r rounds only.
+    block2 = list(range(full_blocks * s, full_blocks * s + s))
+    allocated += s
+    for i in range(remainder):
+        rounds.append([(p, block2[(p + i) % s]) for p in senders])
+        allocation.append(allocated)
+
+    # Phase 3: final r machines join; finish block2 and fill the new ones.
+    final = list(range(full_blocks * s + s, delta))
+    allocated += remainder
+    edges: List[Edge] = []
+    for j, receiver in enumerate(block2):
+        # Receiver j already got senders {j, j-1, .., j-r+1} (mod s).
+        received = {(j - i) % s for i in range(remainder)}
+        edges.extend((p, receiver) for p in senders if p not in received)
+    for receiver in final:
+        edges.extend((p, receiver) for p in senders)
+    phase3 = _edge_coloring(edges, n_left=s, n_right=delta, n_colors=s)
+    for round_edges in phase3:
+        rounds.append(sorted(round_edges))
+        allocation.append(allocated)
+    return rounds, allocation
+
+
+def build_migration_schedule(before: int, after: int) -> MigrationSchedule:
+    """Build the full parallel schedule for a ``B -> A`` reconfiguration.
+
+    Machine indices are global: on scale-out, senders are ``0..B-1`` and
+    new machines ``B..A-1``; on scale-in, survivors are ``0..A-1`` and
+    retiring machines ``A..B-1`` (callers map these roles onto physical
+    nodes).  ``allocation[i]`` counts machines physically present during
+    round ``i`` under just-in-time allocation/release.
+    """
+    if before < 1 or after < 1:
+        raise MigrationError(
+            f"cluster sizes must be >= 1 (got B={before}, A={after})"
+        )
+    if before == after:
+        return MigrationSchedule(
+            before=before,
+            after=after,
+            rounds=(),
+            allocation=(),
+            fraction_per_transfer=0.0,
+        )
+    smaller = min(before, after)
+    larger = max(before, after)
+    delta = larger - smaller
+    raw_rounds, raw_allocation = _scale_out_rounds(smaller, delta)
+
+    def to_transfer(edge: Edge, scale_out: bool) -> Transfer:
+        small_machine, delta_member = edge
+        delta_machine = smaller + delta_member
+        if scale_out:
+            return Transfer(sender=small_machine, receiver=delta_machine)
+        return Transfer(sender=delta_machine, receiver=small_machine)
+
+    scale_out = after > before
+    if scale_out:
+        rounds = tuple(
+            tuple(to_transfer(e, True) for e in round_) for round_ in raw_rounds
+        )
+        allocation = tuple(smaller + extra for extra in raw_allocation)
+    else:
+        # Mirror: play the scale-out schedule backwards so retiring
+        # machines are drained and released just-in-time.
+        rounds = tuple(
+            tuple(to_transfer(e, False) for e in round_)
+            for round_ in reversed(raw_rounds)
+        )
+        allocation = tuple(smaller + extra for extra in reversed(raw_allocation))
+    return MigrationSchedule(
+        before=before,
+        after=after,
+        rounds=rounds,
+        allocation=allocation,
+        fraction_per_transfer=1.0 / (smaller * larger),
+    )
+
+
+def validate_schedule(schedule: MigrationSchedule) -> None:
+    """Assert every invariant of Section 4.4.1; raises on violation.
+
+    * each machine participates in at most one transfer per round;
+    * every (small-cluster, delta-set) pair transfers exactly once;
+    * the number of rounds is ``max(s, delta)``;
+    * machines are never used before being allocated.
+    """
+    before, after = schedule.before, schedule.after
+    if before == after:
+        if schedule.rounds:
+            raise MigrationError("no-op move must have an empty schedule")
+        return
+    smaller, larger = min(before, after), max(before, after)
+    delta = larger - smaller
+    expected_rounds = max(smaller, delta)
+    if schedule.n_rounds != expected_rounds:
+        raise MigrationError(
+            f"{before}->{after}: {schedule.n_rounds} rounds, "
+            f"expected {expected_rounds}"
+        )
+    seen: Set[Tuple[int, int]] = set()
+    for idx, round_ in enumerate(schedule.rounds):
+        busy: Set[int] = set()
+        for transfer in round_:
+            for machine in (transfer.sender, transfer.receiver):
+                if machine in busy:
+                    raise MigrationError(
+                        f"round {idx}: machine {machine} used twice"
+                    )
+                busy.add(machine)
+                if machine >= schedule.allocation[idx]:
+                    raise MigrationError(
+                        f"round {idx}: machine {machine} not yet allocated "
+                        f"(allocation={schedule.allocation[idx]})"
+                    )
+            pair = (transfer.sender, transfer.receiver)
+            if pair in seen:
+                raise MigrationError(f"duplicate transfer {pair}")
+            seen.add(pair)
+    if len(seen) != smaller * delta:
+        raise MigrationError(
+            f"{before}->{after}: {len(seen)} transfers, expected "
+            f"{smaller * delta} (complete bipartite)"
+        )

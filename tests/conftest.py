@@ -1,0 +1,47 @@
+"""Shared fixtures for the P-Store reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmark import b2w_schema, load_b2w_data
+from repro.config import PStoreConfig, default_config
+from repro.hstore import Cluster, TransactionExecutor
+
+
+@pytest.fixture
+def config() -> PStoreConfig:
+    """The paper's default configuration."""
+    return default_config()
+
+
+@pytest.fixture
+def fast_config() -> PStoreConfig:
+    """A configuration with 10-minute planner intervals, so that typical
+    moves last only a few intervals — keeps planner tests small."""
+    return default_config().with_interval(600.0)
+
+
+@pytest.fixture
+def tiny_cluster() -> Cluster:
+    """A 2-node, 3-partition-per-node cluster with the B2W schema."""
+    return Cluster(b2w_schema(), n_nodes=2, partitions_per_node=3, n_buckets=96)
+
+
+@pytest.fixture
+def loaded_cluster() -> Cluster:
+    """A small cluster pre-loaded with stock, carts and checkouts."""
+    cluster = Cluster(b2w_schema(), n_nodes=2, partitions_per_node=3, n_buckets=96)
+    load_b2w_data(cluster, n_stock=100, n_carts=150, n_checkouts=20, seed=11)
+    return cluster
+
+
+@pytest.fixture
+def executor(loaded_cluster: Cluster) -> TransactionExecutor:
+    return TransactionExecutor(loaded_cluster, seed=5)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

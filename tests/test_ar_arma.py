@@ -1,0 +1,111 @@
+"""Tests for the AR and ARMA baseline predictors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, PredictionError
+from repro.prediction import ArmaPredictor, ArPredictor, fit_ar_coefficients
+
+
+def ar2_process(n=3000, phi1=0.6, phi2=0.3, c=5.0, sigma=0.5, seed=1):
+    rng = np.random.default_rng(seed)
+    y = np.zeros(n)
+    y[0] = y[1] = c / (1 - phi1 - phi2)
+    for t in range(2, n):
+        y[t] = c + phi1 * y[t - 1] + phi2 * y[t - 2] + rng.normal(0, sigma)
+    return y
+
+
+class TestFitArCoefficients:
+    def test_recovers_known_process(self):
+        series = ar2_process()
+        coeffs = fit_ar_coefficients(series, order=2)
+        assert coeffs[1] == pytest.approx(0.6, abs=0.05)
+        assert coeffs[2] == pytest.approx(0.3, abs=0.05)
+
+    def test_too_short_series_raises(self):
+        with pytest.raises(PredictionError):
+            fit_ar_coefficients(np.ones(5), order=5)
+
+
+class TestArPredictor:
+    def test_invalid_order(self):
+        with pytest.raises(PredictionError):
+            ArPredictor(order=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            ArPredictor(order=2).predict_horizon([1.0, 2.0, 3.0], 2)
+
+    def test_one_step_accuracy_on_ar_process(self):
+        series = ar2_process()
+        ar = ArPredictor(order=2).fit(series[:2500])
+        result = ar.backtest(series, tau=1, start=2500, step=3)
+        # Relative error should be around sigma / mean (< 3%).
+        assert result.mean_relative_error() < 0.03
+
+    def test_multi_step_converges_to_process_mean(self):
+        series = ar2_process()
+        ar = ArPredictor(order=2).fit(series)
+        forecast = ar.predict_horizon(series, 300)
+        process_mean = 5.0 / (1 - 0.9)
+        assert forecast[-1] == pytest.approx(process_mean, rel=0.05)
+
+    def test_history_shorter_than_order_rejected(self):
+        ar = ArPredictor(order=10).fit(ar2_process())
+        with pytest.raises(PredictionError):
+            ar.predict_horizon([1.0] * 5, 2)
+
+    def test_clipped_at_zero(self):
+        # A steeply falling series extrapolates negative without clipping.
+        series = np.linspace(1000, 1, 500)
+        ar = ArPredictor(order=3).fit(series)
+        forecast = ar.predict_horizon(series, 50)
+        assert np.all(forecast >= 0.0)
+
+    def test_coefficients_property_copies(self):
+        ar = ArPredictor(order=2).fit(ar2_process())
+        coeffs = ar.coefficients
+        coeffs[0] = 999.0
+        assert ar.coefficients[0] != 999.0
+
+
+class TestArmaPredictor:
+    def test_invalid_orders(self):
+        with pytest.raises(PredictionError):
+            ArmaPredictor(p=0)
+        with pytest.raises(PredictionError):
+            ArmaPredictor(p=2, q=-1)
+
+    def test_too_short_training_raises(self):
+        with pytest.raises(PredictionError):
+            ArmaPredictor(p=5, q=2).fit(np.ones(20))
+
+    def test_fits_and_forecasts_ar_process(self):
+        series = ar2_process()
+        arma = ArmaPredictor(p=2, q=2).fit(series[:2500])
+        result = arma.backtest(series, tau=1, start=2500, step=5)
+        assert result.mean_relative_error() < 0.03
+
+    def test_horizon_shape(self):
+        series = ar2_process()
+        arma = ArmaPredictor(p=3, q=2).fit(series)
+        assert arma.predict_horizon(series, 9).shape == (9,)
+
+    def test_pure_ar_mode(self):
+        """q = 0 degrades gracefully to an AR fit."""
+        series = ar2_process()
+        arma = ArmaPredictor(p=2, q=0).fit(series[:2500])
+        result = arma.backtest(series, tau=1, start=2500, step=7)
+        assert result.mean_relative_error() < 0.03
+
+    def test_short_history_rejected(self):
+        arma = ArmaPredictor(p=2, q=2).fit(ar2_process())
+        with pytest.raises(PredictionError):
+            arma.predict_horizon([1.0] * 3, 2)
+
+    def test_clipped_at_zero(self):
+        series = np.linspace(500, 1, 400)
+        arma = ArmaPredictor(p=2, q=1, long_ar_order=5).fit(series)
+        forecast = arma.predict_horizon(series, 80)
+        assert np.all(forecast >= 0.0)

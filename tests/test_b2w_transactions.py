@@ -1,0 +1,270 @@
+"""Tests for all nineteen B2W benchmark transactions (Table 4)."""
+
+import pytest
+
+from repro.benchmark import ALL_PROCEDURES, b2w_schema
+from repro.errors import TransactionAbort
+from repro.hstore import Cluster, Transaction, TransactionExecutor
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(b2w_schema(), n_nodes=1, partitions_per_node=2, n_buckets=32)
+
+
+@pytest.fixture
+def executor(cluster):
+    return TransactionExecutor(cluster, seed=1)
+
+
+def run(executor, name, **params):
+    txn = Transaction(ALL_PROCEDURES[name], params)
+    return executor.execute(txn)
+
+
+def stock_row(cluster, sku="SKU-1", quantity=10):
+    cluster.insert(
+        "stock",
+        {
+            "sku": sku,
+            "warehouse": "WH-0",
+            "quantity": quantity,
+            "reserved": 0,
+            "updated_at": 0.0,
+        },
+    )
+
+
+class TestTable4Complete:
+    def test_all_nineteen_procedures_present(self):
+        expected = {
+            "AddLineToCart", "DeleteLineFromCart", "GetCart", "DeleteCart",
+            "GetStock", "GetStockQuantity", "ReserveStock", "PurchaseStock",
+            "CancelStockReservation", "CreateStockTransaction", "ReserveCart",
+            "GetStockTransaction", "UpdateStockTransaction", "CreateCheckout",
+            "CreateCheckoutPayment", "AddLineToCheckout",
+            "DeleteLineFromCheckout", "GetCheckout", "DeleteCheckout",
+        }
+        assert set(ALL_PROCEDURES) == expected
+        assert len(expected) == 19
+
+    def test_read_only_flags(self):
+        read_only = {
+            name for name, proc in ALL_PROCEDURES.items() if proc.read_only
+        }
+        assert read_only == {
+            "GetCart", "GetStock", "GetStockQuantity",
+            "GetStockTransaction", "GetCheckout",
+        }
+
+
+class TestCartLifecycle:
+    def test_add_line_creates_cart(self, executor, cluster):
+        result = run(
+            executor, "AddLineToCart",
+            cart_id="C1", sku="SKU-1", quantity=2, unit_price=10.0,
+        )
+        assert result.committed
+        cart = cluster.get("cart", "C1")
+        assert cart["status"] == "active"
+        assert cart["total"] == pytest.approx(20.0)
+
+    def test_add_same_sku_merges_quantities(self, executor, cluster):
+        run(executor, "AddLineToCart", cart_id="C1", sku="S", quantity=1, unit_price=5.0)
+        run(executor, "AddLineToCart", cart_id="C1", sku="S", quantity=2, unit_price=5.0)
+        cart = cluster.get("cart", "C1")
+        assert len(cart["lines"]) == 1
+        assert cart["lines"][0]["quantity"] == 3
+
+    def test_zero_quantity_aborts(self, executor):
+        result = run(
+            executor, "AddLineToCart", cart_id="C1", sku="S", quantity=0
+        )
+        assert not result.committed
+
+    def test_get_cart(self, executor):
+        run(executor, "AddLineToCart", cart_id="C1", sku="S", unit_price=1.0)
+        result = run(executor, "GetCart", cart_id="C1")
+        assert result.committed
+        assert result.result["cart_id"] == "C1"
+
+    def test_get_missing_cart_aborts(self, executor):
+        assert not run(executor, "GetCart", cart_id="ghost").committed
+
+    def test_delete_line(self, executor, cluster):
+        run(executor, "AddLineToCart", cart_id="C1", sku="A", unit_price=1.0)
+        run(executor, "AddLineToCart", cart_id="C1", sku="B", unit_price=2.0)
+        result = run(executor, "DeleteLineFromCart", cart_id="C1", sku="A")
+        assert result.committed
+        assert [l["sku"] for l in cluster.get("cart", "C1")["lines"]] == ["B"]
+
+    def test_delete_absent_line_aborts(self, executor):
+        run(executor, "AddLineToCart", cart_id="C1", sku="A", unit_price=1.0)
+        assert not run(executor, "DeleteLineFromCart", cart_id="C1", sku="Z").committed
+
+    def test_delete_cart(self, executor, cluster):
+        run(executor, "AddLineToCart", cart_id="C1", sku="A", unit_price=1.0)
+        assert run(executor, "DeleteCart", cart_id="C1").committed
+        assert cluster.get("cart", "C1") is None
+
+    def test_delete_missing_cart_aborts(self, executor):
+        assert not run(executor, "DeleteCart", cart_id="ghost").committed
+
+    def test_reserve_cart(self, executor, cluster):
+        run(executor, "AddLineToCart", cart_id="C1", sku="A", unit_price=1.0)
+        assert run(executor, "ReserveCart", cart_id="C1").committed
+        assert cluster.get("cart", "C1")["status"] == "reserved"
+
+    def test_reserve_empty_cart_aborts(self, executor, cluster):
+        run(executor, "AddLineToCart", cart_id="C1", sku="A", unit_price=1.0)
+        run(executor, "DeleteLineFromCart", cart_id="C1", sku="A")
+        assert not run(executor, "ReserveCart", cart_id="C1").committed
+
+    def test_edit_reserved_cart_aborts(self, executor):
+        run(executor, "AddLineToCart", cart_id="C1", sku="A", unit_price=1.0)
+        run(executor, "ReserveCart", cart_id="C1")
+        assert not run(
+            executor, "AddLineToCart", cart_id="C1", sku="B", unit_price=1.0
+        ).committed
+
+    def test_double_reserve_aborts(self, executor):
+        run(executor, "AddLineToCart", cart_id="C1", sku="A", unit_price=1.0)
+        run(executor, "ReserveCart", cart_id="C1")
+        assert not run(executor, "ReserveCart", cart_id="C1").committed
+
+
+class TestStockOperations:
+    def test_get_stock(self, executor, cluster):
+        stock_row(cluster)
+        result = run(executor, "GetStock", sku="SKU-1")
+        assert result.committed
+        assert result.result["quantity"] == 10
+
+    def test_get_stock_quantity_subtracts_reserved(self, executor, cluster):
+        stock_row(cluster, quantity=10)
+        run(executor, "ReserveStock", sku="SKU-1", quantity=4)
+        result = run(executor, "GetStockQuantity", sku="SKU-1")
+        assert result.result == 6
+
+    def test_reserve_beyond_available_aborts(self, executor, cluster):
+        stock_row(cluster, quantity=3)
+        assert not run(executor, "ReserveStock", sku="SKU-1", quantity=5).committed
+
+    def test_reserve_then_purchase(self, executor, cluster):
+        stock_row(cluster, quantity=10)
+        run(executor, "ReserveStock", sku="SKU-1", quantity=4)
+        result = run(executor, "PurchaseStock", sku="SKU-1", quantity=4)
+        assert result.committed
+        stock = cluster.get("stock", "SKU-1")
+        assert stock["quantity"] == 6
+        assert stock["reserved"] == 0
+
+    def test_purchase_without_reservation_aborts(self, executor, cluster):
+        stock_row(cluster, quantity=10)
+        assert not run(executor, "PurchaseStock", sku="SKU-1", quantity=2).committed
+
+    def test_cancel_reservation_restores_availability(self, executor, cluster):
+        stock_row(cluster, quantity=10)
+        run(executor, "ReserveStock", sku="SKU-1", quantity=4)
+        run(executor, "CancelStockReservation", sku="SKU-1", quantity=4)
+        assert run(executor, "GetStockQuantity", sku="SKU-1").result == 10
+
+    def test_cancel_more_than_reserved_aborts(self, executor, cluster):
+        stock_row(cluster, quantity=10)
+        run(executor, "ReserveStock", sku="SKU-1", quantity=1)
+        assert not run(
+            executor, "CancelStockReservation", sku="SKU-1", quantity=3
+        ).committed
+
+
+class TestStockTransactions:
+    def test_create_and_get(self, executor):
+        run(
+            executor, "CreateStockTransaction",
+            transaction_id="T1", sku="SKU-1", cart_id="C1", quantity=2,
+        )
+        result = run(executor, "GetStockTransaction", transaction_id="T1")
+        assert result.result["status"] == "reserved"
+
+    def test_update_to_purchased(self, executor):
+        run(
+            executor, "CreateStockTransaction",
+            transaction_id="T1", sku="SKU-1", cart_id="C1",
+        )
+        result = run(
+            executor, "UpdateStockTransaction",
+            transaction_id="T1", status="purchased",
+        )
+        assert result.committed
+        assert result.result["status"] == "purchased"
+
+    def test_update_twice_aborts(self, executor):
+        run(
+            executor, "CreateStockTransaction",
+            transaction_id="T1", sku="SKU-1", cart_id="C1",
+        )
+        run(executor, "UpdateStockTransaction", transaction_id="T1", status="cancelled")
+        assert not run(
+            executor, "UpdateStockTransaction", transaction_id="T1", status="purchased"
+        ).committed
+
+    def test_illegal_status_aborts(self, executor):
+        run(
+            executor, "CreateStockTransaction",
+            transaction_id="T1", sku="SKU-1", cart_id="C1",
+        )
+        assert not run(
+            executor, "UpdateStockTransaction", transaction_id="T1", status="pending"
+        ).committed
+
+
+class TestCheckoutLifecycle:
+    LINES = [{"sku": "S1", "quantity": 2, "unit_price": 10.0}]
+
+    def test_create_checkout(self, executor, cluster):
+        result = run(
+            executor, "CreateCheckout",
+            checkout_id="K1", cart_id="C1", lines=self.LINES,
+        )
+        assert result.committed
+        assert cluster.get("checkout", "K1")["total"] == pytest.approx(20.0)
+
+    def test_payment(self, executor, cluster):
+        run(executor, "CreateCheckout", checkout_id="K1", cart_id="C1", lines=self.LINES)
+        result = run(
+            executor, "CreateCheckoutPayment",
+            checkout_id="K1", payment={"method": "pix"},
+        )
+        assert result.committed
+        assert cluster.get("checkout", "K1")["payment"]["method"] == "pix"
+
+    def test_add_line_to_checkout(self, executor, cluster):
+        run(executor, "CreateCheckout", checkout_id="K1", cart_id="C1", lines=self.LINES)
+        run(
+            executor, "AddLineToCheckout",
+            checkout_id="K1", sku="S2", quantity=1, unit_price=5.0,
+        )
+        assert cluster.get("checkout", "K1")["total"] == pytest.approx(25.0)
+
+    def test_delete_line_from_checkout(self, executor, cluster):
+        run(executor, "CreateCheckout", checkout_id="K1", cart_id="C1", lines=self.LINES)
+        run(executor, "DeleteLineFromCheckout", checkout_id="K1", sku="S1")
+        assert cluster.get("checkout", "K1")["lines"] == []
+
+    def test_delete_absent_line_aborts(self, executor):
+        run(executor, "CreateCheckout", checkout_id="K1", cart_id="C1", lines=self.LINES)
+        assert not run(
+            executor, "DeleteLineFromCheckout", checkout_id="K1", sku="ZZ"
+        ).committed
+
+    def test_get_checkout(self, executor):
+        run(executor, "CreateCheckout", checkout_id="K1", cart_id="C1", lines=[])
+        assert run(executor, "GetCheckout", checkout_id="K1").committed
+
+    def test_delete_checkout(self, executor, cluster):
+        run(executor, "CreateCheckout", checkout_id="K1", cart_id="C1", lines=[])
+        assert run(executor, "DeleteCheckout", checkout_id="K1").committed
+        assert cluster.get("checkout", "K1") is None
+
+    def test_delete_missing_checkout_aborts(self, executor):
+        assert not run(executor, "DeleteCheckout", checkout_id="ghost").committed

@@ -1,0 +1,134 @@
+"""Tests for the fast capacity-level simulator (Sec. 8.3 methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.elasticity import (
+    ReactiveStrategy,
+    SimpleStrategy,
+    StaticStrategy,
+)
+from repro.elasticity.manual import ManualStrategy
+from repro.errors import SimulationError
+from repro.sim import CapacitySimulator, run_capacity_simulation
+from repro.workload import LoadTrace, b2w_like_trace
+
+CFG = default_config().with_interval(300.0)
+
+
+def flat_trace(tps, slots=50):
+    return LoadTrace(np.full(slots, tps * 300.0), slot_seconds=300.0)
+
+
+class TestStaticRuns:
+    def test_cost_is_machines_times_slots(self):
+        result = run_capacity_simulation(
+            flat_trace(100.0), StaticStrategy(3), CFG, initial_machines=3
+        )
+        assert result.cost_machine_slots == 3 * 50
+        assert result.average_machines == 3.0
+        assert result.moves_started == 0
+
+    def test_insufficient_capacity_detected(self):
+        overload = 2 * CFG.q_hat * 1.2
+        result = run_capacity_simulation(
+            flat_trace(overload), StaticStrategy(2), CFG, initial_machines=2
+        )
+        assert result.pct_time_insufficient == 100.0
+
+    def test_sufficient_capacity_clean(self):
+        result = run_capacity_simulation(
+            flat_trace(CFG.q * 2), StaticStrategy(4), CFG, initial_machines=4
+        )
+        assert result.insufficient_slots == 0
+
+
+class TestMigrationAccounting:
+    def test_manual_scale_out_executes(self):
+        trace = flat_trace(CFG.q * 1.5, slots=100)
+        result = run_capacity_simulation(
+            trace, ManualStrategy([(10, 5)]), CFG, initial_machines=2
+        )
+        assert result.moves_started == 1
+        assert result.machines[-1] == 5
+        assert result.migrating.any()
+
+    def test_effective_capacity_degraded_during_move(self):
+        """Mid-move, eff-cap must sit strictly between the before and
+        after plateau capacities (Eq. 7)."""
+        trace = flat_trace(CFG.q * 0.5, slots=200)
+        result = run_capacity_simulation(
+            trace, ManualStrategy([(10, 8)]), CFG, initial_machines=2
+        )
+        during = result.eff_cap_target[result.migrating]
+        assert during.size > 0
+        assert during.min() >= CFG.q * 2 - 1e-6
+        assert during.max() <= CFG.q * 8 + 1e-6
+        assert (during < CFG.q * 8 - 1e-6).any()
+
+    def test_machines_allocated_jit_during_move(self):
+        trace = flat_trace(CFG.q * 0.5, slots=300)
+        result = run_capacity_simulation(
+            trace, ManualStrategy([(10, 8)]), CFG, initial_machines=2
+        )
+        during = result.machines[result.migrating]
+        assert during.min() >= 2
+        assert during.max() <= 8
+
+    def test_scale_in_reduces_cost(self):
+        trace = flat_trace(CFG.q * 0.5, slots=200)
+        hold = run_capacity_simulation(
+            trace, StaticStrategy(6), CFG, initial_machines=6
+        )
+        shrink = run_capacity_simulation(
+            trace, ManualStrategy([(5, 2)]), CFG, initial_machines=6
+        )
+        assert shrink.cost_machine_slots < hold.cost_machine_slots
+
+
+class TestReactiveOnDailyPattern:
+    def test_reactive_tracks_load(self):
+        trace = b2w_like_trace(
+            n_days=3, slot_seconds=300.0, seed=8, base_level=1400 * 300.0
+        )
+        reactive = ReactiveStrategy(CFG, scale_in_patience=6)
+        result = run_capacity_simulation(trace, reactive, CFG, initial_machines=4)
+        # It must both scale out (peak) and scale back in (trough).
+        assert result.moves_started >= 4
+        assert result.machines.max() > result.machines.min()
+        # Cheaper than static provisioning at its own peak size.
+        static_cost = result.machines.max() * result.n_slots
+        assert result.cost_machine_slots < 0.8 * static_cost
+
+
+class TestSimpleOnDailyPattern:
+    def test_simple_follows_clock(self):
+        trace = b2w_like_trace(
+            n_days=2, slot_seconds=300.0, seed=8, base_level=1400 * 300.0
+        )
+        simple = SimpleStrategy(6, 2, slots_per_day=288)
+        result = run_capacity_simulation(trace, simple, CFG, initial_machines=2)
+        assert result.moves_started == 4  # two mornings, two nights
+
+
+class TestValidation:
+    def test_slot_mismatch_rejected(self):
+        trace = LoadTrace(np.full(10, 100.0), slot_seconds=60.0)
+        with pytest.raises(SimulationError):
+            run_capacity_simulation(trace, StaticStrategy(2), CFG, 2)
+
+    def test_bad_initial_machines(self):
+        with pytest.raises(SimulationError):
+            CapacitySimulator(CFG, initial_machines=0)
+
+    def test_history_seed_prepended(self):
+        sim = CapacitySimulator(CFG, initial_machines=2, history_seed=[1.0, 2.0])
+        sim.run(flat_trace(10.0, slots=5), StaticStrategy(2))
+        assert len(sim.history) == 7
+
+    def test_summary_mentions_strategy(self):
+        result = run_capacity_simulation(
+            flat_trace(10.0, slots=5), StaticStrategy(2), CFG, 2
+        )
+        assert "static-2" in result.summary()

@@ -1,0 +1,159 @@
+"""Tests for the pstore command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.workload import LoadTrace, read_trace_csv, write_trace_csv
+
+
+@pytest.fixture
+def small_trace_csv(tmp_path):
+    """A 10-day, 5-minute trace small enough for fast CLI runs."""
+    from repro.workload import b2w_like_trace
+
+    trace = b2w_like_trace(
+        n_days=10, slot_seconds=300.0, seed=3, base_level=1250.0 * 300.0
+    )
+    path = tmp_path / "trace.csv"
+    write_trace_csv(trace, path)
+    return path
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "gen.csv"
+        code = main(["generate", str(out), "--days", "2", "--seed", "5"])
+        assert code == 0
+        trace = read_trace_csv(out)
+        assert trace.duration_days == pytest.approx(2.0)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_peak_calibration(self, tmp_path):
+        out = tmp_path / "gen.csv"
+        main(["generate", str(out), "--days", "3", "--peak-tps", "500"])
+        trace = read_trace_csv(out)
+        peak_tps = trace.as_rate_per_second().max()
+        assert 300 <= peak_tps <= 900
+
+
+class TestPredict:
+    def test_spar_forecast(self, small_trace_csv, capsys):
+        code = main(
+            [
+                "predict",
+                str(small_trace_csv),
+                "--train-days",
+                "9",
+                "--horizon",
+                "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SPAR forecast" in out
+        assert out.count("\n") > 6
+
+    def test_train_days_too_large(self, small_trace_csv, capsys):
+        code = main(
+            ["predict", str(small_trace_csv), "--train-days", "99"]
+        )
+        assert code == 2
+
+    def test_ar_model_selectable(self, small_trace_csv, capsys):
+        code = main(
+            [
+                "predict",
+                str(small_trace_csv),
+                "--model",
+                "ar",
+                "--train-days",
+                "9",
+                "--horizon",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "AR forecast" in capsys.readouterr().out
+
+
+class TestPlan:
+    def test_plan_prints_schedule(self, small_trace_csv, capsys):
+        code = main(
+            [
+                "plan",
+                str(small_trace_csv),
+                "--train-days",
+                "9",
+                "--horizon",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "current load" in out
+        assert "=>" in out
+
+
+class TestSimulate:
+    def test_static_strategy(self, capsys):
+        code = main(["simulate", "static:6", "--days", "2"])
+        assert code == 0
+        assert "static-6" in capsys.readouterr().out
+
+    def test_reactive_strategy(self, capsys):
+        code = main(["simulate", "reactive", "--days", "2"])
+        assert code == 0
+        assert "reactive" in capsys.readouterr().out
+
+    def test_simple_strategy_spec(self, capsys):
+        code = main(["simulate", "simple:6/2", "--days", "2"])
+        assert code == 0
+        assert "simple-2/6" in capsys.readouterr().out
+
+    def test_unknown_strategy(self, capsys):
+        code = main(["simulate", "quantum", "--days", "2"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperiment:
+    @pytest.mark.parametrize("name", ["fig02", "fig04", "tab01"])
+    def test_lightweight_experiments(self, name, capsys):
+        code = main(["experiment", name])
+        assert code == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_unknown_experiment_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestPlanWithConfigFile:
+    def test_custom_config_respected(self, small_trace_csv, tmp_path, capsys):
+        config_path = tmp_path / "cfg.json"
+        config_path.write_text('{"q": 150.0, "q_hat": 320.0}')
+        code = main(
+            [
+                "plan",
+                str(small_trace_csv),
+                "--train-days",
+                "9",
+                "--horizon",
+                "8",
+                "--config",
+                str(config_path),
+            ]
+        )
+        assert code in (0, 1)  # tighter Q may make the plan infeasible
+        out = capsys.readouterr().out
+        assert "current load" in out or "no feasible plan" in out
+
+    def test_bad_config_file(self, small_trace_csv, tmp_path, capsys):
+        config_path = tmp_path / "cfg.json"
+        config_path.write_text('{"nope": 1}')
+        code = main(
+            ["plan", str(small_trace_csv), "--config", str(config_path)]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err

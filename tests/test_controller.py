@@ -1,0 +1,204 @@
+"""Tests for the Predictive Controller (Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.config import PStoreConfig, default_config
+from repro.core import PredictiveController
+from repro.errors import PlanningError
+from repro.prediction import LastValuePredictor, OraclePredictor
+
+
+def controller_for(truth, cfg=None, **kwargs) -> PredictiveController:
+    cfg = cfg or default_config().with_interval(600.0)
+    predictor = OraclePredictor(truth)
+    return PredictiveController(cfg, predictor, **kwargs)
+
+
+def flat_history(value, n=4):
+    return [float(value)] * n
+
+
+class TestHorizon:
+    def test_default_horizon_covers_two_migrations(self):
+        cfg = default_config().with_interval(600.0)
+        minimum = PredictiveController.minimum_horizon_intervals(cfg)
+        # 2 * D / P = 2 * 7.74 / 6 intervals = 2.58 -> ceil + 1 = 4.
+        assert minimum == 4
+        ctrl = controller_for([100.0] * 100, cfg)
+        assert ctrl.horizon_intervals == minimum
+
+    def test_explicit_horizon_respected(self):
+        ctrl = controller_for([100.0] * 100, horizon_intervals=9)
+        assert ctrl.horizon_intervals == 9
+
+    def test_zero_horizon_rejected(self):
+        with pytest.raises(PlanningError):
+            controller_for([100.0] * 100, horizon_intervals=0)
+
+    def test_bad_rate_multiplier_rejected(self):
+        with pytest.raises(PlanningError):
+            controller_for([100.0] * 100, emergency_rate_multiplier=0.0)
+
+
+class TestSteadyState:
+    def test_flat_load_no_action(self):
+        cfg = default_config().with_interval(600.0)
+        q = cfg.q
+        truth = [q * 1.5] * 50
+        ctrl = controller_for(truth, cfg)
+        decision = ctrl.decide(truth[:4], current_machines=2)
+        assert not decision.acts
+        assert decision.planned_schedule is not None
+
+    def test_future_move_waits(self):
+        """A scale-out needed far in the future should not fire now."""
+        cfg = default_config().with_interval(600.0)
+        q = cfg.q
+        # Flat (even after 15% inflation) for a long stretch, then a rise
+        # near the horizon edge.  The 1->2 move lasts one interval, so the
+        # cheapest plan starts it later, not now.
+        truth = [q * 0.8] * 6 + [q * 1.6] * 50
+        ctrl = controller_for(truth, cfg, horizon_intervals=8)
+        decision = ctrl.decide(truth[:2], current_machines=1)
+        assert not decision.acts
+        assert "starts at interval" in decision.reason
+
+
+class TestScaleOut:
+    def test_imminent_rise_triggers_move(self):
+        cfg = default_config().with_interval(600.0)
+        q = cfg.q
+        truth = [q * 0.9] * 2 + [q * 1.9] * 50
+        ctrl = controller_for(truth, cfg, horizon_intervals=6)
+        decision = ctrl.decide(truth[:2], current_machines=1)
+        assert decision.acts
+        assert decision.target_machines is not None
+        assert decision.target_machines >= 2
+        assert not decision.emergency
+
+    def test_inflation_buffers_predictions(self):
+        """With load just below capacity, the 15% inflation forces an
+        extra machine."""
+        cfg = default_config().with_interval(600.0)
+        q = cfg.q
+        load = q * 1.95  # fits 2 machines raw, needs 3 after inflation
+        truth = [load] * 50
+        ctrl = controller_for(truth, cfg, horizon_intervals=6)
+        decision = ctrl.decide(
+            flat_history(load), current_machines=2, current_load=q * 1.9
+        )
+        # Inflated to 2.24 q -> needs 3 machines.
+        assert decision.acts
+        assert decision.target_machines == 3
+
+
+class TestScaleInDebounce:
+    def test_requires_three_confirmations(self):
+        cfg = default_config().with_interval(600.0)
+        q = cfg.q
+        truth = [q * 0.4] * 60
+        ctrl = controller_for(truth, cfg, horizon_intervals=6)
+        history = flat_history(q * 0.4)
+        first = ctrl.decide(history, current_machines=3)
+        second = ctrl.decide(history, current_machines=3)
+        third = ctrl.decide(history, current_machines=3)
+        assert not first.acts and "pending confirmation" in first.reason
+        assert not second.acts
+        assert third.acts
+        assert third.target_machines is not None
+        assert third.target_machines < 3
+
+    def test_streak_resets_on_non_scale_in(self):
+        cfg = default_config().with_interval(600.0)
+        q = cfg.q
+        predictor = LastValuePredictor().fit([1.0])
+        ctrl = PredictiveController(cfg, predictor, horizon_intervals=6)
+        low = flat_history(q * 0.4)
+        ctrl.decide(low, current_machines=3)  # streak 1
+        # A steady plan at the right size resets the streak.
+        ctrl.decide(flat_history(q * 2.5), current_machines=3)
+        first_again = ctrl.decide(low, current_machines=3)
+        assert not first_again.acts  # streak restarted
+
+    def test_notify_move_started_resets(self):
+        cfg = default_config().with_interval(600.0)
+        q = cfg.q
+        ctrl = controller_for([q * 0.4] * 200, cfg, horizon_intervals=6)
+        low = flat_history(q * 0.4)
+        ctrl.decide(low, current_machines=3)
+        ctrl.decide(low, current_machines=3)
+        ctrl.notify_move_started()
+        third = ctrl.decide(low, current_machines=3)
+        assert not third.acts  # would have fired without the reset
+
+
+class TestEmergency:
+    def test_infeasible_plan_falls_back_to_reactive(self):
+        cfg = default_config().with_interval(600.0)
+        q = cfg.q
+        # A spike arriving immediately: no feasible plan from 1 machine.
+        truth = [q * 6.0] * 50
+        ctrl = controller_for(truth, cfg, horizon_intervals=6)
+        decision = ctrl.decide(
+            flat_history(q * 6.0), current_machines=1, current_load=q * 6.0
+        )
+        assert decision.acts
+        assert decision.emergency
+        assert decision.target_machines == 7  # ceil(6.0 * 1.15)
+
+    def test_emergency_uses_configured_rate(self):
+        cfg = default_config().with_interval(600.0)
+        q = cfg.q
+        truth = [q * 6.0] * 50
+        ctrl = controller_for(
+            truth, cfg, horizon_intervals=6, emergency_rate_multiplier=8.0
+        )
+        decision = ctrl.decide(
+            flat_history(q * 6.0), current_machines=1, current_load=q * 6.0
+        )
+        assert decision.rate_multiplier == 8.0
+
+    def test_emergency_respects_max_machines(self):
+        base = default_config().with_interval(600.0)
+        cfg = PStoreConfig(
+            q=base.q,
+            q_hat=base.q_hat,
+            d_seconds=base.d_seconds,
+            interval_seconds=600.0,
+            max_machines=4,
+        )
+        q = cfg.q
+        ctrl = PredictiveController(
+            cfg, OraclePredictor([q * 9.0] * 50), horizon_intervals=6
+        )
+        decision = ctrl.decide(
+            flat_history(q * 9.0), current_machines=2, current_load=q * 9.0
+        )
+        assert decision.acts and decision.target_machines == 4
+
+    def test_no_emergency_when_already_at_required_size(self):
+        cfg = default_config().with_interval(600.0)
+        q = cfg.q
+        truth = [q * 6.0] * 50
+        ctrl = controller_for(truth, cfg, horizon_intervals=6)
+        decision = ctrl.decide(
+            flat_history(q * 6.0), current_machines=7, current_load=q * 6.9
+        )
+        # Current load above cap(7) makes the plan infeasible, but the
+        # cluster is already at the predicted requirement (ceil(6.9) = 7).
+        assert not decision.acts
+
+
+class TestValidation:
+    def test_zero_machines_rejected(self):
+        ctrl = controller_for([100.0] * 50)
+        with pytest.raises(PlanningError):
+            ctrl.decide([100.0] * 4, current_machines=0)
+
+    def test_works_with_any_predictor(self):
+        cfg = default_config().with_interval(600.0)
+        predictor = LastValuePredictor().fit([1.0])
+        ctrl = PredictiveController(cfg, predictor, horizon_intervals=5)
+        decision = ctrl.decide([cfg.q * 0.5] * 3, current_machines=1)
+        assert not decision.acts

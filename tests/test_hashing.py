@@ -1,0 +1,99 @@
+"""Tests for the Murmur3-32 implementation against published vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hstore import bucket_for_key, hash_key, murmur3_32
+from repro.hstore.hashing import key_bytes
+
+
+class TestKnownVectors:
+    """Reference vectors for MurmurHash3 x86 32-bit."""
+
+    def test_empty_seed_zero(self):
+        assert murmur3_32(b"", 0) == 0
+
+    def test_empty_seed_one(self):
+        assert murmur3_32(b"", 1) == 0x514E28B7
+
+    def test_empty_seed_all_ones(self):
+        assert murmur3_32(b"", 0xFFFFFFFF) == 0x81F16F39
+
+    def test_test_string(self):
+        assert murmur3_32(b"test", 0) == 0xBA6BD213
+
+    def test_hello_world(self):
+        assert murmur3_32(b"Hello, world!", 0) == 0xC0363E43
+
+    def test_quick_brown_fox(self):
+        assert (
+            murmur3_32(
+                b"The quick brown fox jumps over the lazy dog", 0x9747B28C
+            )
+            == 0x2FA826CD
+        )
+
+    def test_four_byte_aligned(self):
+        assert murmur3_32(b"aaaa", 0x9747B28C) == 0x5A97808A
+
+    def test_tail_lengths(self):
+        # Exercise 1-, 2- and 3-byte tails.
+        assert murmur3_32(b"a", 0x9747B28C) == 0x7FA09EA6
+        assert murmur3_32(b"aa", 0x9747B28C) == 0x5D211726
+        assert murmur3_32(b"aaa", 0x9747B28C) == 0x283E0130
+
+
+class TestKeyBytes:
+    def test_string(self):
+        assert key_bytes("abc") == b"abc"
+
+    def test_bytes_passthrough(self):
+        assert key_bytes(b"\x01\x02") == b"\x01\x02"
+
+    def test_int_fixed_width(self):
+        assert len(key_bytes(5)) == 8
+        assert key_bytes(5) != key_bytes(6)
+
+    def test_negative_int(self):
+        assert key_bytes(-1) != key_bytes(1)
+
+    def test_unhashable_type(self):
+        with pytest.raises(TypeError):
+            key_bytes(3.14)  # type: ignore[arg-type]
+
+
+class TestBucketing:
+    def test_stable(self):
+        assert bucket_for_key("CART-1", 64) == bucket_for_key("CART-1", 64)
+
+    def test_range(self):
+        for i in range(200):
+            assert 0 <= bucket_for_key(f"key-{i}", 16) < 16
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            bucket_for_key("x", 0)
+
+    @given(st.integers(min_value=2, max_value=256))
+    @settings(max_examples=10, deadline=None)
+    def test_roughly_uniform(self, n_buckets):
+        """Hashing sequential keys must spread them across buckets."""
+        counts = [0] * n_buckets
+        n_keys = n_buckets * 20
+        for i in range(n_keys):
+            counts[bucket_for_key(f"CART-{i:09d}", n_buckets)] += 1
+        # No bucket should be > 3x the expected share for 20/bucket.
+        assert max(counts) <= 3 * (n_keys // n_buckets) + 5
+
+    def test_seed_changes_assignment(self):
+        moved = sum(
+            bucket_for_key(f"k{i}", 32, seed=0) != bucket_for_key(f"k{i}", 32, seed=1)
+            for i in range(100)
+        )
+        assert moved > 50
+
+    def test_int_and_str_keys_coexist(self):
+        assert isinstance(hash_key(42), int)
+        assert isinstance(hash_key("42"), int)
+        assert hash_key(42) != hash_key("42")

@@ -1,0 +1,202 @@
+"""Tests for the simulated-time migrator (ActiveMigration, ClusterMigrator)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import default_config
+from repro.core.model import effective_capacity, move_time
+from repro.errors import MigrationError
+from repro.hstore import Cluster, Column, Schema, Table
+from repro.squall import (
+    ActiveMigration,
+    ClusterMigrator,
+    build_migration_schedule,
+)
+
+
+def make_migration(before, after, rate=244.0, ppn=1, db_kb=1_000_000.0, **kwargs):
+    schedule = build_migration_schedule(before, after)
+    return ActiveMigration(
+        schedule=schedule,
+        database_kb=db_kb,
+        rate_kbps=rate,
+        partitions_per_node=ppn,
+        **kwargs,
+    )
+
+
+def kv_cluster(nodes=3, ppn=2, buckets=120, rows=2000):
+    schema = Schema(
+        [
+            Table(
+                "kv",
+                [Column("k", "str"), Column("v", "int", nullable=True)],
+                primary_key="k",
+            )
+        ]
+    )
+    cluster = Cluster(schema, nodes, ppn, buckets)
+    for i in range(rows):
+        cluster.insert("kv", {"k": f"key-{i}", "v": i})
+    return cluster
+
+
+class TestActiveMigrationTiming:
+    def test_total_time_matches_eq3(self):
+        """Wall-clock duration must equal T(B,A) with D = db_kb / R."""
+        db_kb, rate = 1_000_000.0, 244.0
+        migration = make_migration(3, 14, rate=rate, ppn=6, db_kb=db_kb)
+        d_seconds = db_kb / rate
+        expected = move_time(3, 14, partitions_per_node=6, d=d_seconds)
+        assert migration.total_seconds == pytest.approx(expected)
+
+    def test_boosted_rate_is_8x_faster(self):
+        regular = make_migration(2, 4)
+        boosted = make_migration(2, 4, rate=8 * 244.0)
+        assert boosted.total_seconds == pytest.approx(regular.total_seconds / 8)
+
+    def test_done_after_total_time(self):
+        migration = make_migration(2, 4)
+        migration.advance(migration.total_seconds + 1.0)
+        assert migration.done
+        assert migration.fraction_moved == 1.0
+
+    def test_advance_returns_completed_rounds(self):
+        migration = make_migration(3, 9)
+        rounds = migration.advance(migration.total_seconds / 2 + 1e-6)
+        assert len(rounds) == 3  # half of 6 rounds
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(MigrationError):
+            make_migration(2, 3).advance(-1.0)
+
+
+class TestActiveMigrationState:
+    def test_fractions_track_eq7(self):
+        """The busiest machine's data share must follow the Eq. 7
+        trajectory at every point of the move."""
+        q = 285.0
+        migration = make_migration(3, 14)
+        steps = 50
+        dt = migration.total_seconds / steps
+        for _ in range(steps):
+            migration.advance(dt)
+            f = migration.fraction_moved
+            largest = migration.data_fractions().max()
+            expected = q / effective_capacity(3, 14, f, q)
+            assert largest == pytest.approx(expected, rel=1e-6)
+
+    def test_fractions_sum_to_one_throughout(self):
+        migration = make_migration(4, 7)
+        dt = migration.total_seconds / 17
+        for _ in range(17):
+            migration.advance(dt)
+            assert migration.data_fractions().sum() == pytest.approx(1.0)
+
+    def test_scale_in_fractions(self):
+        migration = make_migration(5, 2)
+        migration.advance(migration.total_seconds + 1)
+        fractions = migration.data_fractions()
+        assert fractions[:2] == pytest.approx(0.5)
+        assert fractions[2:] == pytest.approx(0.0)
+
+    def test_machines_allocated_jit(self):
+        migration = make_migration(3, 14)
+        assert migration.machines_allocated() == 6  # first block present
+        migration.advance(migration.total_seconds * 0.5)
+        assert migration.machines_allocated() in (9, 12)
+        migration.advance(migration.total_seconds)
+        assert migration.machines_allocated() == 14
+
+    def test_migrating_machines_subset_of_allocated(self):
+        migration = make_migration(3, 14)
+        dt = migration.total_seconds / 23
+        while not migration.done:
+            busy = migration.migrating_machines()
+            assert all(m < migration.machines_allocated() for m in busy)
+            migration.advance(dt)
+
+    def test_node_map_translation(self):
+        migration = make_migration(2, 3, node_map={0: 10, 1: 11, 2: 12})
+        assert migration.physical_nodes({0, 2}) == {10, 12}
+
+    def test_parameter_validation(self):
+        schedule = build_migration_schedule(2, 3)
+        with pytest.raises(MigrationError):
+            ActiveMigration(schedule, database_kb=0.0, rate_kbps=244.0)
+        with pytest.raises(MigrationError):
+            ActiveMigration(schedule, database_kb=1.0, rate_kbps=0.0)
+        with pytest.raises(MigrationError):
+            ActiveMigration(schedule, 1.0, 244.0, partitions_per_node=0)
+        with pytest.raises(MigrationError):
+            ActiveMigration(schedule, 1.0, 244.0, chunk_kb=0.0)
+
+
+class TestClusterMigrator:
+    def test_scale_out_rebalances_data(self):
+        cluster = kv_cluster()
+        migrator = ClusterMigrator(cluster, default_config())
+        migrator.start_move(5)
+        while migrator.migrating:
+            migrator.advance(30.0)
+        assert cluster.n_nodes == 5
+        fractions = cluster.data_fractions_by_node()
+        for share in fractions.values():
+            assert share == pytest.approx(0.2, abs=0.03)
+
+    def test_scale_in_preserves_all_rows(self):
+        cluster = kv_cluster(nodes=4)
+        migrator = ClusterMigrator(cluster, default_config())
+        migrator.start_move(2)
+        while migrator.migrating:
+            migrator.advance(30.0)
+        assert cluster.n_nodes == 2
+        total = sum(cluster.partition(p).row_count() for p in cluster.partition_ids)
+        assert total == 2000
+        assert cluster.get("kv", "key-123")["v"] == 123
+
+    def test_rows_remain_routable_mid_migration(self):
+        cluster = kv_cluster()
+        migrator = ClusterMigrator(cluster, default_config())
+        migrator.start_move(5)
+        migration = migrator.active
+        assert migration is not None
+        migrator.advance(migration.total_seconds / 2)
+        for i in range(0, 2000, 97):
+            assert cluster.get("kv", f"key-{i}") is not None
+
+    def test_concurrent_moves_rejected(self):
+        cluster = kv_cluster()
+        migrator = ClusterMigrator(cluster, default_config())
+        migrator.start_move(5)
+        with pytest.raises(MigrationError):
+            migrator.start_move(6)
+
+    def test_noop_move_rejected(self):
+        migrator = ClusterMigrator(kv_cluster(), default_config())
+        with pytest.raises(MigrationError):
+            migrator.start_move(3)
+
+    def test_advance_without_move_rejected(self):
+        migrator = ClusterMigrator(kv_cluster(), default_config())
+        with pytest.raises(MigrationError):
+            migrator.advance(1.0)
+
+    @given(
+        before=st.integers(min_value=1, max_value=5),
+        after=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_any_resize_preserves_rows(self, before, after):
+        if before == after:
+            return
+        cluster = kv_cluster(nodes=before, ppn=2, buckets=120, rows=500)
+        migrator = ClusterMigrator(cluster, default_config())
+        migrator.start_move(after)
+        while migrator.migrating:
+            migrator.advance(60.0)
+        assert cluster.n_nodes == after
+        total = sum(cluster.partition(p).row_count() for p in cluster.partition_ids)
+        assert total == 500

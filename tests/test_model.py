@@ -1,0 +1,308 @@
+"""Tests for the analytic move model (Eqs. 2-7, Algorithm 4)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import model
+from repro.errors import PlanningError
+
+sizes = st.integers(min_value=1, max_value=40)
+
+
+class TestCapacity:
+    def test_linear_in_machines(self):
+        assert model.capacity(4, 285.0) == pytest.approx(1140.0)
+
+    def test_zero_machines(self):
+        assert model.capacity(0, 285.0) == 0.0
+
+    def test_negative_machines_rejected(self):
+        with pytest.raises(PlanningError):
+            model.capacity(-1, 285.0)
+
+
+class TestMaxParallel:
+    """Eq. 2 with P partitions per machine."""
+
+    def test_no_op(self):
+        assert model.max_parallel(3, 3) == 0
+
+    def test_scale_out_receiver_limited(self):
+        # 3 -> 5: only 2 receivers.
+        assert model.max_parallel(3, 5) == 2
+
+    def test_scale_out_sender_limited(self):
+        # 3 -> 14: 3 senders bound parallelism.
+        assert model.max_parallel(3, 14) == 3
+
+    def test_scale_in_symmetric(self):
+        assert model.max_parallel(14, 3) == model.max_parallel(3, 14)
+        assert model.max_parallel(5, 3) == model.max_parallel(3, 5)
+
+    def test_partitions_multiply(self):
+        assert model.max_parallel(3, 14, partitions_per_node=6) == 18
+
+    @given(b=sizes, a=sizes)
+    def test_bounded_by_smaller_side(self, b, a):
+        par = model.max_parallel(b, a)
+        if b == a:
+            assert par == 0
+        else:
+            assert 1 <= par <= min(b, a)
+
+    def test_invalid_partitions(self):
+        with pytest.raises(PlanningError):
+            model.max_parallel(2, 3, partitions_per_node=0)
+
+
+class TestMovedFraction:
+    def test_no_op_moves_nothing(self):
+        assert model.moved_fraction(5, 5) == 0.0
+
+    def test_scale_out(self):
+        assert model.moved_fraction(3, 14) == pytest.approx(11.0 / 14.0)
+
+    def test_scale_in_symmetric(self):
+        assert model.moved_fraction(14, 3) == model.moved_fraction(3, 14)
+
+    @given(b=sizes, a=sizes)
+    def test_in_unit_interval(self, b, a):
+        f = model.moved_fraction(b, a)
+        assert 0.0 <= f < 1.0
+
+
+class TestMoveTime:
+    """Eq. 3, in units of D."""
+
+    def test_no_op_is_instant(self):
+        assert model.move_time(4, 4) == 0.0
+
+    def test_paper_case_3_to_14(self):
+        # T = (D / 3) * (1 - 3/14) = 11 D / 42
+        assert model.move_time(3, 14) == pytest.approx(11.0 / 42.0)
+
+    def test_paper_case_3_to_5(self):
+        # max|| = 2; T = (D/2) * (2/5) = D/5
+        assert model.move_time(3, 5) == pytest.approx(0.2)
+
+    def test_paper_case_3_to_9(self):
+        # max|| = 3; T = (D/3) * (2/3) = 2D/9
+        assert model.move_time(3, 9) == pytest.approx(2.0 / 9.0)
+
+    def test_partitions_speed_up(self):
+        assert model.move_time(3, 14, partitions_per_node=6) == pytest.approx(
+            model.move_time(3, 14) / 6.0
+        )
+
+    def test_d_scales_linearly(self):
+        assert model.move_time(3, 14, d=100.0) == pytest.approx(
+            100.0 * model.move_time(3, 14)
+        )
+
+    @given(b=sizes, a=sizes)
+    def test_scale_in_symmetric(self, b, a):
+        assert model.move_time(b, a) == pytest.approx(model.move_time(a, b))
+
+    @given(b=sizes, a=sizes)
+    def test_equals_rounds_times_round_time(self, b, a):
+        """T(B,A) must equal max(s, delta) rounds of 1/(s*l) each at
+        parallelism min(s, delta) — consistency with the schedule."""
+        if b == a:
+            return
+        s, l = min(b, a), max(b, a)
+        delta = l - s
+        rounds = max(s, delta)
+        round_time = 1.0 / (s * l)
+        assert model.move_time(b, a) == pytest.approx(rounds * round_time)
+
+
+class TestAvgMachinesAllocated:
+    """Algorithm 4 (Appendix B)."""
+
+    def test_case1_all_at_once(self):
+        # 3 -> 5: delta=2 <= s=3; all 5 machines present throughout.
+        assert model.avg_machines_allocated(3, 5) == 5.0
+
+    def test_case2_perfect_multiple(self):
+        # 3 -> 9: delta=6=2s; avg = (2s + l)/2 = (6 + 9)/2 = 7.5.
+        assert model.avg_machines_allocated(3, 9) == pytest.approx(7.5)
+
+    def test_case3_paper_example(self):
+        # 3 -> 14 works out to 111/11 (see Sec. 4.4.1 / Table 1).
+        assert model.avg_machines_allocated(3, 14) == pytest.approx(111.0 / 11.0)
+
+    def test_no_op(self):
+        assert model.avg_machines_allocated(7, 7) == 7.0
+
+    @given(b=sizes, a=sizes)
+    def test_symmetric(self, b, a):
+        assert model.avg_machines_allocated(b, a) == pytest.approx(
+            model.avg_machines_allocated(a, b)
+        )
+
+    @given(b=sizes, a=sizes)
+    def test_bounded_by_cluster_sizes(self, b, a):
+        avg = model.avg_machines_allocated(b, a)
+        assert min(b, a) <= avg <= max(b, a) + 1e-12
+
+    @given(b=sizes, a=sizes)
+    @settings(max_examples=60)
+    def test_matches_step_function_integral(self, b, a):
+        """The closed form equals the time integral of the explicit
+        just-in-time allocation step function."""
+        if b == a:
+            return
+        n = 2000
+        total = sum(
+            model.machines_allocated_at(b, a, (i + 0.5) / n) for i in range(n)
+        )
+        assert total / n == pytest.approx(
+            model.avg_machines_allocated(b, a), rel=0.01
+        )
+
+
+class TestMoveCost:
+    def test_no_op_zero(self):
+        assert model.move_cost(5, 5) == 0.0
+
+    def test_eq4_product(self):
+        expected = model.move_time(3, 14) * model.avg_machines_allocated(3, 14)
+        assert model.move_cost(3, 14) == pytest.approx(expected)
+
+    @given(b=sizes, a=sizes)
+    def test_non_negative(self, b, a):
+        assert model.move_cost(b, a) >= 0.0
+
+
+class TestEffectiveCapacity:
+    """Eq. 7."""
+
+    Q = 285.0
+
+    def test_no_op(self):
+        assert model.effective_capacity(4, 4, 0.5, self.Q) == pytest.approx(
+            4 * self.Q
+        )
+
+    def test_scale_out_endpoints(self):
+        assert model.effective_capacity(3, 14, 0.0, self.Q) == pytest.approx(
+            3 * self.Q
+        )
+        assert model.effective_capacity(3, 14, 1.0, self.Q) == pytest.approx(
+            14 * self.Q
+        )
+
+    def test_scale_in_endpoints(self):
+        assert model.effective_capacity(14, 3, 0.0, self.Q) == pytest.approx(
+            14 * self.Q
+        )
+        assert model.effective_capacity(14, 3, 1.0, self.Q) == pytest.approx(
+            3 * self.Q
+        )
+
+    def test_midpoint_scale_out(self):
+        # Senders hold 1/3 - 0.5*(1/3 - 1/14) each.
+        share = 1.0 / 3.0 - 0.5 * (1.0 / 3.0 - 1.0 / 14.0)
+        assert model.effective_capacity(3, 14, 0.5, self.Q) == pytest.approx(
+            self.Q / share
+        )
+
+    def test_below_allocated_machines(self):
+        """Fig. 4c: eff-cap lags well behind machines allocated for big
+        moves."""
+        halfway = model.effective_capacity(3, 14, 0.5, self.Q)
+        assert halfway < 6 * self.Q  # far below the ~12 machines allocated
+
+    @given(
+        b=sizes,
+        a=sizes,
+        f=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_between_endpoint_capacities(self, b, a, f):
+        eff = model.effective_capacity(b, a, f, self.Q)
+        lo = min(b, a) * self.Q
+        hi = max(b, a) * self.Q
+        assert lo - 1e-6 <= eff <= hi + 1e-6
+
+    @given(b=sizes, a=sizes)
+    def test_monotone_toward_target(self, b, a):
+        """Scaling out only gains capacity over time; scaling in only
+        loses it."""
+        values = [
+            model.effective_capacity(b, a, f, self.Q)
+            for f in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        if a > b:
+            assert values == sorted(values)
+        elif a < b:
+            assert values == sorted(values, reverse=True)
+
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(PlanningError):
+            model.effective_capacity(3, 5, 1.5, self.Q)
+        with pytest.raises(PlanningError):
+            model.effective_capacity(3, 5, -0.1, self.Q)
+
+
+class TestMachinesAllocatedAt:
+    def test_case1_all_up_front(self):
+        for f in (0.0, 0.3, 0.9):
+            assert model.machines_allocated_at(3, 5, f) == 5
+
+    def test_case2_blocks(self):
+        # 3 -> 9: first block immediately, second at half time.
+        assert model.machines_allocated_at(3, 9, 0.1) == 6
+        assert model.machines_allocated_at(3, 9, 0.6) == 9
+
+    def test_case3_phases(self):
+        # 3 -> 14 (Fig. 4c): 6 -> 9 -> 12 -> 14 machines.
+        assert model.machines_allocated_at(3, 14, 0.05) == 6
+        assert model.machines_allocated_at(3, 14, 0.35) == 9
+        assert model.machines_allocated_at(3, 14, 0.65) == 12
+        assert model.machines_allocated_at(3, 14, 0.95) == 14
+
+    def test_scale_in_mirrors_scale_out(self):
+        for f in (0.1, 0.4, 0.8):
+            assert model.machines_allocated_at(14, 3, f) == (
+                model.machines_allocated_at(3, 14, 1.0 - f)
+            )
+
+    @given(b=sizes, a=sizes, f=st.floats(min_value=0.0, max_value=1.0))
+    def test_within_bounds(self, b, a, f):
+        got = model.machines_allocated_at(b, a, f)
+        assert min(b, a) <= got <= max(b, a)
+
+
+class TestMoveProfile:
+    def test_profile_covers_full_move(self):
+        profile = model.move_profile(3, 14, q=285.0)
+        assert profile.rounds == 11
+        assert len(profile.times) == 12
+        assert profile.times[0] == 0.0 and profile.times[-1] == 1.0
+        assert profile.eff_cap[0] == pytest.approx(3 * 285.0)
+        assert profile.eff_cap[-1] == pytest.approx(14 * 285.0)
+
+    def test_profile_machines_average_matches_alg4(self):
+        profile = model.move_profile(3, 14, q=285.0)
+        avg = sum(profile.machines) / len(profile.machines)
+        assert avg == pytest.approx(model.avg_machines_allocated(3, 14), rel=0.02)
+
+    def test_noop_profile(self):
+        profile = model.move_profile(4, 4, q=100.0)
+        assert profile.rounds == 0
+        assert profile.eff_cap == (400.0,)
+
+
+class TestMoveTimeIntervals:
+    def test_rounds_up(self):
+        # T = 11/42 of D; with D = 10 intervals -> 2.62 -> 3 intervals.
+        assert model.move_time_intervals(3, 14, 1, 10.0) == 3
+
+    def test_minimum_one_interval(self):
+        assert model.move_time_intervals(9, 10, 6, 0.05) == 1
+
+    def test_noop_zero(self):
+        assert model.move_time_intervals(4, 4, 6, 10.0) == 0

@@ -1,0 +1,106 @@
+"""Tests for load and skew monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.hstore import (
+    Cluster,
+    Column,
+    LoadMonitor,
+    Schema,
+    SkewMonitor,
+    Table,
+)
+
+
+def kv_cluster():
+    schema = Schema(
+        [Table("kv", [Column("k", "str")], primary_key="k")]
+    )
+    return Cluster(schema, n_nodes=2, partitions_per_node=2, n_buckets=32)
+
+
+class TestLoadMonitor:
+    def test_aggregates_into_intervals(self):
+        monitor = LoadMonitor(interval_seconds=10.0)
+        for t in np.arange(0.0, 25.0, 0.5):  # 2 txns per second
+            monitor.record(float(t))
+        history = monitor.history_tps()
+        assert history.shape == (2,)
+        assert history[0] == pytest.approx(2.0)
+        assert history[1] == pytest.approx(2.0)
+
+    def test_empty_intervals_emitted_as_zero(self):
+        monitor = LoadMonitor(interval_seconds=10.0)
+        monitor.record(1.0)
+        closed = monitor.record(35.0)
+        assert closed == 3
+        history = monitor.history_tps()
+        assert history[0] == pytest.approx(0.1)
+        assert history[1] == 0.0
+        assert history[2] == 0.0
+
+    def test_batched_counts(self):
+        monitor = LoadMonitor(interval_seconds=60.0)
+        monitor.record(5.0, count=120.0)
+        monitor.record(61.0)
+        assert monitor.history_tps()[0] == pytest.approx(2.0)
+
+    def test_time_going_backwards_rejected(self):
+        monitor = LoadMonitor(interval_seconds=10.0, start_time=100.0)
+        with pytest.raises(SimulationError):
+            monitor.record(50.0)
+
+    def test_current_rate_estimate(self):
+        monitor = LoadMonitor(interval_seconds=10.0)
+        monitor.record(1.0, count=10.0)
+        assert monitor.current_rate_estimate(2.0) == pytest.approx(5.0)
+
+    def test_invalid_interval(self):
+        with pytest.raises(SimulationError):
+            LoadMonitor(interval_seconds=0.0)
+
+    def test_negative_count_rejected(self):
+        monitor = LoadMonitor(interval_seconds=10.0)
+        with pytest.raises(SimulationError):
+            monitor.record(1.0, count=-1.0)
+
+
+class TestSkewMonitor:
+    def test_uniform_access_is_balanced(self):
+        cluster = kv_cluster()
+        for i in range(4000):
+            cluster.route(f"key-{i}").record_access()
+        report = SkewMonitor(cluster).snapshot()
+        assert report.is_balanced
+        assert report.hottest_excess < 0.2
+        assert report.total_accesses == 4000
+
+    def test_hot_partition_detected(self):
+        cluster = kv_cluster()
+        hot = cluster.partition_ids[0]
+        for pid in cluster.partition_ids:
+            cluster.partition(pid).record_access(100)
+        cluster.partition(hot).record_access(400)
+        monitor = SkewMonitor(cluster, imbalance_threshold=0.5)
+        report = monitor.snapshot()
+        assert report.hottest_partition == hot
+        assert report.hottest_excess > 1.0
+        assert monitor.imbalance_detected()
+
+    def test_no_accesses(self):
+        report = SkewMonitor(kv_cluster()).snapshot()
+        assert report.total_accesses == 0
+        assert report.hottest_excess == 0.0
+
+    def test_reset(self):
+        cluster = kv_cluster()
+        cluster.partition(cluster.partition_ids[0]).record_access(10)
+        monitor = SkewMonitor(cluster)
+        monitor.reset()
+        assert monitor.snapshot().total_accesses == 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(SimulationError):
+            SkewMonitor(kv_cluster(), imbalance_threshold=0.0)

@@ -1,0 +1,90 @@
+"""Tests for the naive and oracle predictors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction import (
+    LastValuePredictor,
+    OraclePredictor,
+    SeasonalNaivePredictor,
+)
+
+
+def periodic(periods=6, period=24):
+    x = np.arange(periods * period)
+    return 50.0 + 30.0 * np.sin(2 * np.pi * x / period)
+
+
+class TestSeasonalNaive:
+    def test_exact_on_periodic_signal(self):
+        series = periodic()
+        naive = SeasonalNaivePredictor(24).fit(series)
+        forecast = naive.predict_horizon(series[:100], 10)
+        assert np.allclose(forecast, series[100:110])
+
+    def test_horizon_must_be_less_than_period(self):
+        naive = SeasonalNaivePredictor(24).fit(periodic())
+        with pytest.raises(PredictionError):
+            naive.predict_horizon(periodic(), 24)
+
+    def test_short_history_rejected(self):
+        naive = SeasonalNaivePredictor(24).fit(periodic())
+        with pytest.raises(PredictionError):
+            naive.predict_horizon([1.0] * 10, 3)
+
+    def test_invalid_period(self):
+        with pytest.raises(PredictionError):
+            SeasonalNaivePredictor(0)
+
+
+class TestLastValue:
+    def test_repeats_last_observation(self):
+        predictor = LastValuePredictor().fit([1.0])
+        forecast = predictor.predict_horizon([3.0, 7.0, 42.0], 5)
+        assert np.all(forecast == 42.0)
+
+    def test_min_history(self):
+        assert LastValuePredictor().min_history == 1
+
+    def test_invalid_horizon(self):
+        predictor = LastValuePredictor().fit([1.0])
+        with pytest.raises(PredictionError):
+            predictor.predict_horizon([1.0], 0)
+
+
+class TestOracle:
+    def test_returns_exact_future(self):
+        truth = np.arange(100, dtype=float)
+        oracle = OraclePredictor(truth)
+        forecast = oracle.predict_horizon(truth[:40], 5)
+        assert np.array_equal(forecast, truth[40:45])
+
+    def test_is_always_fitted(self):
+        assert OraclePredictor([1.0, 2.0]).is_fitted
+
+    def test_pads_past_end_of_truth(self):
+        truth = np.arange(10, dtype=float)
+        oracle = OraclePredictor(truth)
+        forecast = oracle.predict_horizon(truth[:9], 5)
+        assert forecast[0] == 9.0
+        assert np.all(forecast[1:] == 9.0)  # held at the last known value
+
+    def test_history_mismatch_detected(self):
+        truth = np.arange(100, dtype=float)
+        oracle = OraclePredictor(truth)
+        wrong = truth[:40].copy()
+        wrong[-1] += 123.0
+        with pytest.raises(PredictionError):
+            oracle.predict_horizon(wrong, 5)
+
+    def test_history_longer_than_truth_rejected(self):
+        oracle = OraclePredictor([1.0, 2.0])
+        with pytest.raises(PredictionError):
+            oracle.predict_horizon([1.0, 2.0, 3.0], 2)
+
+    def test_backtest_is_perfect(self):
+        truth = 100 + 50 * np.sin(np.arange(200) / 7.0)
+        oracle = OraclePredictor(truth)
+        result = oracle.backtest(truth, tau=3, start=50, stop=150)
+        assert result.mean_relative_error() == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,103 @@
+"""Tests for the active-learning OnlinePredictor wrapper (Sec. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, PredictionError
+from repro.prediction import (
+    LastValuePredictor,
+    OnlinePredictor,
+    SeasonalNaivePredictor,
+    SparPredictor,
+)
+
+
+def periodic(periods, period=48):
+    x = np.arange(periods * period)
+    return 100.0 + 80.0 * np.sin(2 * np.pi * x / period)
+
+
+class TestLifecycle:
+    def test_not_fitted_until_enough_observations(self):
+        online = OnlinePredictor(
+            SeasonalNaivePredictor(48), refit_every=48, min_training=96
+        )
+        online.observe_many(periodic(1))  # 48 < 96 observations
+        with pytest.raises(NotFittedError):
+            online.predict_next(4)
+
+    def test_first_fit_happens_automatically(self):
+        online = OnlinePredictor(
+            SeasonalNaivePredictor(48), refit_every=48, min_training=96
+        )
+        online.observe_many(periodic(2))
+        assert online.fit_count == 1
+        forecast = online.predict_next(4)
+        assert forecast.shape == (4,)
+
+    def test_weekly_refits(self):
+        online = OnlinePredictor(
+            LastValuePredictor(), refit_every=100, min_training=10
+        )
+        online.observe_many(np.ones(10))   # first fit
+        online.observe_many(np.ones(250))  # two more cadence fits
+        assert online.fit_count == 3
+
+    def test_offline_bootstrap_via_fit(self):
+        online = OnlinePredictor(
+            SeasonalNaivePredictor(48), refit_every=48, min_training=96
+        )
+        online.fit(periodic(4))
+        assert online.is_fitted
+        assert online.fit_count == 1
+
+    def test_spar_defaults_derive_min_training(self):
+        spar = SparPredictor(period=48, n_periods=2, m_recent=5)
+        online = OnlinePredictor(spar, refit_every=48)
+        assert online.min_training == spar.min_history + 48
+
+
+class TestAccuracy:
+    def test_tracks_signal_after_learning(self):
+        series = periodic(6)
+        online = OnlinePredictor(
+            SeasonalNaivePredictor(48), refit_every=48, min_training=96
+        )
+        online.observe_many(series[:240])
+        forecast = online.predict_next(10)
+        assert np.allclose(forecast, series[240:250], rtol=0.05)
+
+    def test_adapts_to_level_shift(self):
+        """After refit, the model reflects the new regime."""
+        online = OnlinePredictor(
+            LastValuePredictor(), refit_every=5, min_training=5
+        )
+        online.observe_many([10.0] * 6)
+        assert online.predict_next(1)[0] == pytest.approx(10.0)
+        online.observe_many([50.0] * 10)
+        assert online.predict_next(1)[0] == pytest.approx(50.0)
+
+
+class TestValidationAndBounds:
+    def test_invalid_observation(self):
+        online = OnlinePredictor(LastValuePredictor(), refit_every=5)
+        with pytest.raises(PredictionError):
+            online.observe(-1.0)
+        with pytest.raises(PredictionError):
+            online.observe(float("nan"))
+
+    def test_invalid_cadence(self):
+        with pytest.raises(PredictionError):
+            OnlinePredictor(LastValuePredictor(), refit_every=0)
+
+    def test_history_capped(self):
+        online = OnlinePredictor(
+            LastValuePredictor(), refit_every=10, min_training=5, max_history=20
+        )
+        online.observe_many(np.arange(100, dtype=float))
+        assert online.history.size == 20
+        assert online.history[-1] == 99.0
+
+    def test_bad_max_history(self):
+        with pytest.raises(PredictionError):
+            OnlinePredictor(LastValuePredictor(), refit_every=5, max_history=0)

@@ -1,0 +1,132 @@
+"""Brute-force optimality verification of the DP planner.
+
+The planner and the recursive reference share the Bellman structure, so
+agreeing with each other does not prove either optimal.  This module
+*exhaustively enumerates* every feasible move sequence for small
+horizons under identical cost/feasibility semantics and asserts that the
+DP's schedule attains the minimum total cost.
+"""
+
+import math
+from itertools import count
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import default_config
+from repro.core import Planner, PlanRequest, model
+from repro.errors import InfeasiblePlanError
+
+
+def enumerate_min_cost(planner: Planner, loads, horizon, n0, z):
+    """Exhaustive minimum cost of a feasible plan (None if infeasible).
+
+    Semantics mirror Algorithms 1-3 exactly: the state at t=0 costs N0
+    and requires loads[0] <= cap(N0); a no-op lasts one interval at cost
+    B; a move B->A lasts T(B,A) intervals at cost C(B,A) and requires the
+    load to stay under the Eq. 7 effective capacity throughout.
+    """
+    q = planner.config.q
+    if loads[0] > model.capacity(n0, q) + 1e-9:
+        return None
+    best = [math.inf]
+
+    def recurse(t, machines, cost_so_far):
+        if cost_so_far >= best[0]:
+            return
+        if t == horizon:
+            best[0] = min(best[0], cost_so_far)
+            return
+        for target in range(1, z + 1):
+            if target == machines:
+                duration, move_cost = 1, float(machines)
+            else:
+                duration = planner.move_duration(machines, target)
+                move_cost = planner.move_cost(machines, target)
+            if t + duration > horizon:
+                continue
+            feasible = True
+            for i in range(1, duration + 1):
+                eff = model.effective_capacity(
+                    machines, target, i / duration, q
+                )
+                if loads[t + i] > eff + 1e-9:
+                    feasible = False
+                    break
+            if not feasible:
+                continue
+            # Landing state must also satisfy the at-rest constraint.
+            if loads[t + duration] > model.capacity(target, q) + 1e-9:
+                continue
+            recurse(t + duration, target, cost_so_far + move_cost)
+
+    recurse(0, n0, float(n0))
+    return None if best[0] == math.inf else best[0]
+
+
+def dp_cost(planner: Planner, schedule) -> float:
+    """Total cost of a DP schedule under the same accounting."""
+    total = float(schedule[0].before)  # the t=0 base cost
+    for move in schedule:
+        if move.is_noop:
+            total += move.duration * move.before
+        else:
+            total += planner.move_cost(move.before, move.after)
+    return total
+
+
+class TestOptimality:
+    @given(
+        seed=st.integers(min_value=0, max_value=5000),
+        horizon=st.integers(min_value=2, max_value=6),
+        n0=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dp_matches_exhaustive_minimum(self, seed, horizon, n0):
+        cfg = default_config().with_interval(600.0)
+        planner = Planner(cfg)
+        rng = np.random.default_rng(seed)
+        q = cfg.q
+        z = 4
+        raw = np.abs(rng.normal(2.0, 1.2, horizon)).clip(0.2, float(z)) * q
+        current = min(float(raw[0]), n0 * q * 0.9)
+        loads = [current, *raw.tolist()]
+
+        brute = enumerate_min_cost(planner, loads, horizon, n0, z)
+        try:
+            schedule = planner.best_moves(
+                PlanRequest(
+                    predicted_load=tuple(raw.tolist()),
+                    initial_machines=n0,
+                    current_load=current,
+                )
+            )
+        except InfeasiblePlanError:
+            assert brute is None
+            return
+        assert brute is not None, "DP found a plan the brute force missed"
+        assert dp_cost(planner, schedule) == pytest.approx(brute, rel=1e-9)
+
+    def test_known_case_costs(self):
+        """Hand-checked case: flat low load means never move; total cost
+        is N0 per interval."""
+        cfg = default_config().with_interval(600.0)
+        planner = Planner(cfg)
+        q = cfg.q
+        loads = [q * 0.5] * 5
+        schedule = planner.plan(loads, initial_machines=1)
+        assert dp_cost(planner, schedule) == pytest.approx(1.0 + 5.0)
+
+    def test_scale_out_cost_accounting(self):
+        """A forced scale-out's cost equals base + noops + C(B,A)."""
+        cfg = default_config().with_interval(600.0)
+        planner = Planner(cfg)
+        q = cfg.q
+        loads = [q * 0.9] * 3 + [q * 1.9] * 3
+        schedule = planner.plan(loads, initial_machines=1)
+        brute = enumerate_min_cost(
+            planner, [q * 0.9, *loads], len(loads), 1, 2
+        )
+        assert dp_cost(planner, schedule) == pytest.approx(brute)

@@ -1,0 +1,110 @@
+"""Tests for the closed-form M/M/1 helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.queueing import (
+    DerivedThresholds,
+    derive_thresholds,
+    max_arrival_rate_for_sla,
+    mean_sojourn,
+    sojourn_percentile,
+    utilization_for_sla,
+)
+from repro.config import SINGLE_NODE_SATURATION_TPS
+from repro.errors import SimulationError
+from repro.hstore import QueueingEngine
+from repro.hstore.engine import DEFAULT_MU_PARTITION
+
+
+class TestSojourn:
+    def test_median_formula(self):
+        assert sojourn_percentile(10.0, 5.0, 50.0) == pytest.approx(
+            math.log(2) / 5.0
+        )
+
+    def test_mean(self):
+        assert mean_sojourn(10.0, 5.0) == pytest.approx(0.2)
+
+    def test_blows_up_near_saturation(self):
+        low = sojourn_percentile(10.0, 5.0, 99.0)
+        high = sojourn_percentile(10.0, 9.9, 99.0)
+        assert high > 40 * low
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            sojourn_percentile(0.0, 0.0, 50.0)
+        with pytest.raises(SimulationError):
+            sojourn_percentile(10.0, 10.0, 50.0)  # unstable
+        with pytest.raises(SimulationError):
+            sojourn_percentile(10.0, 5.0, 100.0)
+
+
+class TestSlaInversion:
+    def test_round_trip(self):
+        """The rate returned must produce exactly the SLA percentile."""
+        mu = DEFAULT_MU_PARTITION
+        lam = max_arrival_rate_for_sla(mu, sla_seconds=0.5, percentile=99.0)
+        assert sojourn_percentile(mu, lam, 99.0) == pytest.approx(0.5)
+
+    def test_impossible_sla_returns_zero(self):
+        # p99 of pure service time already exceeds the SLA.
+        assert max_arrival_rate_for_sla(1.0, sla_seconds=0.5) == 0.0
+
+    def test_utilization_for_paper_parameters(self):
+        """With the calibrated mu, the 500 ms / p99 SLA breaks around
+        87% utilization — which is why the paper's Q-hat at 80% of
+        saturation leaves safe headroom."""
+        rho = utilization_for_sla(DEFAULT_MU_PARTITION, 0.5, 99.0)
+        assert 0.80 < rho < 0.92
+
+    def test_matches_simulated_knee(self):
+        """The analytic knee must agree with the queueing engine."""
+        mu = DEFAULT_MU_PARTITION
+        lam = max_arrival_rate_for_sla(mu, 0.5, 99.0)
+        engine = QueueingEngine(
+            n_partitions=1, seed=9, skew_sigma=0.0, hot_episode_rate=0.0,
+            samples_per_tick=512,
+        )
+        below = np.mean(
+            [engine.step(1.0, lam * 0.9, np.ones(1)).p99_ms for _ in range(200)]
+        )
+        engine2 = QueueingEngine(
+            n_partitions=1, seed=9, skew_sigma=0.0, hot_episode_rate=0.0,
+            samples_per_tick=512,
+        )
+        above = np.mean(
+            [engine2.step(1.0, lam * 1.08, np.ones(1)).p99_ms for _ in range(200)]
+        )
+        assert below < 500.0 < above
+
+
+class TestDeriveThresholds:
+    def test_paper_like_configuration(self):
+        derived = derive_thresholds(
+            mu_partition=DEFAULT_MU_PARTITION,
+            partitions_per_node=6,
+            sla_seconds=0.5,
+            percentile=99.0,
+        )
+        # The SLA knee sits a little below the saturation rate.
+        assert derived.sla_knee_tps < 6 * DEFAULT_MU_PARTITION
+        assert derived.sla_knee_tps > 0.8 * SINGLE_NODE_SATURATION_TPS
+        assert derived.q == pytest.approx(0.65 * derived.sla_knee_tps)
+        assert derived.q_hat == pytest.approx(0.80 * derived.sla_knee_tps)
+        assert derived.q < derived.q_hat
+
+    def test_stricter_sla_lowers_thresholds(self):
+        loose = derive_thresholds(DEFAULT_MU_PARTITION, 6, sla_seconds=0.5)
+        strict = derive_thresholds(DEFAULT_MU_PARTITION, 6, sla_seconds=0.2)
+        assert strict.q < loose.q
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            derive_thresholds(DEFAULT_MU_PARTITION, 0)
+        with pytest.raises(SimulationError):
+            derive_thresholds(
+                DEFAULT_MU_PARTITION, 6, q_fraction=0.9, q_hat_fraction=0.8
+            )

@@ -1,0 +1,161 @@
+"""Tests for the parallel migration schedule (Sec. 4.4.1, Table 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import avg_machines_allocated, moved_fraction
+from repro.errors import MigrationError
+from repro.squall import (
+    MigrationSchedule,
+    build_migration_schedule,
+    validate_schedule,
+)
+
+sizes = st.integers(min_value=1, max_value=30)
+
+
+class TestPaperExamples:
+    def test_3_to_14_matches_table_1(self):
+        """The flagship example: 11 rounds, 3 phases, JIT allocation
+        6 -> 9 -> 12 -> 14 machines."""
+        schedule = build_migration_schedule(3, 14)
+        validate_schedule(schedule)
+        assert schedule.n_rounds == 11
+        assert schedule.total_transfers == 33      # complete K(3, 11)
+        assert schedule.allocation == (6, 6, 6, 9, 9, 9, 12, 12, 14, 14, 14)
+        assert schedule.average_machines() == pytest.approx(
+            avg_machines_allocated(3, 14)
+        )
+
+    def test_without_phases_would_take_12_rounds(self):
+        """Sec 4.4.1: 'Without the three distinct phases, the
+        reconfiguration shown would require at least 12 rounds.'  A naive
+        block-by-block schedule uses ceil(delta/s) * s = 12 rounds."""
+        schedule = build_migration_schedule(3, 14)
+        naive_rounds = -(-11 // 3) * 3
+        assert naive_rounds == 12
+        assert schedule.n_rounds == 11
+
+    def test_3_to_5_case_1(self):
+        """Case 1 (Fig. 4a): delta <= s; all machines allocated at once."""
+        schedule = build_migration_schedule(3, 5)
+        validate_schedule(schedule)
+        assert schedule.n_rounds == 3
+        assert all(a == 5 for a in schedule.allocation)
+
+    def test_3_to_9_case_2(self):
+        """Case 2 (Fig. 4b): delta = 2s; blocks of 3, average 7.5."""
+        schedule = build_migration_schedule(3, 9)
+        validate_schedule(schedule)
+        assert schedule.n_rounds == 6
+        assert schedule.allocation == (6, 6, 6, 9, 9, 9)
+        assert schedule.average_machines() == pytest.approx(7.5)
+
+    def test_noop(self):
+        schedule = build_migration_schedule(4, 4)
+        validate_schedule(schedule)
+        assert schedule.n_rounds == 0
+        assert schedule.moved_fraction == 0.0
+
+
+class TestScaleIn:
+    def test_14_to_3_mirrors_scale_out(self):
+        out = build_migration_schedule(3, 14)
+        in_ = build_migration_schedule(14, 3)
+        validate_schedule(in_)
+        assert in_.n_rounds == out.n_rounds
+        # Reversed allocation: machines released just-in-time.
+        assert in_.allocation == tuple(reversed(out.allocation))
+
+    def test_scale_in_transfers_reverse_roles(self):
+        schedule = build_migration_schedule(5, 3)
+        validate_schedule(schedule)
+        for round_ in schedule.rounds:
+            for transfer in round_:
+                assert transfer.sender >= 3       # retiring machines send
+                assert transfer.receiver < 3      # survivors receive
+
+
+class TestProperties:
+    @given(b=sizes, a=sizes)
+    @settings(max_examples=200, deadline=None)
+    def test_all_invariants_hold(self, b, a):
+        schedule = build_migration_schedule(b, a)
+        validate_schedule(schedule)
+
+    @given(b=sizes, a=sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_average_machines_matches_algorithm_4(self, b, a):
+        if b == a:
+            return
+        schedule = build_migration_schedule(b, a)
+        assert schedule.average_machines() == pytest.approx(
+            avg_machines_allocated(b, a)
+        )
+
+    @given(b=sizes, a=sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_moved_fraction_matches_model(self, b, a):
+        schedule = build_migration_schedule(b, a)
+        assert schedule.moved_fraction == pytest.approx(moved_fraction(b, a))
+
+    @given(b=sizes, a=sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_rounds_equal_max_of_s_and_delta(self, b, a):
+        if b == a:
+            return
+        s, l = min(b, a), max(b, a)
+        schedule = build_migration_schedule(b, a)
+        assert schedule.n_rounds == max(s, l - s)
+
+    @given(b=sizes, a=sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_allocation_monotone(self, b, a):
+        """Scale-out only adds machines over time; scale-in only
+        releases them."""
+        schedule = build_migration_schedule(b, a)
+        allocation = list(schedule.allocation)
+        if a > b:
+            assert allocation == sorted(allocation)
+        elif a < b:
+            assert allocation == sorted(allocation, reverse=True)
+
+
+class TestValidation:
+    def test_invalid_sizes(self):
+        with pytest.raises(MigrationError):
+            build_migration_schedule(0, 3)
+        with pytest.raises(MigrationError):
+            build_migration_schedule(3, 0)
+
+    def test_validator_catches_wrong_round_count(self):
+        good = build_migration_schedule(2, 4)
+        bad = MigrationSchedule(
+            before=good.before,
+            after=good.after,
+            rounds=good.rounds[:-1],
+            allocation=good.allocation[:-1],
+            fraction_per_transfer=good.fraction_per_transfer,
+        )
+        with pytest.raises(MigrationError):
+            validate_schedule(bad)
+
+    def test_validator_catches_machine_reuse(self):
+        good = build_migration_schedule(2, 4)
+        first = good.rounds[0]
+        doubled = (first + (first[0],),) + good.rounds[1:]
+        bad = MigrationSchedule(
+            before=good.before,
+            after=good.after,
+            rounds=doubled,
+            allocation=good.allocation,
+            fraction_per_transfer=good.fraction_per_transfer,
+        )
+        with pytest.raises(MigrationError):
+            validate_schedule(bad)
+
+    def test_describe_lists_rounds(self):
+        text = build_migration_schedule(3, 14).describe()
+        assert text.count("round") == 11
+        assert "1 -> 4" in text

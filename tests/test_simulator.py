@@ -1,0 +1,118 @@
+"""Tests for the full second-granularity elastic DBMS simulator."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.elasticity import StaticStrategy
+from repro.elasticity.manual import ManualStrategy
+from repro.errors import SimulationError
+from repro.sim import ElasticDbSimulator
+
+CFG = default_config()  # 60 s planner interval
+QUIET = dict(skew_sigma=0.0, hot_episode_rate=0.0)
+
+
+def simulator(**kwargs):
+    defaults = dict(config=CFG, max_machines=6, initial_machines=2, seed=3)
+    defaults.update(kwargs)
+    return ElasticDbSimulator(**defaults)
+
+
+class TestStaticRun:
+    def test_underloaded_run_is_clean(self):
+        sim = simulator(engine_kwargs=QUIET)
+        offered = np.full(300, CFG.q * 2 * 0.5)
+        result = sim.run(offered, StaticStrategy(2))
+        assert result.sla_violations() == {50.0: 0, 95.0: 0, 99.0: 0}
+        assert result.average_machines == 2.0
+        assert result.moves_started == 0
+
+    def test_overload_violates_sla(self):
+        sim = simulator(engine_kwargs=QUIET)
+        offered = np.full(300, CFG.q_hat * 2 * 1.4)
+        result = sim.run(offered, StaticStrategy(2))
+        assert result.sla_violations()[99.0] > 100
+
+    def test_throughput_tracks_offered_below_saturation(self):
+        sim = simulator(engine_kwargs=QUIET)
+        offered = np.full(120, 300.0)
+        result = sim.run(offered, StaticStrategy(2))
+        assert result.completed_tps.mean() == pytest.approx(300.0, rel=0.05)
+
+    def test_deterministic(self):
+        offered = np.full(120, 400.0)
+        a = simulator().run(offered, StaticStrategy(2))
+        b = simulator().run(offered, StaticStrategy(2))
+        assert np.array_equal(a.latency.series(99.0), b.latency.series(99.0))
+
+
+class TestScaling:
+    def test_manual_scale_out_increases_capacity(self):
+        """Scaling 2 -> 4 under a load that saturates 2 machines must
+        cut tail latency dramatically."""
+        offered = np.full(1800, CFG.q_hat * 2 * 1.1)
+        stay = simulator(engine_kwargs=QUIET).run(offered, StaticStrategy(2))
+        # Scale at the first planning slot; migration takes ~6 min.
+        grow = simulator(engine_kwargs=QUIET).run(
+            offered, ManualStrategy([(1, 4)])
+        )
+        assert grow.machines[-1] == 4
+        tail = slice(1200, 1800)  # after migration completes
+        assert (
+            grow.latency.series(99.0)[tail].mean()
+            < 0.3 * stay.latency.series(99.0)[tail].mean()
+        )
+
+    def test_migration_interference_visible(self):
+        """During the move, p99 should rise above the quiescent level
+        (the Fig. 9c mechanism)."""
+        offered = np.full(1200, CFG.q * 2 * 0.95)
+        sim = simulator(engine_kwargs=QUIET, chunk_kb=8000.0)
+        result = sim.run(offered, ManualStrategy([(1, 3, 8.0)]))
+        migrating = result.migrating
+        assert migrating.any()
+        p99 = result.latency.series(99.0)
+        assert p99[migrating].mean() > 1.5 * p99[~migrating][-300:].mean()
+
+    def test_scale_in_retires_machines(self):
+        offered = np.full(1200, CFG.q * 0.8)
+        sim = simulator(engine_kwargs=QUIET)
+        result = sim.run(offered, ManualStrategy([(1, 1)]))
+        assert result.machines[-1] == 1
+        assert result.moves_started == 1
+
+    def test_machines_allocated_during_move_between_sizes(self):
+        offered = np.full(1500, CFG.q * 0.5)
+        sim = simulator(engine_kwargs=QUIET)
+        result = sim.run(offered, ManualStrategy([(1, 6)]))
+        during = result.machines[result.migrating]
+        assert during.size > 0
+        assert during.min() >= 2
+        assert during.max() <= 6
+
+
+class TestValidation:
+    def test_empty_load_rejected(self):
+        with pytest.raises(SimulationError):
+            simulator().run(np.array([]), StaticStrategy(2))
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(SimulationError):
+            simulator().run(np.array([-1.0]), StaticStrategy(2))
+
+    def test_initial_beyond_max_rejected(self):
+        with pytest.raises(SimulationError):
+            ElasticDbSimulator(CFG, max_machines=2, initial_machines=3)
+
+    def test_target_beyond_max_ignored(self):
+        offered = np.full(240, CFG.q * 0.5)
+        sim = simulator(max_machines=3, initial_machines=2, engine_kwargs=QUIET)
+        result = sim.run(offered, ManualStrategy([(1, 5)]))
+        assert result.moves_started == 0
+
+    def test_summary_format(self):
+        offered = np.full(120, 100.0)
+        result = simulator(engine_kwargs=QUIET).run(offered, StaticStrategy(2))
+        text = result.summary()
+        assert "static-2" in text and "avg machines" in text

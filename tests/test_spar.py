@@ -1,0 +1,153 @@
+"""Tests for the SPAR predictor (Eq. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, PredictionError
+from repro.prediction import SeasonalNaivePredictor, SparPredictor
+
+
+def periodic_series(periods=12, period=48, noise=0.0, seed=0):
+    """A daily-style periodic signal with optional noise."""
+    rng = np.random.default_rng(seed)
+    x = np.arange(periods * period)
+    base = 100.0 + 80.0 * np.sin(2 * np.pi * x / period)
+    if noise:
+        base = base * np.exp(rng.normal(0, noise, base.size))
+    return np.clip(base, 1.0, None)
+
+
+class TestConstruction:
+    def test_invalid_period(self):
+        with pytest.raises(PredictionError):
+            SparPredictor(period=1)
+
+    def test_invalid_n(self):
+        with pytest.raises(PredictionError):
+            SparPredictor(period=48, n_periods=0)
+
+    def test_invalid_m(self):
+        with pytest.raises(PredictionError):
+            SparPredictor(period=48, m_recent=-1)
+
+    def test_min_history(self):
+        spar = SparPredictor(period=48, n_periods=3, m_recent=10)
+        assert spar.min_history == 10 + 3 * 48
+
+
+class TestFitting:
+    def test_predict_before_fit_raises(self):
+        spar = SparPredictor(period=48, n_periods=2, m_recent=5)
+        with pytest.raises(NotFittedError):
+            spar.predict_horizon(periodic_series(4), 3)
+
+    def test_too_little_training_data_raises(self):
+        spar = SparPredictor(period=48, n_periods=7, m_recent=30)
+        with pytest.raises(PredictionError):
+            spar.fit(periodic_series(periods=5))
+
+    def test_fit_returns_self(self):
+        spar = SparPredictor(period=48, n_periods=2, m_recent=5)
+        assert spar.fit(periodic_series(6)) is spar
+
+    def test_coefficient_shapes(self):
+        spar = SparPredictor(period=48, n_periods=3, m_recent=7).fit(
+            periodic_series(8)
+        )
+        a, b = spar.coefficients(tau=2)
+        assert a.shape == (3,)
+        assert b.shape == (7,)
+
+    def test_periodic_signal_coefficients_sum_near_one(self):
+        """On a purely periodic signal the periodic weights should carry
+        (approximately) all the mass."""
+        spar = SparPredictor(period=48, n_periods=3, m_recent=5).fit(
+            periodic_series(10)
+        )
+        a, _ = spar.coefficients(tau=1)
+        assert float(a.sum()) == pytest.approx(1.0, abs=0.05)
+
+
+class TestForecasting:
+    def test_perfect_on_noiseless_periodic_signal(self):
+        series = periodic_series(10)
+        spar = SparPredictor(period=48, n_periods=3, m_recent=5).fit(
+            series[: 8 * 48]
+        )
+        history = series[: 9 * 48]
+        forecast = spar.predict_horizon(history, 12)
+        actual = series[9 * 48 : 9 * 48 + 12]
+        assert np.allclose(forecast, actual, rtol=0.02)
+
+    def test_horizon_length(self):
+        series = periodic_series(10)
+        spar = SparPredictor(period=48, n_periods=3, m_recent=5).fit(series)
+        assert spar.predict_horizon(series, 7).shape == (7,)
+
+    def test_forecasts_clipped_at_zero(self):
+        series = periodic_series(10)
+        spar = SparPredictor(period=48, n_periods=2, m_recent=3).fit(series)
+        # Feed a history that ends in a deep dip to provoke negatives.
+        history = np.concatenate([series, np.full(20, 0.5)])
+        forecast = spar.predict_horizon(history, 5)
+        assert np.all(forecast >= 0.0)
+
+    def test_short_history_rejected(self):
+        series = periodic_series(10)
+        spar = SparPredictor(period=48, n_periods=3, m_recent=5).fit(series)
+        with pytest.raises(PredictionError):
+            spar.predict_horizon(series[:100], 4)
+
+    def test_tau_must_stay_within_one_period(self):
+        series = periodic_series(10)
+        spar = SparPredictor(period=48, n_periods=3, m_recent=5).fit(series)
+        with pytest.raises(PredictionError):
+            spar.predict_horizon(series, 48)
+
+    def test_predict_at_matches_horizon(self):
+        series = periodic_series(10, noise=0.05)
+        spar = SparPredictor(period=48, n_periods=3, m_recent=5).fit(
+            series[: 8 * 48]
+        )
+        t = 9 * 48
+        direct = spar.predict_at(series, t, tau=3)
+        via_horizon = spar.predict_horizon(series[: t + 1], 3)[2]
+        assert direct == pytest.approx(via_horizon)
+
+
+class TestAccuracy:
+    def test_beats_seasonal_naive_on_drifting_load(self):
+        """SPAR's recent-offset term tracks day-level drift that the
+        seasonal-naive predictor cannot see."""
+        rng = np.random.default_rng(7)
+        period = 48
+        days = 16
+        x = np.arange(days * period)
+        daily = 100.0 + 80.0 * np.sin(2 * np.pi * x / period)
+        # Strong day-to-day level drift.
+        drift = np.repeat(rng.uniform(0.7, 1.3, days), period)
+        series = daily * drift
+
+        train = 10 * period
+        spar = SparPredictor(period=period, n_periods=3, m_recent=10).fit(
+            series[:train]
+        )
+        naive = SeasonalNaivePredictor(period).fit(series[:train])
+        spar_result = spar.backtest(series, tau=2, start=train, step=5)
+        naive_result = naive.backtest(series, tau=2, start=train, step=5)
+        assert (
+            spar_result.mean_relative_error()
+            < naive_result.mean_relative_error()
+        )
+
+    def test_error_grows_with_tau(self):
+        """Fig. 5b: accuracy decays gracefully with the forecast window."""
+        series = periodic_series(16, noise=0.08, seed=3)
+        period = 48
+        train = 10 * period
+        spar = SparPredictor(period=period, n_periods=3, m_recent=10).fit(
+            series[:train]
+        )
+        short = spar.backtest(series, tau=1, start=train, step=7)
+        long = spar.backtest(series, tau=24, start=train, step=7)
+        assert short.mean_relative_error() <= long.mean_relative_error() * 1.1

@@ -1,0 +1,206 @@
+"""Tests for the provisioning strategies."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.elasticity import (
+    NO_ACTION,
+    PStoreStrategy,
+    ReactiveStrategy,
+    SimpleStrategy,
+    StaticStrategy,
+)
+from repro.elasticity.manual import ManualStrategy
+from repro.errors import SimulationError
+from repro.prediction import LastValuePredictor, OraclePredictor
+
+
+CFG = default_config().with_interval(600.0)
+Q = CFG.q
+
+
+class TestStatic:
+    def test_never_acts(self):
+        strategy = StaticStrategy(4)
+        strategy.reset(4)
+        for slot in range(10):
+            assert strategy.decide(slot, [Q * 100], 4) is NO_ACTION
+
+    def test_name(self):
+        assert StaticStrategy(10).name == "static-10"
+
+    def test_wrong_initial_size_rejected(self):
+        with pytest.raises(SimulationError):
+            StaticStrategy(4).reset(2)
+
+    def test_invalid_machines(self):
+        with pytest.raises(SimulationError):
+            StaticStrategy(0)
+
+
+class TestSimple:
+    def test_scales_out_in_morning(self):
+        strategy = SimpleStrategy(8, 3, slots_per_day=24, morning_hour=7, night_hour=23)
+        strategy.reset(3)
+        # Slot 8 = 08:00 -> day target.
+        decision = strategy.decide(8, [100.0], 3)
+        assert decision.target_machines == 8
+
+    def test_scales_in_at_night(self):
+        strategy = SimpleStrategy(8, 3, slots_per_day=24, morning_hour=7, night_hour=23)
+        strategy.reset(3)
+        decision = strategy.decide(23, [100.0], 8)
+        assert decision.target_machines == 3
+
+    def test_no_action_when_already_at_target(self):
+        strategy = SimpleStrategy(8, 3, slots_per_day=24)
+        strategy.reset(3)
+        assert not strategy.decide(12, [100.0], 8).acts
+
+    def test_ignores_load_entirely(self):
+        """The Simple strategy is blind to load (Fig. 13, right)."""
+        strategy = SimpleStrategy(8, 3, slots_per_day=24)
+        strategy.reset(3)
+        quiet = strategy.decide(12, [1.0], 3)
+        slammed = strategy.decide(12, [1e9], 3)
+        assert quiet.target_machines == slammed.target_machines == 8
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SimpleStrategy(2, 4, slots_per_day=24)   # day < night
+        with pytest.raises(SimulationError):
+            SimpleStrategy(4, 2, slots_per_day=0)
+        with pytest.raises(SimulationError):
+            SimpleStrategy(4, 2, slots_per_day=24, morning_hour=25)
+
+
+class TestReactive:
+    def make(self, **kwargs):
+        return ReactiveStrategy(CFG, **kwargs)
+
+    def test_scales_out_on_overload(self):
+        strategy = self.make()
+        strategy.reset(2)
+        overload = 0.95 * 2 * CFG.q_hat
+        decision = strategy.decide(0, [overload], 2)
+        assert decision.acts
+        assert decision.target_machines > 2
+
+    def test_does_not_act_below_threshold(self):
+        strategy = self.make()
+        strategy.reset(2)
+        assert not strategy.decide(0, [0.5 * 2 * CFG.q_hat], 2).acts
+
+    def test_scale_in_needs_patience(self):
+        strategy = self.make(scale_in_patience=3)
+        strategy.reset(4)
+        low = Q * 0.8  # fits 1 machine
+        assert not strategy.decide(0, [low], 4).acts
+        assert not strategy.decide(1, [low], 4).acts
+        decision = strategy.decide(2, [low], 4)
+        assert decision.acts
+        assert decision.target_machines == 1
+
+    def test_patience_resets_on_load_return(self):
+        strategy = self.make(scale_in_patience=3)
+        strategy.reset(4)
+        low = Q * 0.8
+        strategy.decide(0, [low], 4)
+        strategy.decide(1, [Q * 3.9], 4)  # load returns
+        assert not strategy.decide(2, [low], 4).acts
+        assert not strategy.decide(3, [low], 4).acts
+
+    def test_headroom_scales_target(self):
+        lean = self.make(headroom=1.0)
+        fat = self.make(headroom=2.0)
+        lean.reset(1)
+        fat.reset(1)
+        load = 0.96 * CFG.q_hat
+        lean_target = lean.decide(0, [load], 1).target_machines
+        fat_target = fat.decide(0, [load], 1).target_machines
+        assert fat_target > lean_target
+
+    def test_max_machines_cap(self):
+        strategy = self.make(max_machines=3)
+        strategy.reset(3)
+        assert not strategy.decide(0, [Q * 50], 3).acts
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            self.make(scale_out_threshold=0.0)
+        with pytest.raises(SimulationError):
+            self.make(headroom=0.0)
+        with pytest.raises(SimulationError):
+            self.make(scale_in_patience=0)
+
+
+class TestManual:
+    def test_fires_at_scheduled_slot(self):
+        strategy = ManualStrategy([(5, 4), (10, 2, 8.0)])
+        strategy.reset(2)
+        assert not strategy.decide(4, [1.0], 2).acts
+        decision = strategy.decide(5, [1.0], 2)
+        assert decision.target_machines == 4
+
+    def test_late_consultation_still_fires(self):
+        strategy = ManualStrategy([(5, 4)])
+        strategy.reset(2)
+        decision = strategy.decide(9, [1.0], 2)
+        assert decision.target_machines == 4
+
+    def test_rate_multiplier_carried(self):
+        strategy = ManualStrategy([(0, 4, 8.0)])
+        strategy.reset(2)
+        assert strategy.decide(0, [1.0], 2).rate_multiplier == 8.0
+
+    def test_action_at_current_size_skipped(self):
+        strategy = ManualStrategy([(0, 2)])
+        strategy.reset(2)
+        assert not strategy.decide(0, [1.0], 2).acts
+
+    def test_reset_restarts_schedule(self):
+        strategy = ManualStrategy([(0, 4)])
+        strategy.reset(2)
+        assert strategy.decide(0, [1.0], 2).acts
+        strategy.reset(2)
+        assert strategy.decide(0, [1.0], 2).acts
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ManualStrategy([(0,)])
+        with pytest.raises(SimulationError):
+            ManualStrategy([(-1, 4)])
+        with pytest.raises(SimulationError):
+            ManualStrategy([(0, 0)])
+
+
+class TestPStoreStrategy:
+    def test_requires_fitted_predictor(self):
+        with pytest.raises(SimulationError):
+            PStoreStrategy(CFG, LastValuePredictor())
+
+    def test_warmup_produces_no_action(self):
+        class SlowStart(LastValuePredictor):
+            """A predictor that, like SPAR, needs warm-up context."""
+
+            @property
+            def min_history(self):
+                return 10
+
+        predictor = SlowStart().fit([Q])
+        strategy = PStoreStrategy(CFG, predictor)
+        assert not strategy.decide(0, [Q], 2).acts
+
+    def test_acts_like_controller(self):
+        truth = [Q * 0.9] * 2 + [Q * 1.9] * 60
+        predictor = OraclePredictor(truth)
+        strategy = PStoreStrategy(CFG, predictor, horizon_intervals=6)
+        strategy.reset(1)
+        decision = strategy.decide(1, truth[:2], 1)
+        assert decision.acts
+        assert decision.target_machines >= 2
+
+    def test_name_default(self):
+        predictor = OraclePredictor([1.0, 2.0])
+        assert PStoreStrategy(CFG, predictor).name == "p-store"

@@ -1,0 +1,88 @@
+"""Tests for the Wikipedia pagecounts loader."""
+
+import io
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.workload.wikipedia import (
+    load_pagecounts_series,
+    parse_hourly_totals,
+    parse_pagecounts_hour,
+)
+
+HOUR_1 = """\
+en Main_Page 1000 123456
+en Albert_Einstein 500 23456
+de Wikipedia:Hauptseite 300 3456
+fr Accueil 999 111
+en.m Mobile_Main 777 222
+"""
+
+HOUR_2 = """\
+en Main_Page 2000 123456
+de Wikipedia:Hauptseite 600 3456
+garbage-line-without-count
+en Bad_Count notanumber 5
+"""
+
+
+class TestParseHour:
+    def test_sums_matching_project(self):
+        assert parse_pagecounts_hour(io.StringIO(HOUR_1), "en") == 1500
+        assert parse_pagecounts_hour(io.StringIO(HOUR_1), "de") == 300
+
+    def test_mobile_project_not_conflated(self):
+        # "en.m" must not count toward "en".
+        assert parse_pagecounts_hour(io.StringIO(HOUR_1), "en.m") == 777
+
+    def test_junk_lines_skipped(self):
+        assert parse_pagecounts_hour(io.StringIO(HOUR_2), "en") == 2000
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "pagecounts-20160701-000000"
+        path.write_text(HOUR_1)
+        assert parse_pagecounts_hour(path, "de") == 300
+
+    def test_empty_project_rejected(self):
+        with pytest.raises(SimulationError):
+            parse_pagecounts_hour(io.StringIO(HOUR_1), "")
+
+
+class TestSeries:
+    def test_builds_hourly_trace(self):
+        trace = load_pagecounts_series(
+            [io.StringIO(HOUR_1), io.StringIO(HOUR_2)], "en"
+        )
+        assert list(trace.values) == [1500.0, 2000.0]
+        assert trace.slot_seconds == 3600.0
+        assert trace.name == "wikipedia-en"
+
+    def test_empty_file_list_rejected(self):
+        with pytest.raises(SimulationError):
+            load_pagecounts_series([], "en")
+
+
+class TestHourlyTotals:
+    def test_two_column_format(self):
+        text = "en 100\nde 50\nen 200\n"
+        trace = parse_hourly_totals(io.StringIO(text), "en")
+        assert list(trace.values) == [100.0, 200.0]
+
+    def test_three_column_format_with_timestamps(self):
+        text = "2016070100 en 100\n2016070101 en 150\n"
+        trace = parse_hourly_totals(io.StringIO(text), "en")
+        assert list(trace.values) == [100.0, 150.0]
+
+    def test_comments_ignored(self):
+        text = "# header\nen 100\n"
+        trace = parse_hourly_totals(io.StringIO(text), "en")
+        assert list(trace.values) == [100.0]
+
+    def test_no_rows_for_project(self):
+        with pytest.raises(SimulationError):
+            parse_hourly_totals(io.StringIO("de 100\n"), "en")
+
+    def test_bad_count(self):
+        with pytest.raises(SimulationError):
+            parse_hourly_totals(io.StringIO("en oops\n"), "en")
