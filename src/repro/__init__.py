@@ -26,13 +26,17 @@ Quick tour
 * :mod:`repro.sim` — the second-granularity DBMS simulator and the fast
   capacity simulator used for multi-month sweeps;
 * :mod:`repro.analysis` — SLA accounting, capacity-cost curves, tail
-  CDFs, report rendering.
+  CDFs, report rendering;
+* :mod:`repro.telemetry` — metrics, spans, and structured events with
+  JSONL/JSON exporters and an ASCII dashboard (off by default; see
+  ``docs/OBSERVABILITY.md``).
 """
 
 from .config import (
     FIGURE12_Q_FRACTIONS,
     PStoreConfig,
     SINGLE_NODE_SATURATION_TPS,
+    TelemetryConfig,
     default_config,
 )
 from .core import (
@@ -51,6 +55,7 @@ from .errors import (
     PredictionError,
     PStoreError,
     SimulationError,
+    TelemetryError,
     TransactionAbort,
 )
 from .prediction import (
@@ -85,6 +90,8 @@ __all__ = [
     "SINGLE_NODE_SATURATION_TPS",
     "SimulationError",
     "SparPredictor",
+    "TelemetryConfig",
+    "TelemetryError",
     "TransactionAbort",
     "b2w_like_trace",
     "default_config",

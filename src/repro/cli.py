@@ -14,11 +14,18 @@ Subcommands
     run one of the paper's experiments at reduced scale.
 
 Run ``pstore <subcommand> --help`` for options.
+
+Every subcommand accepts ``-v/--verbose`` and ``--quiet`` (wired to the
+root logging level; results go to stdout, diagnostics to stderr) and
+``--telemetry-out DIR``, which records the run's metrics, spans, and
+events and writes ``events.jsonl``, ``spans.jsonl``, and
+``metrics.json`` into DIR (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import math
 import sys
 from typing import List, Optional
@@ -37,8 +44,51 @@ from .elasticity import (
 from .errors import InfeasiblePlanError, PStoreError
 from .prediction import ArmaPredictor, ArPredictor, SparPredictor
 from .sim import run_capacity_simulation
+from .telemetry import (
+    disable_telemetry,
+    enable_telemetry,
+    export_run,
+    get_telemetry,
+    render_dashboard,
+)
 from .workload import b2w_like_trace
 from .workload.io import read_trace_csv, write_trace_csv
+
+logger = logging.getLogger(__name__)
+
+
+def _common_options() -> argparse.ArgumentParser:
+    """Options shared by every subcommand (logging + telemetry)."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (-v info, -vv debug)",
+    )
+    common.add_argument(
+        "--quiet", action="store_true",
+        help="only log errors (overrides --verbose)",
+    )
+    common.add_argument(
+        "--telemetry-out", metavar="DIR", default=None,
+        help="record telemetry and write events.jsonl / spans.jsonl / "
+        "metrics.json into DIR",
+    )
+    return common
+
+
+def _setup_logging(args) -> None:
+    if args.quiet:
+        level = logging.ERROR
+    elif args.verbose >= 2:
+        level = logging.DEBUG
+    elif args.verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logging.basicConfig(
+        level=level, stream=sys.stderr, format="%(levelname)s %(name)s: %(message)s"
+    )
+    logging.getLogger().setLevel(level)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -46,9 +96,11 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="pstore",
         description="P-Store: predictive elastic provisioning (SIGMOD'18 reproduction)",
     )
+    common = _common_options()
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="write a synthetic load trace to CSV")
+    gen = sub.add_parser("generate", parents=[common],
+                         help="write a synthetic load trace to CSV")
     gen.add_argument("output", help="output CSV path")
     gen.add_argument("--days", type=int, default=35)
     gen.add_argument("--slot-seconds", type=float, default=300.0)
@@ -60,13 +112,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="approximate daily peak in txn/s",
     )
 
-    pred = sub.add_parser("predict", help="forecast a trace with SPAR")
+    pred = sub.add_parser("predict", parents=[common],
+                          help="forecast a trace with SPAR")
     pred.add_argument("trace", help="input CSV (see `generate`)")
     pred.add_argument("--model", choices=("spar", "arma", "ar"), default="spar")
     pred.add_argument("--train-days", type=int, default=28)
     pred.add_argument("--horizon", type=int, default=12, help="slots ahead")
 
-    plan = sub.add_parser("plan", help="plan reconfigurations for a trace")
+    plan = sub.add_parser("plan", parents=[common],
+                          help="plan reconfigurations for a trace")
     plan.add_argument("trace", help="input CSV")
     plan.add_argument("--config", default=None,
                       help="JSON config file (see PStoreConfig.from_file)")
@@ -75,7 +129,8 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="current cluster size (0 = fit to current load)")
     plan.add_argument("--horizon", type=int, default=12)
 
-    sim = sub.add_parser("simulate", help="capacity-simulate a strategy")
+    sim = sub.add_parser("simulate", parents=[common],
+                         help="capacity-simulate a strategy")
     sim.add_argument(
         "strategy",
         help="p-store | reactive | static:<N> | simple:<day>/<night>",
@@ -84,7 +139,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=7)
     sim.add_argument("--peak-tps", type=float, default=1450.0)
 
-    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp = sub.add_parser("experiment", parents=[common],
+                         help="run a paper experiment")
     exp.add_argument(
         "name",
         choices=(
@@ -137,8 +193,14 @@ def _cmd_predict(args) -> int:
         )
         return 2
     values = trace.as_rate_per_second()
-    model = _fit_model(args.model, values, period, train_slots)
-    forecast = model.predict_horizon(values, args.horizon)
+    logger.info("fitting %s on %d slots (%d days)", args.model, train_slots,
+                args.train_days)
+    with get_telemetry().tracer.span(
+        "predict.forecast", model=args.model, horizon=args.horizon
+    ) as span:
+        model = _fit_model(args.model, values, period, train_slots)
+        forecast = model.predict_horizon(values, args.horizon)
+        span.set("predicted_next", float(forecast[0]))
     print(series_block("history (txn/s)", values[-3 * period :]))
     rows = [
         (i + 1, f"{v:,.1f}") for i, v in enumerate(forecast)
@@ -160,17 +222,29 @@ def _cmd_plan(args) -> int:
     if train_slots >= len(trace):
         print("error: not enough data after the training window", file=sys.stderr)
         return 2
-    model = _fit_model("spar", values, period, train_slots)
-    forecast = model.predict_horizon(values, args.horizon)
+    logger.info("fitting SPAR on %d slots, planning %d ahead", train_slots,
+                args.horizon)
+    with get_telemetry().tracer.span(
+        "predict.forecast", model="spar", horizon=args.horizon
+    ) as span:
+        model = _fit_model("spar", values, period, train_slots)
+        forecast = model.predict_horizon(values, args.horizon)
+        span.set("predicted_next", float(forecast[0]))
     inflated = forecast * config.prediction_inflation
     current_load = float(values[-1])
     machines = args.machines or config.servers_for_load(current_load * 1.1)
 
     print(f"current load {current_load:,.0f} txn/s on {machines} machines")
     try:
-        schedule = Planner(config).plan(
-            list(inflated), machines, current_load=current_load
-        )
+        with get_telemetry().tracer.span(
+            "plan.dp", machines=machines, horizon=args.horizon
+        ) as span:
+            schedule = Planner(config).plan(
+                list(inflated), machines, current_load=current_load
+            )
+            span.set(
+                "n_moves", sum(1 for m in schedule.moves if not m.is_noop)
+            )
     except InfeasiblePlanError as infeasible:
         print(
             f"no feasible plan: scale out reactively to "
@@ -220,6 +294,8 @@ def _cmd_simulate(args) -> int:
     )
     train = full.slice_days(0, 28).as_rate_per_second()
     evaluation = full.slice_days(28, args.days)
+    logger.info("simulating %s for %d days (seed %d)", args.strategy,
+                args.days, args.seed)
     strategy, history = _parse_strategy(args.strategy, config, (None, train))
     initial = (
         strategy.machines
@@ -300,11 +376,38 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    _setup_logging(args)
+    recording = bool(args.telemetry_out)
+    if recording:
+        enable_telemetry()
+        logger.info("telemetry enabled, artifacts will go to %s",
+                    args.telemetry_out)
     try:
-        return _COMMANDS[args.command](args)
-    except PStoreError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        try:
+            code = _COMMANDS[args.command](args)
+        except PStoreError as error:
+            print(f"error: {error}", file=sys.stderr)
+            code = 1
+        if recording:
+            tel = get_telemetry()
+            try:
+                paths = export_run(tel, args.telemetry_out)
+                for kind, path in sorted(paths.items()):
+                    logger.info("wrote %s -> %s", kind, path)
+                if args.command == "simulate" and code == 0:
+                    print()
+                    print(render_dashboard(tel))
+            except OSError as error:
+                print(
+                    f"error: cannot write telemetry to "
+                    f"{args.telemetry_out}: {error}",
+                    file=sys.stderr,
+                )
+                code = code or 1
+        return code
+    finally:
+        if recording:
+            disable_telemetry()
 
 
 if __name__ == "__main__":  # pragma: no cover

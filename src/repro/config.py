@@ -49,6 +49,32 @@ DEFAULT_SLA_LATENCY_MS = 500.0
 
 
 @dataclass(frozen=True)
+class TelemetryConfig:
+    """The ``telemetry`` section of :class:`PStoreConfig`.
+
+    Telemetry is off by default; when off, the instrumentation hooks in
+    the engine, controller, and simulators cost one attribute check.
+    """
+
+    #: Record metrics, spans, and events for this run.
+    enabled: bool = False
+    #: Directory to export ``events.jsonl``/``spans.jsonl``/``metrics.json``
+    #: into at the end of a run (None = keep in memory only).
+    out_dir: str = ""
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TelemetryConfig":
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - valid
+        if unknown:
+            raise ConfigurationError(
+                f"unknown telemetry config keys {sorted(unknown)}; valid "
+                f"keys are {sorted(valid)}"
+            )
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class PStoreConfig:
     """Immutable bundle of model parameters shared by planner and simulator.
 
@@ -81,8 +107,19 @@ class PStoreConfig:
     max_machines: int = 0
     #: Database size in kB (used to convert chunk sizes to fractions).
     database_kb: float = DEFAULT_DATABASE_KB
+    #: Observability settings (metrics/span/event recording).
+    telemetry: TelemetryConfig = TelemetryConfig()
 
     def __post_init__(self) -> None:
+        if isinstance(self.telemetry, dict):
+            # from_file/from_dict hand the section through as a mapping.
+            object.__setattr__(
+                self, "telemetry", TelemetryConfig.from_dict(self.telemetry)
+            )
+        if not isinstance(self.telemetry, TelemetryConfig):
+            raise ConfigurationError(
+                "telemetry must be a TelemetryConfig or a mapping"
+            )
         if self.q <= 0 or self.q_hat <= 0:
             raise ConfigurationError("Q and Q_hat must be positive")
         if self.q > self.q_hat:

@@ -28,6 +28,7 @@ import numpy as np
 from ..config import PStoreConfig
 from ..errors import InfeasiblePlanError, PlanningError
 from ..prediction.base import Predictor
+from ..telemetry import get_telemetry
 from .moves import MoveSchedule
 from .planner import Planner, PlanRequest
 
@@ -70,6 +71,9 @@ class PredictiveController:
     emergency_rate_multiplier:
         migration-rate boost used on infeasible plans (1.0 reproduces
         the paper's default "keep rate R" policy; 8.0 the boosted one).
+    telemetry:
+        telemetry bundle to record cycle spans and decision metrics
+        into; defaults to the process-global one at construction time.
     """
 
     def __init__(
@@ -78,6 +82,7 @@ class PredictiveController:
         predictor: Predictor,
         horizon_intervals: Optional[int] = None,
         emergency_rate_multiplier: float = 1.0,
+        telemetry=None,
     ):
         if emergency_rate_multiplier <= 0:
             raise PlanningError("emergency_rate_multiplier must be positive")
@@ -92,6 +97,7 @@ class PredictiveController:
         if self.horizon_intervals < 1:
             raise PlanningError("horizon must be at least one interval")
         self.emergency_rate_multiplier = emergency_rate_multiplier
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
         self._scale_in_streak = 0
         self._last_schedule: Optional[MoveSchedule] = None
 
@@ -116,21 +122,93 @@ class PredictiveController:
 
         ``history`` is the measured load per planner interval up to now
         (in txn/s); ``current_machines`` is the active cluster size.
+
+        When telemetry is enabled the cycle is wrapped in a
+        ``controller.cycle`` root span with ``predict.forecast`` and
+        ``plan.dp`` children, and the decision outcome is recorded as
+        both span attributes and ``controller.decisions`` counters.
         """
         if current_machines < 1:
             raise PlanningError("current_machines must be >= 1")
-        forecast = self.predictor.predict_horizon(history, self.horizon_intervals)
+        tel = self._telemetry
+        with tel.tracer.span(
+            "controller.cycle",
+            machines=current_machines,
+            history_len=len(history),
+        ) as cycle:
+            decision = self._decide_cycle(history, current_machines,
+                                          current_load, tel)
+            cycle.set("reason", decision.reason)
+            cycle.set("target_machines", decision.target_machines)
+            cycle.set("emergency", decision.emergency)
+            if tel.enabled:
+                kind = self._decision_kind(decision, current_machines)
+                tel.metrics.counter("controller.cycles").inc()
+                tel.metrics.counter("controller.decisions", kind=kind).inc()
+                tel.metrics.gauge("controller.scale_in_streak").set(
+                    self._scale_in_streak
+                )
+        return decision
+
+    @staticmethod
+    def _decision_kind(decision: Decision, current_machines: int) -> str:
+        """Coarse decision category for the ``controller.decisions`` counter."""
+        if decision.emergency:
+            return "emergency"
+        if decision.target_machines is None:
+            if decision.reason.startswith("scale-in pending"):
+                return "debounce"
+            if decision.reason.startswith("first move"):
+                return "wait"
+            return "steady"
+        if decision.target_machines > current_machines:
+            return "scale-out"
+        return "scale-in"
+
+    def _decide_cycle(
+        self,
+        history: Sequence[float],
+        current_machines: int,
+        current_load: Optional[float],
+        tel,
+    ) -> Decision:
+        with tel.tracer.span(
+            "predict.forecast", horizon=self.horizon_intervals
+        ) as forecast_span:
+            forecast = self.predictor.predict_horizon(
+                history, self.horizon_intervals
+            )
+            forecast_span.set("predicted_next", float(forecast[0]))
         inflated = np.asarray(forecast, dtype=float) * self.config.prediction_inflation
         measured_now = float(history[-1]) if current_load is None else current_load
-
-        try:
-            schedule = self.planner.best_moves(
-                PlanRequest(
-                    predicted_load=tuple(inflated),
-                    initial_machines=current_machines,
-                    current_load=measured_now,
-                )
+        if tel.enabled:
+            tel.events.emit(
+                "forecast",
+                history_len=len(history),
+                measured_now=measured_now,
+                predicted_next=float(forecast[0]),
+                inflated_next=float(inflated[0]),
+                predicted_peak=float(inflated.max()),
+                horizon=self.horizon_intervals,
             )
+
+        plan_span_cm = tel.tracer.span(
+            "plan.dp",
+            initial_machines=current_machines,
+            current_load=measured_now,
+        )
+        try:
+            with plan_span_cm as plan_span:
+                plan_span.set("feasible", False)
+                schedule = self.planner.best_moves(
+                    PlanRequest(
+                        predicted_load=tuple(inflated),
+                        initial_machines=current_machines,
+                        current_load=measured_now,
+                    )
+                )
+                plan_span.set("feasible", True)
+                plan_span.set("final_machines", schedule.final_machines)
         except InfeasiblePlanError as infeasible:
             # Flash crowd: scale straight to the required size, reactively.
             self._scale_in_streak = 0
@@ -140,6 +218,13 @@ class PredictiveController:
                 target = min(target, self.config.max_machines)
             if target == current_machines:
                 return Decision(reason="infeasible-but-at-size")
+            if tel.enabled:
+                tel.events.emit(
+                    "controller.emergency",
+                    required_machines=infeasible.required_machines,
+                    target_machines=target,
+                    rate_multiplier=self.emergency_rate_multiplier,
+                )
             return Decision(
                 target_machines=target,
                 emergency=True,

@@ -35,11 +35,18 @@ from ..squall.rebalance import (
     hot_bucket_report,
     make_skew_rebalance_plan,
 )
+from ..telemetry import get_telemetry
 
 
 @dataclass
 class ServiceEvent:
-    """One provisioning action taken by the service (for auditing)."""
+    """One provisioning action taken by the service (for auditing).
+
+    The structured telemetry event log
+    (:class:`repro.telemetry.events.EventLog`) subsumes this record —
+    every ServiceEvent is mirrored there as a ``service.<kind>`` event
+    with the same fields — but the plain list is kept as the stable
+    in-process API."""
 
     time: float
     kind: str          # "scale-out" | "scale-in" | "emergency" | "rebalance"
@@ -75,6 +82,7 @@ class PStoreService:
         chunk_kb: float = 1000.0,
         skew_rebalancing: bool = False,
         skew_threshold_share: float = 0.25,
+        telemetry=None,
     ):
         if max_machines is not None and max_machines < 1:
             raise SimulationError("max_machines must be >= 1 when set")
@@ -84,10 +92,14 @@ class PStoreService:
         self.max_machines = max_machines
         self.skew_rebalancing = skew_rebalancing
         self.skew_threshold_share = skew_threshold_share
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
 
-        self.executor = TransactionExecutor(cluster)
-        self.monitor = LoadMonitor(config.interval_seconds)
-        self.migrator = ClusterMigrator(cluster, config, chunk_kb=chunk_kb)
+        tel = self._telemetry
+        self.executor = TransactionExecutor(cluster, telemetry=tel)
+        self.monitor = LoadMonitor(config.interval_seconds, telemetry=tel)
+        self.migrator = ClusterMigrator(
+            cluster, config, chunk_kb=chunk_kb, telemetry=tel
+        )
         self._strategy: Optional[PStoreStrategy] = None
         if predictor.is_fitted or isinstance(predictor, OnlinePredictor):
             self._ensure_strategy()
@@ -97,7 +109,18 @@ class PStoreService:
 
     def _ensure_strategy(self) -> None:
         if self._strategy is None and self.predictor.is_fitted:
-            self._strategy = PStoreStrategy(self.config, self.predictor)
+            self._strategy = PStoreStrategy(
+                self.config, self.predictor, telemetry=self._telemetry
+            )
+
+    def _record_event(self, kind: str, detail: str, **fields) -> None:
+        """Append to the audit list and mirror into the telemetry log."""
+        self.events.append(ServiceEvent(time=self._now, kind=kind, detail=detail))
+        tel = self._telemetry
+        if tel.enabled:
+            tel.events.emit(f"service.{kind}", time=self._now, detail=detail,
+                            **fields)
+            tel.metrics.counter("service.events", kind=kind).inc()
 
     # ------------------------------------------------------------------
     # Transaction path
@@ -140,16 +163,24 @@ class PStoreService:
         if self.migrator.migrating:
             finished = self.migrator.advance(dt)
             if finished and self._migration_target is not None:
-                self.events.append(
-                    ServiceEvent(
-                        time=self._now,
-                        kind="move-complete",
-                        detail=f"now at {self.cluster.n_nodes} machines",
-                    )
+                self._record_event(
+                    "move-complete",
+                    f"now at {self.cluster.n_nodes} machines",
+                    machines=self.cluster.n_nodes,
                 )
                 self._migration_target = None
 
         closed = self.monitor.record(self._now, count=0.0)
+        tel = self._telemetry
+        if closed and tel.enabled:
+            tel.metrics.gauge("service.machines").set(self.cluster.n_nodes)
+            tel.events.emit(
+                "machines",
+                time=self._now,
+                slot=self.monitor.completed_intervals - 1,
+                machines=self.cluster.n_nodes,
+                migrating=self.migrating,
+            )
         if closed and isinstance(self.predictor, OnlinePredictor):
             history = self.monitor.history_tps()
             for rate in history[-closed:]:
@@ -184,6 +215,7 @@ class PStoreService:
         if target == before or target < 1:
             return
         self.migrator.rate_multiplier = decision.rate_multiplier
+        self.migrator.sim_time = self._now
         self.migrator.start_move(target)
         self._migration_target = target
         kind = (
@@ -191,12 +223,13 @@ class PStoreService:
             if decision.emergency
             else ("scale-out" if target > before else "scale-in")
         )
-        self.events.append(
-            ServiceEvent(
-                time=self._now,
-                kind=kind,
-                detail=f"{decision.reason} -> {target} machines",
-            )
+        self._record_event(
+            kind,
+            f"{decision.reason} -> {target} machines",
+            reason=decision.reason,
+            before=before,
+            target=target,
+            rate_multiplier=decision.rate_multiplier,
         )
         self._strategy.notify_move_started(target)
 
@@ -210,12 +243,11 @@ class PStoreService:
             return
         moved_kb = apply_rebalance(self.cluster, plan)
         self.cluster.reset_bucket_accesses()
-        self.events.append(
-            ServiceEvent(
-                time=self._now,
-                kind="rebalance",
-                detail=f"moved {len(plan.moves)} hot buckets ({moved_kb:.0f} kB)",
-            )
+        self._record_event(
+            "rebalance",
+            f"moved {len(plan.moves)} hot buckets ({moved_kb:.0f} kB)",
+            n_moves=len(plan.moves),
+            moved_kb=moved_kb,
         )
 
     # ------------------------------------------------------------------

@@ -41,6 +41,7 @@ class PStoreStrategy(ProvisioningStrategy):
         horizon_intervals: Optional[int] = None,
         emergency_rate_multiplier: float = 1.0,
         name: str = "p-store",
+        telemetry=None,
     ):
         if not predictor.is_fitted:
             raise SimulationError("predictor must be fitted before use")
@@ -50,6 +51,7 @@ class PStoreStrategy(ProvisioningStrategy):
             predictor=predictor,
             horizon_intervals=horizon_intervals,
             emergency_rate_multiplier=emergency_rate_multiplier,
+            telemetry=telemetry,
         )
         self.name = name
 

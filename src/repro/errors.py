@@ -62,3 +62,8 @@ class MigrationError(PStoreError):
 
 class SimulationError(PStoreError):
     """The simulator was driven with inconsistent inputs."""
+
+
+class TelemetryError(PStoreError):
+    """The telemetry subsystem was misused (metric type conflicts,
+    invalid quantiles, unwritable artifact paths)."""

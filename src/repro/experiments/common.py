@@ -13,6 +13,7 @@ cluster; these helpers build the equivalent synthetic setup:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import List
 
@@ -21,6 +22,8 @@ import numpy as np
 from ..config import PStoreConfig, default_config
 from ..prediction import SparPredictor
 from ..workload import LoadTrace, b2w_like_trace
+
+logger = logging.getLogger(__name__)
 
 #: Requests per 60 s slot at the daily peak (before compression); the
 #: 10x-compressed replay then peaks near 1 450 txn/s.
@@ -85,6 +88,10 @@ def benchmark_setup(
     train_compressed = train_full.compressed(SPEEDUP)
     train_tps = interval_rates(train_compressed, config.interval_seconds)
 
+    logger.info(
+        "benchmark setup: %d eval days, %d training intervals, seed %d",
+        eval_days, len(train_tps), seed,
+    )
     spar = SparPredictor(
         period=INTERVALS_PER_DAY, n_periods=7, m_recent=30
     ).fit(train_tps)

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..config import SINGLE_NODE_SATURATION_TPS
 from ..errors import SimulationError, TransactionAbort
+from ..telemetry import get_telemetry
 from .cluster import Cluster
 from .latency import LatencyRecorder, PercentileSeries
 from .txn import Transaction, TxnContext, TxnResult
@@ -60,6 +61,7 @@ class TransactionExecutor:
         mu_partition: float = DEFAULT_MU_PARTITION,
         seed: int = 1,
         recorder: Optional[LatencyRecorder] = None,
+        telemetry=None,
     ):
         if mu_partition <= 0:
             raise SimulationError("mu_partition must be positive")
@@ -67,6 +69,7 @@ class TransactionExecutor:
         self.mu_partition = mu_partition
         self._rng = np.random.default_rng(seed)
         self.recorder = recorder if recorder is not None else LatencyRecorder()
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
         self._busy_until: Dict[int, float] = {}
         self.committed = 0
         self.aborted = 0
@@ -93,6 +96,7 @@ class TransactionExecutor:
         except TransactionAbort as abort:
             self.aborted += 1
             self.recorder.record(start, latency_ms)
+            self._observe(ctx.partition_id, latency_ms, "aborted")
             return TxnResult(
                 txn=txn,
                 committed=False,
@@ -102,6 +106,7 @@ class TransactionExecutor:
             )
         self.committed += 1
         self.recorder.record(start, latency_ms)
+        self._observe(ctx.partition_id, latency_ms, "committed")
         return TxnResult(
             txn=txn,
             committed=True,
@@ -109,6 +114,16 @@ class TransactionExecutor:
             partition_id=ctx.partition_id,
             result=result,
         )
+
+    def _observe(self, partition_id: int, latency_ms: float, status: str) -> None:
+        """Record per-partition latency + txn counters (no-op when the
+        telemetry bundle is disabled; cost is this one attribute check)."""
+        tel = self._telemetry
+        if tel.enabled:
+            tel.metrics.counter("engine.txn_total", status=status).inc()
+            tel.metrics.histogram(
+                "engine.latency_ms", partition=partition_id
+            ).observe(latency_ms)
 
     def add_migration_stall(
         self, partition_id: int, at_time: float, stall_seconds: float
@@ -207,11 +222,13 @@ class QueueingEngine:
         extreme_episode_prob: float = 0.06,
         extreme_extra_range=(0.03, 0.06),
         samples_per_tick: int = 256,
+        telemetry=None,
     ):
         if n_partitions < 1:
             raise SimulationError("need at least one partition")
         if mu_partition <= 0:
             raise SimulationError("mu_partition must be positive")
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
         self.mu_partition = mu_partition
         self.skew_sigma = skew_sigma
         self.hot_episode_rate = hot_episode_rate
@@ -335,7 +352,7 @@ class QueueingEngine:
             arrivals, mu_eff, backlog_mid, completed, interference
         )
         utilization = float(np.max(arrivals / mu_eff))
-        return TickStats(
+        tick = TickStats(
             time=self._time,
             p50_ms=stats[0],
             p95_ms=stats[1],
@@ -345,6 +362,15 @@ class QueueingEngine:
             max_utilization=utilization,
             backlog=float(new_backlog.sum()),
         )
+        tel = self._telemetry
+        if tel.enabled:
+            metrics = tel.metrics
+            metrics.histogram("engine.tick_p50_ms").observe(tick.p50_ms)
+            metrics.histogram("engine.tick_p99_ms").observe(tick.p99_ms)
+            metrics.gauge("engine.backlog_txns").set(tick.backlog)
+            metrics.gauge("engine.max_utilization").set(tick.max_utilization)
+            metrics.counter("engine.completed_txns").inc(tick.completed_tps * dt)
+        return tick
 
     def _sample_latencies(
         self,

@@ -22,19 +22,28 @@ from typing import Dict, List
 import numpy as np
 
 from ..errors import SimulationError
+from ..telemetry import get_telemetry
 from .cluster import Cluster
 
 
 class LoadMonitor:
-    """Aggregates a stream of transaction counts into interval rates."""
+    """Aggregates a stream of transaction counts into interval rates.
 
-    def __init__(self, interval_seconds: float, start_time: float = 0.0):
+    When telemetry is enabled, every closed interval is published as a
+    ``monitor.window`` span plus an ``interval`` event (both in
+    simulated time), and the latest rate is mirrored to the
+    ``monitor.load_tps`` gauge.
+    """
+
+    def __init__(self, interval_seconds: float, start_time: float = 0.0,
+                 telemetry=None):
         if interval_seconds <= 0:
             raise SimulationError("interval_seconds must be positive")
         self.interval_seconds = interval_seconds
         self._interval_start = start_time
         self._current_count = 0.0
         self._rates: List[float] = []
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
 
     @property
     def completed_intervals(self) -> int:
@@ -55,8 +64,20 @@ class LoadMonitor:
                 f"starting at {self._interval_start}"
             )
         closed = 0
+        tel = self._telemetry
         while timestamp >= self._interval_start + self.interval_seconds:
-            self._rates.append(self._current_count / self.interval_seconds)
+            rate = self._current_count / self.interval_seconds
+            self._rates.append(rate)
+            if tel.enabled:
+                slot = len(self._rates) - 1
+                end = self._interval_start + self.interval_seconds
+                tel.tracer.record(
+                    "monitor.window", self._interval_start, end,
+                    slot=slot, tps=rate,
+                )
+                tel.events.emit("interval", time=end, slot=slot, tps=rate)
+                tel.metrics.gauge("monitor.load_tps").set(rate)
+                tel.metrics.counter("monitor.intervals_closed").inc()
             self._current_count = 0.0
             self._interval_start += self.interval_seconds
             closed += 1
@@ -82,6 +103,8 @@ class SkewReport:
     total_accesses: int
     per_partition: Dict[int, int]
     mean: float
+    #: Partition id with the most accesses, or -1 when there was no
+    #: traffic at all (zero mean).
     hottest_partition: int
     hottest_excess: float      # hottest / mean - 1
     std_over_mean: float
@@ -113,11 +136,15 @@ class SkewMonitor:
         total = int(values.sum())
         mean = float(values.mean()) if values.size else 0.0
         if mean <= 0:
+            # No traffic: there is no "hottest" partition.  Returning an
+            # arbitrary partition id here (the old min(counts)) made
+            # zero-traffic reports indistinguishable from a real hot
+            # partition 0; -1 is the documented "none" sentinel.
             return SkewReport(
                 total_accesses=total,
                 per_partition=counts,
                 mean=0.0,
-                hottest_partition=min(counts) if counts else -1,
+                hottest_partition=-1,
                 hottest_excess=0.0,
                 std_over_mean=0.0,
             )

@@ -21,6 +21,7 @@ for its 4.5-month sweeps.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -31,6 +32,7 @@ from ..elasticity.base import ProvisioningStrategy
 from ..errors import SimulationError
 from ..squall.migrator import ActiveMigration
 from ..squall.schedule import build_migration_schedule
+from ..telemetry import get_telemetry
 from ..workload.trace import LoadTrace
 
 
@@ -94,6 +96,7 @@ class CapacitySimulator:
         history_seed: Sequence[float] = (),
         peak_sigma: float = 0.08,
         peak_seed: int = 101,
+        telemetry=None,
     ):
         if initial_machines < 1:
             raise SimulationError("initial_machines must be >= 1")
@@ -101,6 +104,7 @@ class CapacitySimulator:
             raise SimulationError("peak_sigma must be >= 0")
         self.config = config
         self.initial_machines = initial_machines
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
         #: Within-slot instantaneous peaks exceed the slot average by a
         #: random factor ``1 + |N(0, peak_sigma)|``.
         self.peak_sigma = peak_sigma
@@ -134,6 +138,9 @@ class CapacitySimulator:
         machines = self.initial_machines
         migration: Optional[ActiveMigration] = None
         migration_target = machines
+        migration_before = machines
+        migration_emergency = False
+        migration_started = 0.0
 
         out_machines = np.empty(n_slots)
         out_eff_q = np.empty(n_slots)
@@ -142,9 +149,20 @@ class CapacitySimulator:
         emergencies = 0
         moves_started = 0
         history = self.history
+        tel = self._telemetry
+        recording = tel.enabled
 
         for slot in range(n_slots):
             history.append(float(load_tps[slot]))
+            if recording:
+                # history may be pre-seeded with the training window;
+                # forecast events key on history length, so use it as slot.
+                tel.events.emit(
+                    "interval",
+                    time=(slot + 1) * slot_seconds,
+                    slot=len(history) - 1,
+                    tps=float(load_tps[slot]),
+                )
 
             if migration is None:
                 decision = strategy.decide(slot, history, machines)
@@ -160,9 +178,24 @@ class CapacitySimulator:
                         partitions_per_node=config.partitions_per_node,
                     )
                     migration_target = decision.target_machines
+                    migration_before = machines
+                    migration_emergency = decision.emergency
+                    migration_started = slot * slot_seconds
                     moves_started += 1
                     if decision.emergency:
                         emergencies += 1
+                    if recording:
+                        tel.events.emit(
+                            "migration.start",
+                            time=migration_started,
+                            before=machines,
+                            after=migration_target,
+                            emergency=decision.emergency,
+                            reason=decision.reason,
+                            rate_kbps=config.migration_rate_kbps
+                            * decision.rate_multiplier,
+                            est_seconds=migration.total_seconds,
+                        )
                     strategy.notify_move_started(decision.target_machines)
 
             if migration is not None:
@@ -176,6 +209,20 @@ class CapacitySimulator:
                 out_migrating[slot] = True
                 migration.advance(slot_seconds / 2.0)
                 if migration.done:
+                    now = (slot + 1) * slot_seconds
+                    if recording:
+                        tel.events.emit(
+                            "migration.complete",
+                            time=now,
+                            before=migration_before,
+                            after=migration_target,
+                            seconds=now - migration_started,
+                            emergency=migration_emergency,
+                        )
+                        tel.metrics.histogram(
+                            "migrate.duration_seconds",
+                            bounds=tuple(float(2 ** i) for i in range(24)),
+                        ).observe(now - migration_started)
                     machines = migration_target
                     migration = None
                     strategy.notify_move_finished(machines)
@@ -183,6 +230,20 @@ class CapacitySimulator:
                 out_machines[slot] = machines
                 out_eff_q[slot] = config.q * machines
                 out_eff_qhat[slot] = config.q_hat * machines
+
+            if recording:
+                self._record_slot(
+                    tel, slot, slot_seconds,
+                    float(load_tps[slot]),
+                    int(out_machines[slot]),
+                    float(out_eff_qhat[slot]),
+                    bool(out_migrating[slot]),
+                )
+
+        if recording:
+            tel.metrics.gauge("sim.slots").set(n_slots)
+            tel.metrics.counter("sim.moves_started").inc(moves_started)
+            tel.metrics.counter("sim.emergencies").inc(emergencies)
 
         return CapacitySimResult(
             strategy_name=strategy.name,
@@ -197,6 +258,48 @@ class CapacitySimulator:
             moves_started=moves_started,
         )
 
+    def _record_slot(
+        self,
+        tel,
+        slot: int,
+        slot_seconds: float,
+        load_tps: float,
+        machines: int,
+        eff_cap_max: float,
+        migrating: bool,
+    ) -> None:
+        """Publish one slot's allocation sample and analytic latency.
+
+        The capacity simulator deliberately skips queueing dynamics, so
+        the latency quantiles here are the *steady-state M/M/1 estimate*
+        implied by the slot's utilization — a telemetry-grade proxy for
+        dashboards, not the full engine's measurement (Sec. 8.3 trades
+        exactly this fidelity for 4.5-month sweeps)."""
+        from ..hstore.engine import DEFAULT_MU_PARTITION
+
+        tel.events.emit(
+            "machines",
+            time=(slot + 1) * slot_seconds,
+            slot=slot,
+            machines=machines,
+            migrating=migrating,
+        )
+        tel.metrics.gauge("sim.machines").set(machines)
+        # Per-partition arrival rate implied by the effective capacity:
+        # at load == eff_cap_max every partition runs at Q_hat's share of
+        # its service rate; clamp headroom like the engine does.
+        mu = DEFAULT_MU_PARTITION
+        utilization = load_tps / eff_cap_max if eff_cap_max > 0 else 1.0
+        lam = min(utilization, 1.0) * 0.80 * mu
+        headroom = max(mu - lam, 0.02 * mu)
+        for name, pct in (
+            ("sim.latency_p50_ms", 0.50),
+            ("sim.latency_p95_ms", 0.95),
+            ("sim.latency_p99_ms", 0.99),
+        ):
+            sojourn_ms = -math.log(1.0 - pct) / headroom * 1000.0
+            tel.metrics.histogram(name).observe(sojourn_ms)
+
 
 def run_capacity_simulation(
     trace: LoadTrace,
@@ -205,6 +308,7 @@ def run_capacity_simulation(
     initial_machines: int,
     history_seed: Sequence[float] = (),
     peak_sigma: float = 0.08,
+    telemetry=None,
 ) -> CapacitySimResult:
     """Convenience wrapper: one strategy, one trace, one result."""
     simulator = CapacitySimulator(
@@ -212,5 +316,6 @@ def run_capacity_simulation(
         initial_machines=initial_machines,
         history_seed=history_seed,
         peak_sigma=peak_sigma,
+        telemetry=telemetry,
     )
     return simulator.run(trace, strategy)

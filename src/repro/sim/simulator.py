@@ -29,6 +29,7 @@ from ..hstore.engine import (
 from ..hstore.latency import PercentileSeries
 from ..squall.migrator import DEFAULT_CHUNK_KB, ActiveMigration
 from ..squall.schedule import build_migration_schedule
+from ..telemetry import get_telemetry
 
 
 @dataclass
@@ -95,6 +96,7 @@ class ElasticDbSimulator:
         chunk_kb: float = DEFAULT_CHUNK_KB,
         seed: int = 1,
         engine_kwargs: Optional[dict] = None,
+        telemetry=None,
     ):
         if not 1 <= initial_machines <= max_machines:
             raise SimulationError(
@@ -105,10 +107,12 @@ class ElasticDbSimulator:
         self.max_machines = max_machines
         self.initial_machines = initial_machines
         self.chunk_kb = chunk_kb
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
         p = config.partitions_per_node
         self.engine = QueueingEngine(
             n_partitions=max_machines * p,
             seed=seed,
+            telemetry=self._telemetry,
             **(engine_kwargs or {}),
         )
 
@@ -160,13 +164,29 @@ class ElasticDbSimulator:
         p99 = np.empty(n)
         emergencies = 0
         moves_started = 0
+        tel = self._telemetry
+        recording = tel.enabled
+        migration_before = machines
+        migration_emergency = False
+        migration_started = 0.0
 
         for t in range(n):
             # ---------------- planning (per interval boundary) --------
             interval_accumulator.append(float(offered[t]))
             if len(interval_accumulator) == interval:
-                history.append(float(np.mean(interval_accumulator)))
+                mean_tps = float(np.mean(interval_accumulator))
+                history.append(mean_tps)
                 interval_accumulator.clear()
+                if recording:
+                    tel.events.emit(
+                        "interval", time=float(t + 1),
+                        slot=len(history) - 1, tps=mean_tps,
+                    )
+                    tel.events.emit(
+                        "machines", time=float(t + 1),
+                        slot=len(history) - 1, machines=int(machines),
+                        migrating=migration is not None,
+                    )
                 if migration is None:
                     slot = len(history) - 1
                     decision = strategy.decide(slot, history, machines)
@@ -183,9 +203,23 @@ class ElasticDbSimulator:
                             migration_rate,
                         )
                         migration_target = decision.target_machines
+                        migration_before = machines
+                        migration_emergency = decision.emergency
+                        migration_started = float(t + 1)
                         moves_started += 1
                         if decision.emergency:
                             emergencies += 1
+                        if recording:
+                            tel.events.emit(
+                                "migration.start",
+                                time=migration_started,
+                                before=machines,
+                                after=migration_target,
+                                emergency=decision.emergency,
+                                reason=decision.reason,
+                                rate_kbps=migration_rate,
+                                est_seconds=migration.total_seconds,
+                            )
                         strategy.notify_move_started(decision.target_machines)
 
             # ---------------- capacity state for this second ----------
@@ -218,6 +252,13 @@ class ElasticDbSimulator:
             p50[t] = stats.p50_ms
             p95[t] = stats.p95_ms
             p99[t] = stats.p99_ms
+            if recording:
+                metrics = tel.metrics
+                metrics.histogram("sim.latency_p50_ms").observe(stats.p50_ms)
+                metrics.histogram("sim.latency_p95_ms").observe(stats.p95_ms)
+                metrics.histogram("sim.latency_p99_ms").observe(stats.p99_ms)
+                if stats.p99_ms > config.sla_latency_ms:
+                    metrics.counter("sim.sla_violation_seconds").inc()
 
             # ---------------- migration progress -----------------------
             if migration is not None:
@@ -227,6 +268,20 @@ class ElasticDbSimulator:
                         for machine in retiring:
                             active.remove(machine)
                         retiring = []
+                    if recording:
+                        now = float(t + 1)
+                        tel.events.emit(
+                            "migration.complete",
+                            time=now,
+                            before=migration_before,
+                            after=migration_target,
+                            seconds=now - migration_started,
+                            emergency=migration_emergency,
+                        )
+                        tel.metrics.histogram(
+                            "migrate.duration_seconds",
+                            bounds=tuple(float(2 ** i) for i in range(24)),
+                        ).observe(now - migration_started)
                     machines = migration_target
                     migration = None
                     strategy.notify_move_finished(machines)

@@ -20,6 +20,7 @@ import numpy as np
 from ..config import PStoreConfig
 from ..errors import MigrationError
 from ..hstore.cluster import Cluster
+from ..telemetry import get_telemetry
 from .plan import BucketMove, make_reconfiguration_plan
 from .schedule import MigrationSchedule, Transfer, build_migration_schedule
 
@@ -212,6 +213,7 @@ class ClusterMigrator:
         config: PStoreConfig,
         chunk_kb: float = DEFAULT_CHUNK_KB,
         rate_multiplier: float = 1.0,
+        telemetry=None,
     ):
         if rate_multiplier <= 0:
             raise MigrationError("rate_multiplier must be positive")
@@ -219,9 +221,29 @@ class ClusterMigrator:
         self.config = config
         self.chunk_kb = chunk_kb
         self.rate_multiplier = rate_multiplier
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
         self._active: Optional[ActiveMigration] = None
         self._pair_buckets: Dict[Tuple[int, int], List[BucketMove]] = {}
         self._retiring_nodes: List[int] = []
+        #: Cumulative simulated seconds this migrator has been advanced;
+        #: the timeline used for migrate.round spans and duration metrics.
+        self._sim_time = 0.0
+        self._move_started_at = 0.0
+        self._move_before = 0
+        self._move_after = 0
+        self._round_started_at = 0.0
+        self._rounds_committed = 0
+
+    @property
+    def sim_time(self) -> float:
+        """The migrator's simulated clock (seconds).  Hosts with their own
+        clock (e.g. :class:`~repro.core.service.PStoreService`) sync this
+        before ``start_move`` so telemetry timestamps are absolute."""
+        return self._sim_time
+
+    @sim_time.setter
+    def sim_time(self, value: float) -> None:
+        self._sim_time = float(value)
 
     @property
     def active(self) -> Optional[ActiveMigration]:
@@ -276,28 +298,82 @@ class ClusterMigrator:
         }
 
         schedule = build_migration_schedule(before, after)
+        rate_kbps = self.config.migration_rate_kbps * self.rate_multiplier
         self._active = ActiveMigration(
             schedule=schedule,
             database_kb=max(self.cluster.total_data_kb, 1.0),
-            rate_kbps=self.config.migration_rate_kbps * self.rate_multiplier,
+            rate_kbps=rate_kbps,
             partitions_per_node=self.config.partitions_per_node,
             chunk_kb=self.chunk_kb,
             node_map=node_map,
         )
+        self._move_started_at = self._sim_time
+        self._round_started_at = self._sim_time
+        self._move_before = before
+        self._move_after = after
+        self._rounds_committed = 0
+        tel = self._telemetry
+        if tel.enabled:
+            tel.events.emit(
+                "migration.start",
+                time=self._sim_time,
+                before=before,
+                after=after,
+                rate_kbps=rate_kbps,
+                rounds=schedule.n_rounds,
+                est_seconds=self._active.total_seconds,
+            )
+            tel.metrics.counter("migrate.moves_started").inc()
         return self._active
 
     def advance(self, dt: float) -> bool:
         """Advance the active migration; returns True when it completes."""
         if self._active is None:
             raise MigrationError("no active migration")
+        round_seconds = self._active.round_seconds
         completed_rounds = self._active.advance(dt)
+        self._sim_time += dt
+        tel = self._telemetry
         for round_ in completed_rounds:
             for transfer in round_:
                 self._commit_transfer(transfer)
+            if tel.enabled:
+                # Rounds are equal-length, so reconstruct each round's
+                # window on the simulated timeline.
+                end = min(
+                    self._round_started_at + round_seconds, self._sim_time
+                )
+                tel.tracer.record(
+                    "migrate.round",
+                    self._round_started_at,
+                    end,
+                    round=self._rounds_committed,
+                    transfers=len(round_),
+                )
+                self._round_started_at = end
+            self._rounds_committed += 1
         if self._active.done:
+            self._finish_telemetry()
             self._finish()
             return True
         return False
+
+    def _finish_telemetry(self) -> None:
+        tel = self._telemetry
+        if not tel.enabled:
+            return
+        seconds = self._sim_time - self._move_started_at
+        tel.events.emit(
+            "migration.complete",
+            time=self._sim_time,
+            before=self._move_before,
+            after=self._move_after,
+            seconds=seconds,
+        )
+        tel.metrics.histogram(
+            "migrate.duration_seconds",
+            bounds=tuple(float(2 ** i) for i in range(24)),
+        ).observe(seconds)
 
     def _commit_transfer(self, transfer: Transfer) -> None:
         assert self._active is not None and self._active.node_map is not None

@@ -1,0 +1,100 @@
+"""Observability for the predict -> plan -> migrate control loop.
+
+Three coordinated primitives:
+
+* :mod:`repro.telemetry.metrics` — counters, gauges, and fixed-bucket
+  streaming histograms in a label-aware registry;
+* :mod:`repro.telemetry.tracing` — wall-clock and simulated-time spans
+  with parent/child linkage, one root span per controller cycle;
+* :mod:`repro.telemetry.events` — the structured JSONL event log of
+  provisioning actions, measurements, and forecasts.
+
+:mod:`repro.telemetry.runtime` bundles the three behind a process-global
+default that is a no-op until :func:`enable_telemetry` is called, and
+:mod:`repro.telemetry.export` turns a finished run into ``events.jsonl``,
+``spans.jsonl``, ``metrics.json``, and an ASCII dashboard.
+
+See docs/OBSERVABILITY.md for metric names, the span hierarchy, and the
+artifact file formats.
+"""
+
+from .events import NULL_EVENTS, EventLog, NullEventLog
+from .export import (
+    EVENTS_SCHEMA,
+    METRICS_SCHEMA,
+    SPANS_SCHEMA,
+    export_run,
+    forecast_mape,
+    forecast_vs_actual,
+    latency_quantiles,
+    machines_series,
+    metrics_document,
+    migration_summary,
+    render_dashboard,
+    write_events_jsonl,
+    write_metrics_csv,
+    write_metrics_json,
+    write_spans_jsonl,
+)
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    default_buckets,
+)
+from .runtime import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    disable_telemetry,
+    enable_telemetry,
+    get_telemetry,
+    set_telemetry,
+    telemetry_from_config,
+    telemetry_scope,
+)
+from .tracing import NULL_RECORDER, NullRecorder, Span, SpanRecorder
+
+__all__ = [
+    "Counter",
+    "EVENTS_SCHEMA",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "NULL_EVENTS",
+    "NULL_RECORDER",
+    "NULL_REGISTRY",
+    "NULL_TELEMETRY",
+    "NullEventLog",
+    "NullRecorder",
+    "NullRegistry",
+    "NullTelemetry",
+    "SPANS_SCHEMA",
+    "Span",
+    "SpanRecorder",
+    "Telemetry",
+    "default_buckets",
+    "disable_telemetry",
+    "enable_telemetry",
+    "export_run",
+    "forecast_mape",
+    "forecast_vs_actual",
+    "get_telemetry",
+    "latency_quantiles",
+    "machines_series",
+    "metrics_document",
+    "migration_summary",
+    "render_dashboard",
+    "set_telemetry",
+    "telemetry_from_config",
+    "telemetry_scope",
+    "write_events_jsonl",
+    "write_metrics_csv",
+    "write_metrics_json",
+    "write_spans_jsonl",
+]

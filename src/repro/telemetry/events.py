@@ -1,0 +1,75 @@
+"""Structured event log: the provisioning audit trail as JSONL rows.
+
+Every provisioning action, interval measurement, and forecast is one
+flat dict with a ``kind``, a monotone sequence number, an optional
+simulated ``time``, and free-form fields.  This subsumes
+:class:`repro.core.service.ServiceEvent` (kept for backwards
+compatibility) and extends it to the simulators, which previously had
+no audit trail at all.
+
+Well-known kinds (see docs/OBSERVABILITY.md for schemas):
+
+``interval``
+    one closed measurement interval: ``slot``, ``tps``;
+``forecast``
+    one controller forecast: ``history_len``, ``measured_now``,
+    ``predicted_next``, ``inflated_next``, ``horizon``;
+``migration.start`` / ``migration.complete``
+    reconfiguration lifecycle: ``before``, ``after``, ``rate_kbps`` /
+    ``seconds``;
+``machines``
+    per-slot allocation sample: ``slot``, ``machines``, ``migrating``;
+``service.*``
+    provisioning actions of :class:`~repro.core.service.PStoreService`
+    (``service.scale-out``, ``service.emergency``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class EventLog:
+    """In-memory append-only list of structured events."""
+
+    def __init__(self) -> None:
+        self.events: List[dict] = []
+        self._seq = 0
+
+    def emit(self, kind: str, time: Optional[float] = None, **fields) -> dict:
+        """Append one event; returns the stored dict (already sequenced)."""
+        self._seq += 1
+        event = {"seq": self._seq, "kind": kind, "time": time}
+        event.update(fields)
+        self.events.append(event)
+        return event
+
+    def by_kind(self, kind: str) -> List[dict]:
+        return [e for e in self.events if e["kind"] == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def snapshot(self) -> List[dict]:
+        return list(self.events)
+
+
+class NullEventLog:
+    """Event log that drops everything; shared by disabled telemetry."""
+
+    events: Tuple[dict, ...] = ()
+
+    def emit(self, kind: str, time: Optional[float] = None, **fields) -> dict:
+        return {}
+
+    def by_kind(self, kind: str) -> List[dict]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> List[dict]:
+        return []
+
+
+NULL_EVENTS = NullEventLog()

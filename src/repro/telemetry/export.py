@@ -1,0 +1,306 @@
+"""Run-artifact exporters: JSONL dumps, metrics snapshots, dashboards.
+
+One instrumented run produces three machine-readable artifacts
+(``pstore simulate --telemetry-out run1/``):
+
+``events.jsonl``
+    the structured event log, one JSON object per line;
+``spans.jsonl``
+    every recorded span (wall-clock and simulated-time), one per line;
+``metrics.json``
+    the final metric snapshot plus derived summaries: the
+    forecast-vs-actual series with its MAPE, per-reconfiguration
+    migration durations, and the latency quantiles of every histogram.
+
+:func:`render_dashboard` turns the same data into the plain-text
+summary printed at the end of a CLI run; :func:`write_metrics_csv`
+flattens scalar metrics for spreadsheet import.  ``BENCH_*.json``-style
+regression baselines can be produced directly from
+:func:`metrics_document`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Dict, List, Optional
+
+#: Version tags written into every artifact so later PRs can evolve the
+#: schemas without breaking old readers.
+EVENTS_SCHEMA = "pstore.events/v1"
+SPANS_SCHEMA = "pstore.spans/v1"
+METRICS_SCHEMA = "pstore.metrics/v1"
+
+
+def _clean(value):
+    """JSON-encodable copy of ``value`` (numpy scalars, inf, nan)."""
+    if isinstance(value, dict):
+        return {str(k): _clean(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_clean(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if hasattr(value, "item"):  # numpy scalar
+        return _clean(value.item())
+    return value
+
+
+def write_jsonl(rows: List[dict], path) -> pathlib.Path:
+    path = pathlib.Path(path)
+    with path.open("w") as fh:
+        for row in rows:
+            fh.write(json.dumps(_clean(row), sort_keys=True))
+            fh.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Derived series
+# ----------------------------------------------------------------------
+
+
+def forecast_vs_actual(telemetry) -> List[dict]:
+    """Align ``forecast`` events with the ``interval`` measurements they
+    predicted.
+
+    A forecast emitted with ``history_len = h`` predicts the next
+    interval, i.e. the measurement with ``slot == h``; pairs whose
+    measurement never arrived (end of run) are dropped.
+    """
+    measured = {
+        e["slot"]: e["tps"]
+        for e in telemetry.events.by_kind("interval")
+        if e.get("slot") is not None
+    }
+    pairs: List[dict] = []
+    for event in telemetry.events.by_kind("forecast"):
+        slot = event.get("history_len")
+        if slot is None or slot not in measured:
+            continue
+        pairs.append(
+            {
+                "slot": slot,
+                "predicted": event.get("predicted_next"),
+                "inflated": event.get("inflated_next"),
+                "actual": measured[slot],
+            }
+        )
+    return pairs
+
+
+def forecast_mape(pairs: List[dict]) -> Optional[float]:
+    """Mean absolute percentage error of the forecast series (percent)."""
+    errors = [
+        abs(p["predicted"] - p["actual"]) / p["actual"]
+        for p in pairs
+        if p.get("predicted") is not None and p.get("actual")
+    ]
+    if not errors:
+        return None
+    return 100.0 * sum(errors) / len(errors)
+
+
+def migration_summary(telemetry) -> List[dict]:
+    """One row per completed reconfiguration (from the event log)."""
+    return [
+        {
+            "time": e.get("time"),
+            "before": e.get("before"),
+            "after": e.get("after"),
+            "seconds": e.get("seconds"),
+            "emergency": e.get("emergency", False),
+        }
+        for e in telemetry.events.by_kind("migration.complete")
+    ]
+
+
+def machines_series(telemetry) -> List[dict]:
+    """Per-slot machine allocation samples (empty if not instrumented)."""
+    return [
+        {
+            "slot": e.get("slot"),
+            "machines": e.get("machines"),
+            "migrating": e.get("migrating", False),
+        }
+        for e in telemetry.events.by_kind("machines")
+    ]
+
+
+def latency_quantiles(telemetry) -> Dict[str, dict]:
+    """p50/p95/p99 of every histogram, keyed by ``name{labels}``."""
+    out: Dict[str, dict] = {}
+    for snap in telemetry.metrics.snapshot():
+        if snap.get("kind") != "histogram" or not snap.get("count"):
+            continue
+        labels = snap.get("labels") or {}
+        suffix = (
+            "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+            if labels
+            else ""
+        )
+        out[snap["name"] + suffix] = dict(snap["quantiles"], count=snap["count"])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Artifact writers
+# ----------------------------------------------------------------------
+
+
+def metrics_document(telemetry) -> dict:
+    """The full ``metrics.json`` document (snapshot + derived series)."""
+    pairs = forecast_vs_actual(telemetry)
+    return {
+        "schema": METRICS_SCHEMA,
+        "metrics": telemetry.metrics.snapshot(),
+        "derived": {
+            "forecast": {
+                "n_pairs": len(pairs),
+                "mape_pct": forecast_mape(pairs),
+                "series": pairs,
+            },
+            "migrations": migration_summary(telemetry),
+            "latency_quantiles": latency_quantiles(telemetry),
+        },
+    }
+
+
+def write_events_jsonl(telemetry, path) -> pathlib.Path:
+    rows = [{"schema": EVENTS_SCHEMA}] + telemetry.events.snapshot()
+    return write_jsonl(rows, path)
+
+
+def write_spans_jsonl(telemetry, path) -> pathlib.Path:
+    rows = [{"schema": SPANS_SCHEMA}] + telemetry.tracer.snapshot()
+    return write_jsonl(rows, path)
+
+
+def write_metrics_json(telemetry, path) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(_clean(metrics_document(telemetry)), indent=2,
+                               sort_keys=True))
+    return path
+
+
+def write_metrics_csv(telemetry, path) -> pathlib.Path:
+    """Scalar metrics (counters/gauges + histogram quantiles) as CSV."""
+    lines = ["name,labels,stat,value"]
+    for snap in telemetry.metrics.snapshot():
+        labels = ";".join(
+            f"{k}={v}" for k, v in sorted((snap.get("labels") or {}).items())
+        )
+        if snap["kind"] in ("counter", "gauge"):
+            lines.append(f"{snap['name']},{labels},value,{snap['value']}")
+        else:
+            for stat in ("count", "mean"):
+                lines.append(f"{snap['name']},{labels},{stat},{snap[stat]}")
+            for q, v in snap["quantiles"].items():
+                lines.append(f"{snap['name']},{labels},{q},{v}")
+    path = pathlib.Path(path)
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def export_run(telemetry, out_dir) -> Dict[str, pathlib.Path]:
+    """Write the standard artifact set into ``out_dir`` (created if needed)."""
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    return {
+        "events": write_events_jsonl(telemetry, out / "events.jsonl"),
+        "spans": write_spans_jsonl(telemetry, out / "spans.jsonl"),
+        "metrics": write_metrics_json(telemetry, out / "metrics.json"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Dashboard
+# ----------------------------------------------------------------------
+
+
+def render_dashboard(telemetry, title: str = "run summary") -> str:
+    """Plain-text run summary (machines, forecast error, migrations,
+    latency quantiles), built on the shared ASCII report helpers."""
+    # Imported lazily: repro.analysis pulls in the simulators, which
+    # themselves import repro.telemetry at module load.
+    from ..analysis.report import ascii_table, series_block
+
+    sections: List[str] = [title, "=" * len(title)]
+
+    machines = [m["machines"] for m in machines_series(telemetry)
+                if m.get("machines") is not None]
+    if machines:
+        sections.append(series_block("machines", machines))
+
+    measured = [e["tps"] for e in telemetry.events.by_kind("interval")]
+    if measured:
+        sections.append(series_block("measured load (txn/s)", measured))
+
+    pairs = forecast_vs_actual(telemetry)
+    mape = forecast_mape(pairs)
+    if mape is not None:
+        sections.append(
+            f"forecast MAPE {mape:.1f}% over {len(pairs)} intervals"
+        )
+
+    migrations = migration_summary(telemetry)
+    if migrations:
+        rows = [
+            (
+                f"{m['time']:,.0f}" if m.get("time") is not None else "-",
+                m.get("before", "-"),
+                m.get("after", "-"),
+                f"{m['seconds']:,.0f}" if m.get("seconds") is not None else "-",
+                "yes" if m.get("emergency") else "",
+            )
+            for m in migrations
+        ]
+        sections.append(
+            ascii_table(
+                ["t (s)", "before", "after", "duration (s)", "emergency"],
+                rows,
+                title=f"reconfigurations ({len(migrations)})",
+            )
+        )
+
+    quantiles = latency_quantiles(telemetry)
+    if quantiles:
+        rows = [
+            (
+                name,
+                stats["count"],
+                f"{stats['p50']:.1f}",
+                f"{stats['p95']:.1f}",
+                f"{stats['p99']:.1f}",
+            )
+            for name, stats in sorted(quantiles.items())
+        ]
+        sections.append(
+            ascii_table(
+                ["histogram", "n", "p50", "p95", "p99"],
+                rows,
+                title="latency quantiles (ms unless noted)",
+            )
+        )
+
+    counters = [
+        s for s in telemetry.metrics.snapshot() if s.get("kind") == "counter"
+    ]
+    if counters:
+        rows = [
+            (
+                s["name"]
+                + (
+                    "{" + ",".join(
+                        f"{k}={v}" for k, v in sorted(s["labels"].items())
+                    ) + "}"
+                    if s.get("labels")
+                    else ""
+                ),
+                int(s["value"]),
+            )
+            for s in counters
+        ]
+        sections.append(ascii_table(["counter", "value"], rows))
+
+    return "\n\n".join(sections)

@@ -1,0 +1,174 @@
+"""Span recording for the monitor -> predict -> plan -> migrate loop.
+
+A :class:`Span` is one timed operation with free-form attributes; the
+:class:`SpanRecorder` maintains a stack so spans opened inside an open
+span become its children (``parent_id`` linkage, as in OpenTelemetry).
+Two clocks coexist:
+
+* ``span(...)`` context managers measure *wall time* (``time.perf_counter``
+  deltas on top of a ``time.time`` epoch) — what the controller's
+  per-cycle cost accounting needs;
+* ``record(...)`` writes a span with caller-supplied start/end, used by
+  the simulators to log *simulated-time* operations such as migration
+  rounds, where wall time is meaningless.
+
+The :class:`NullRecorder` twin keeps instrumented code branch-free:
+``with tracer.span(...)`` costs one method call and a shared no-op
+context manager when tracing is disabled.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) operation."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: Optional[float] = None
+    clock: str = "wall"
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def set(self, key: str, value: object) -> None:
+        """Attach an attribute (inputs, outcomes, Decision reasons...)."""
+        self.attrs[key] = value
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "clock": self.clock,
+            "attrs": self.attrs,
+        }
+
+
+class SpanRecorder:
+    """Collects spans in memory; export happens at end of run."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    def _new_span(self, name: str, start: float, clock: str,
+                  parent_id: Optional[int], attrs: dict) -> Span:
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent_id,
+            name=name,
+            start=start,
+            clock=clock,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        return span
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a wall-clock child span of whatever span is open now."""
+        parent = self._stack[-1].span_id if self._stack else None
+        wall_start = time.time()
+        perf_start = time.perf_counter()
+        span = self._new_span(name, wall_start, "wall", parent, attrs)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = wall_start + (time.perf_counter() - perf_start)
+            self._stack.pop()
+            self.spans.append(span)
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent_id: Optional[int] = None,
+        **attrs,
+    ) -> Span:
+        """Append a finished span with explicit (simulated) timestamps."""
+        span = self._new_span(name, start, "sim", parent_id, attrs)
+        span.end = end
+        self.spans.append(span)
+        return span
+
+    def by_name(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def snapshot(self) -> List[dict]:
+        return [s.to_dict() for s in self.spans]
+
+
+class _NullSpan:
+    """Inert span handed out by the null recorder."""
+
+    span_id = 0
+    parent_id = None
+    name = ""
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    clock = "wall"
+    attrs: Dict[str, object] = {}
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullRecorder:
+    """Recorder that drops everything; shared by disabled telemetry."""
+
+    spans: Tuple[Span, ...] = ()
+    current = None
+
+    def span(self, name: str, **attrs) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def record(self, name, start, end, parent_id=None, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def by_name(self, name: str) -> List[Span]:
+        return []
+
+    def snapshot(self) -> List[dict]:
+        return []
+
+
+NULL_RECORDER = NullRecorder()

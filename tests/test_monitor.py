@@ -104,3 +104,49 @@ class TestSkewMonitor:
     def test_invalid_threshold(self):
         with pytest.raises(SimulationError):
             SkewMonitor(kv_cluster(), imbalance_threshold=0.0)
+
+    def test_zero_traffic_has_no_hottest_partition(self):
+        # Regression: the zero-mean branch used to report min(counts) as
+        # "hottest", which looked identical to a genuinely hot partition 0.
+        report = SkewMonitor(kv_cluster()).snapshot()
+        assert report.hottest_partition == -1
+        assert report.is_balanced
+
+
+class TestLoadMonitorBoundaries:
+    def test_single_record_crosses_many_intervals(self):
+        monitor = LoadMonitor(interval_seconds=10.0)
+        monitor.record(2.0, count=40.0)
+        closed = monitor.record(47.0, count=5.0)
+        assert closed == 4
+        history = monitor.history_tps()
+        assert history.shape == (4,)
+        # All 40 txns land in the interval containing t=2; the next three
+        # intervals were empty; the trailing 5 are still in the open one.
+        assert history[0] == pytest.approx(4.0)
+        assert np.all(history[1:] == 0.0)
+        assert monitor.current_rate_estimate(48.0) == pytest.approx(5.0 / 8.0)
+
+    def test_boundary_timestamp_opens_next_interval(self):
+        monitor = LoadMonitor(interval_seconds=10.0)
+        monitor.record(0.0, count=10.0)
+        closed = monitor.record(10.0, count=7.0)  # exactly on the boundary
+        assert closed == 1
+        assert monitor.history_tps()[0] == pytest.approx(1.0)
+        # The boundary count belongs to the new interval, not the closed one.
+        assert monitor.current_rate_estimate(11.0) == pytest.approx(7.0)
+
+    def test_closed_intervals_emit_telemetry(self):
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        monitor = LoadMonitor(interval_seconds=10.0, telemetry=tel)
+        monitor.record(1.0, count=20.0)
+        monitor.record(35.0)
+        spans = tel.tracer.by_name("monitor.window")
+        assert [s.attrs["slot"] for s in spans] == [0, 1, 2]
+        assert spans[0].attrs["tps"] == pytest.approx(2.0)
+        assert spans[0].clock == "sim"
+        events = tel.events.by_kind("interval")
+        assert [e["slot"] for e in events] == [0, 1, 2]
+        assert tel.metrics.counter("monitor.intervals_closed").value == 3

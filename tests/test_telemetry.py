@@ -1,0 +1,390 @@
+"""Tests for the telemetry package: instruments, spans, events,
+exporters, CLI artifact schemas, and the no-op overhead bound."""
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.errors import TelemetryError
+from repro.hstore import (
+    Cluster,
+    Column,
+    Schema,
+    StoredProcedure,
+    Table,
+    Transaction,
+    TransactionExecutor,
+)
+from repro.telemetry import (
+    EVENTS_SCHEMA,
+    METRICS_SCHEMA,
+    NULL_TELEMETRY,
+    SPANS_SCHEMA,
+    EventLog,
+    MetricsRegistry,
+    NullRegistry,
+    SpanRecorder,
+    Telemetry,
+    default_buckets,
+    disable_telemetry,
+    enable_telemetry,
+    export_run,
+    forecast_mape,
+    forecast_vs_actual,
+    get_telemetry,
+    render_dashboard,
+    telemetry_scope,
+)
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("txns", status="committed")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.counter("txns", status="committed") is counter
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_set_and_add(self):
+        gauge = MetricsRegistry().gauge("machines")
+        gauge.set(4)
+        gauge.add(2)
+        assert gauge.value == 6
+
+    def test_labels_fan_out(self):
+        registry = MetricsRegistry()
+        registry.counter("txns", status="committed").inc()
+        registry.counter("txns", status="aborted").inc(2)
+        snaps = {
+            tuple(sorted(s["labels"].items())): s["value"]
+            for s in registry.snapshot()
+        }
+        assert snaps[(("status", "committed"),)] == 1
+        assert snaps[(("status", "aborted"),)] == 2
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TelemetryError):
+            registry.gauge("x")
+
+
+class TestHistogram:
+    def test_quantiles_of_uniform_stream(self):
+        hist = MetricsRegistry().histogram("lat")
+        for i in range(1, 1001):
+            hist.observe(i / 10.0)  # 0.1 .. 100.0 ms, uniform
+        # Log-bucket interpolation is coarse; allow 35% relative error.
+        assert hist.quantile(0.50) == pytest.approx(50.0, rel=0.35)
+        assert hist.quantile(0.99) == pytest.approx(99.0, rel=0.35)
+        assert hist.count == 1000
+        assert hist.min == pytest.approx(0.1)
+        assert hist.max == pytest.approx(100.0)
+
+    def test_quantile_clamped_to_observed_range(self):
+        hist = MetricsRegistry().histogram("lat")
+        hist.observe(7.0)
+        assert hist.quantile(0.0) == 7.0
+        assert hist.quantile(1.0) == 7.0
+
+    def test_empty_histogram(self):
+        hist = MetricsRegistry().histogram("lat")
+        assert hist.quantile(0.5) == 0.0
+        snap = hist.snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None
+
+    def test_invalid_quantile(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().histogram("lat").quantile(1.5)
+
+    def test_custom_bounds_and_overflow(self):
+        hist = MetricsRegistry().histogram("d", bounds=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(100.0)  # overflow bucket
+        buckets = hist.snapshot()["buckets"]
+        assert buckets[-1]["le"] is None
+        assert buckets[-1]["count"] == 1
+
+    def test_default_buckets_are_increasing(self):
+        edges = default_buckets()
+        assert all(b > a for a, b in zip(edges, edges[1:]))
+        assert edges[0] == pytest.approx(0.1)
+        assert edges[-1] == pytest.approx(600_000.0)
+
+    def test_memory_is_bounded(self):
+        hist = MetricsRegistry().histogram("lat")
+        for _ in range(10_000):
+            hist.observe(3.0)
+        assert len(hist._counts) == len(hist.bounds) + 1
+
+
+# ----------------------------------------------------------------------
+# Spans and events
+# ----------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_nesting_links_parent(self):
+        tracer = SpanRecorder()
+        with tracer.span("controller.cycle", machines=4) as root:
+            with tracer.span("plan.dp") as child:
+                child.set("feasible", True)
+        assert child.parent_id == root.span_id
+        assert root.parent_id is None
+        assert root.duration >= child.duration >= 0
+        assert child.attrs["feasible"] is True
+
+    def test_sim_time_record(self):
+        tracer = SpanRecorder()
+        span = tracer.record("migrate.round", 100.0, 160.0, round=3)
+        assert span.clock == "sim"
+        assert span.duration == pytest.approx(60.0)
+        assert tracer.by_name("migrate.round") == [span]
+
+    def test_snapshot_roundtrips_json(self):
+        tracer = SpanRecorder()
+        with tracer.span("cycle"):
+            pass
+        dumped = json.loads(json.dumps(tracer.snapshot()))
+        assert dumped[0]["name"] == "cycle"
+        assert dumped[0]["clock"] == "wall"
+
+
+class TestEvents:
+    def test_emit_is_sequenced(self):
+        log = EventLog()
+        log.emit("interval", time=300.0, slot=0, tps=1200.0)
+        log.emit("migration.start", time=600.0, before=3, after=4)
+        assert [e["seq"] for e in log.snapshot()] == [1, 2]
+        assert log.by_kind("interval")[0]["tps"] == 1200.0
+        assert len(log) == 2
+
+
+# ----------------------------------------------------------------------
+# Runtime: global switch and null objects
+# ----------------------------------------------------------------------
+
+
+class TestRuntime:
+    def test_disabled_by_default(self):
+        assert get_telemetry() is NULL_TELEMETRY
+        assert not get_telemetry().enabled
+
+    def test_enable_disable(self):
+        tel = enable_telemetry()
+        try:
+            assert get_telemetry() is tel
+            assert tel.enabled
+        finally:
+            disable_telemetry()
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_scope_restores_previous(self):
+        with telemetry_scope() as tel:
+            assert get_telemetry() is tel
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_null_instruments_are_shared_noops(self):
+        null = NULL_TELEMETRY
+        assert null.metrics.counter("a") is null.metrics.counter("b")
+        null.metrics.counter("a").inc()
+        null.metrics.histogram("h").observe(1.0)
+        null.metrics.gauge("g").set(3)
+        null.events.emit("anything", time=0.0)
+        with null.tracer.span("cycle") as span:
+            span.set("k", "v")
+        assert len(null.metrics) == 0
+        assert len(null.events) == 0
+        assert null.tracer.snapshot() == []
+
+    def test_null_registry_snapshot_empty(self):
+        assert NullRegistry().snapshot() == []
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+
+
+def _synthetic_run() -> Telemetry:
+    tel = Telemetry()
+    for slot, (predicted, actual) in enumerate([(100.0, 110.0), (200.0, 190.0)]):
+        tel.events.emit("forecast", time=slot * 300.0, history_len=slot + 1,
+                        predicted_next=predicted)
+        tel.events.emit("interval", time=(slot + 1) * 300.0, slot=slot + 1,
+                        tps=actual)
+        tel.events.emit("machines", time=(slot + 1) * 300.0, slot=slot + 1,
+                        machines=4 + slot, migrating=False)
+    tel.events.emit("migration.complete", time=900.0, before=4, after=5,
+                    seconds=420.0, emergency=False)
+    tel.metrics.histogram("engine.latency_ms").observe(12.0)
+    return tel
+
+
+class TestExport:
+    def test_forecast_pairs_and_mape(self):
+        tel = _synthetic_run()
+        pairs = forecast_vs_actual(tel)
+        assert len(pairs) == 2
+        assert pairs[0]["predicted"] == 100.0
+        assert pairs[0]["actual"] == 110.0
+        mape = forecast_mape(pairs)
+        expected = 100.0 * (10.0 / 110.0 + 10.0 / 190.0) / 2.0
+        assert mape == pytest.approx(expected)
+
+    def test_export_run_writes_all_artifacts(self, tmp_path):
+        paths = export_run(_synthetic_run(), tmp_path)
+        assert sorted(paths) == ["events", "metrics", "spans"]
+        events = [json.loads(l) for l in
+                  paths["events"].read_text().splitlines()]
+        assert events[0] == {"schema": EVENTS_SCHEMA}
+        spans = [json.loads(l) for l in paths["spans"].read_text().splitlines()]
+        assert spans[0] == {"schema": SPANS_SCHEMA}
+        doc = json.loads(paths["metrics"].read_text())
+        assert doc["schema"] == METRICS_SCHEMA
+        assert doc["derived"]["forecast"]["n_pairs"] == 2
+        assert doc["derived"]["migrations"][0]["seconds"] == 420.0
+
+    def test_dashboard_renders(self):
+        text = render_dashboard(_synthetic_run())
+        assert "machines" in text
+        assert "forecast" in text
+
+
+# ----------------------------------------------------------------------
+# CLI artifact schemas (acceptance criteria)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def simulate_artifacts(tmp_path_factory):
+    out = tmp_path_factory.mktemp("telemetry")
+    code = main(["simulate", "p-store", "--days", "2", "--quiet",
+                 "--telemetry-out", str(out)])
+    assert code == 0
+    events = [json.loads(l) for l in
+              (out / "events.jsonl").read_text().splitlines()]
+    spans = [json.loads(l) for l in
+             (out / "spans.jsonl").read_text().splitlines()]
+    metrics = json.loads((out / "metrics.json").read_text())
+    return events, spans, metrics
+
+
+class TestCliArtifacts:
+    def test_schema_headers(self, simulate_artifacts):
+        events, spans, metrics = simulate_artifacts
+        assert events[0]["schema"] == EVENTS_SCHEMA
+        assert spans[0]["schema"] == SPANS_SCHEMA
+        assert metrics["schema"] == METRICS_SCHEMA
+
+    def test_spans_cover_the_control_loop(self, simulate_artifacts):
+        _, spans, _ = simulate_artifacts
+        by_name = {}
+        for span in spans[1:]:
+            by_name.setdefault(span["name"], []).append(span)
+        cycles = by_name["controller.cycle"]
+        assert len(cycles) > 100
+        # Every cycle records its Decision outcome.
+        assert all("reason" in s["attrs"] for s in cycles)
+        assert all("target_machines" in s["attrs"] for s in cycles)
+        # predict/plan children link back to their cycle.
+        cycle_ids = {s["span_id"] for s in cycles}
+        for child in by_name["predict.forecast"] + by_name["plan.dp"]:
+            assert child["parent_id"] in cycle_ids
+        assert all(s["duration"] >= 0 for s in spans[1:])
+
+    def test_events_cover_the_run(self, simulate_artifacts):
+        events, _, _ = simulate_artifacts
+        kinds = {e["kind"] for e in events[1:]}
+        assert {"interval", "forecast", "machines",
+                "migration.start", "migration.complete"} <= kinds
+        completes = [e for e in events[1:] if e["kind"] == "migration.complete"]
+        assert completes
+        assert all(e["seconds"] > 0 for e in completes)
+        starts = [e for e in events[1:] if e["kind"] == "migration.start"]
+        assert all("reason" in e for e in starts)
+
+    def test_metrics_derived_sections(self, simulate_artifacts):
+        _, _, metrics = simulate_artifacts
+        derived = metrics["derived"]
+        forecast = derived["forecast"]
+        assert forecast["n_pairs"] > 100
+        assert 0.0 < forecast["mape_pct"] < 50.0
+        assert derived["migrations"]
+        quantiles = derived["latency_quantiles"]
+        assert any(name.startswith("sim.latency_p99_ms") for name in quantiles)
+        for stats in quantiles.values():
+            assert stats["p50"] <= stats["p95"] <= stats["p99"]
+
+    def test_disabled_run_leaves_global_clean(self, simulate_artifacts):
+        # After the CLI run the process-global telemetry must be off again.
+        assert not get_telemetry().enabled
+
+    def test_unwritable_output_dir_is_a_clean_error(self, tmp_path, capsys):
+        collision = tmp_path / "not-a-dir"
+        collision.write_text("occupied")
+        code = main(["generate", str(tmp_path / "t.csv"), "--days", "1",
+                     "--telemetry-out", str(collision)])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+        assert not get_telemetry().enabled
+
+
+# ----------------------------------------------------------------------
+# Overhead: disabled telemetry must be ~free
+# ----------------------------------------------------------------------
+
+
+class _Put(StoredProcedure):
+    name = "Put"
+
+    def routing_key(self, params):
+        return params["k"]
+
+    def run(self, ctx, params):
+        ctx.upsert("kv", {"k": params["k"], "v": params["v"]})
+        return params["v"]
+
+
+class TestOverhead:
+    def test_noop_guard_is_under_5pct_of_engine_run(self):
+        schema = Schema(
+            [Table("kv", [Column("k", "str"), Column("v", "int")],
+                   primary_key="k")]
+        )
+        cluster = Cluster(schema, n_nodes=2, partitions_per_node=2,
+                          n_buckets=64)
+        executor = TransactionExecutor(cluster, telemetry=NULL_TELEMETRY)
+        proc = _Put()
+        n = 10_000
+
+        start = time.perf_counter()
+        for i in range(n):
+            executor.execute(Transaction(proc, {"k": f"k{i}", "v": i}))
+        engine_seconds = time.perf_counter() - start
+
+        tel = NULL_TELEMETRY
+        start = time.perf_counter()
+        for i in range(n):
+            if tel.enabled:  # the guard every instrumented hot path uses
+                tel.metrics.counter("engine.txn_total").inc()
+        guard_seconds = time.perf_counter() - start
+
+        assert guard_seconds < 0.05 * engine_seconds, (
+            f"no-op telemetry guard took {guard_seconds:.4f}s vs "
+            f"{engine_seconds:.4f}s for the instrumented engine run"
+        )
