@@ -29,11 +29,16 @@ Quick tour
   CDFs, report rendering;
 * :mod:`repro.telemetry` — metrics, spans, and structured events with
   JSONL/JSON exporters and an ASCII dashboard (off by default; see
-  ``docs/OBSERVABILITY.md``).
+  ``docs/OBSERVABILITY.md``);
+* :mod:`repro.faults` — declarative fault injection (crashes,
+  stragglers, stalled/corrupted transfers, forecast drift) and the
+  recovery machinery driven by it (off by default; see
+  ``docs/FAULTS.md``).
 """
 
 from .config import (
     FIGURE12_Q_FRACTIONS,
+    FaultConfig,
     PStoreConfig,
     SINGLE_NODE_SATURATION_TPS,
     TelemetryConfig,
@@ -48,6 +53,7 @@ from .core import (
 )
 from .errors import (
     ConfigurationError,
+    FaultError,
     InfeasiblePlanError,
     MigrationError,
     NotFittedError,
@@ -57,6 +63,12 @@ from .errors import (
     SimulationError,
     TelemetryError,
     TransactionAbort,
+)
+from .faults import (
+    FaultInjector,
+    FaultScenario,
+    FaultSpec,
+    RetryPolicy,
 )
 from .prediction import (
     ArmaPredictor,
@@ -73,6 +85,11 @@ __all__ = [
     "ArmaPredictor",
     "ConfigurationError",
     "FIGURE12_Q_FRACTIONS",
+    "FaultConfig",
+    "FaultError",
+    "FaultInjector",
+    "FaultScenario",
+    "FaultSpec",
     "InfeasiblePlanError",
     "LoadTrace",
     "MigrationError",
@@ -87,6 +104,7 @@ __all__ = [
     "PlanningError",
     "PredictionError",
     "PredictiveController",
+    "RetryPolicy",
     "SINGLE_NODE_SATURATION_TPS",
     "SimulationError",
     "SparPredictor",

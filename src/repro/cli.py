@@ -11,7 +11,11 @@ Subcommands
 ``simulate``
     run the fast capacity simulator for a provisioning strategy;
 ``experiment``
-    run one of the paper's experiments at reduced scale.
+    run one of the paper's experiments at reduced scale;
+``chaos``
+    run a fault-injection scenario (node crashes, stalled transfers,
+    forecast drift, ...) against the benchmark and report SLA violations
+    and recovery times per strategy (see docs/FAULTS.md).
 
 Run ``pstore <subcommand> --help`` for options.
 
@@ -149,6 +153,23 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
         help="experiment id (lightweight ones only; use the bench "
         "harness for Figs 9-13)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos", parents=[common],
+        help="inject a fault scenario and report SLA impact + recovery",
+    )
+    chaos.add_argument(
+        "scenario", nargs="?", default=None,
+        help="scenario JSON file (default: the built-in "
+        "crash-during-migration drill; see docs/FAULTS.md)",
+    )
+    chaos.add_argument("--days", type=int, default=1,
+                       help="evaluation days of benchmark load")
+    chaos.add_argument("--seed", type=int, default=21, help="workload seed")
+    chaos.add_argument(
+        "--no-reactive", action="store_true",
+        help="skip the reactive-baseline comparison run",
     )
     return parser
 
@@ -364,12 +385,64 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .experiments.chaos import run_chaos
+    from .faults import FaultScenario
+
+    scenario = (
+        FaultScenario.from_file(args.scenario) if args.scenario else None
+    )
+    logger.info("running chaos scenario over %d eval day(s)", args.days)
+    result = run_chaos(
+        scenario=scenario,
+        eval_days=args.days,
+        seed=args.seed,
+        include_reactive=not args.no_reactive,
+    )
+
+    scenario = result.scenario
+    print(f"scenario: {scenario.name} "
+          f"({len(scenario)} faults, seed {scenario.seed})")
+    for spec in scenario.faults:
+        trigger = (
+            f"t={spec.at_time:,.0f}s"
+            if spec.at_time is not None
+            else f"migration #{spec.on_migration}"
+        )
+        label = f" [{spec.label}]" if spec.label else ""
+        print(f"  - {spec.kind} @ {trigger}{label}")
+    print()
+
+    violation_rows = result.violation_rows()
+    quantiles = sorted(next(iter(violation_rows.values())))
+    rows = [
+        (label, *(violations[q] for q in quantiles))
+        for label, violations in violation_rows.items()
+    ]
+    print(ascii_table(
+        ["strategy"] + [f"p{int(q)} viol s" for q in quantiles],
+        rows,
+        title="SLA violation seconds",
+    ))
+
+    for label, run in result.runs.items():
+        print()
+        print(f"[{label}] avg machines {run.result.average_machines:.2f}, "
+              f"{run.result.moves_started} moves, "
+              f"{run.result.emergencies} emergency")
+        print(run.report())
+    print()
+    print(f"converged: {'yes' if result.all_converged else 'NO'}")
+    return 0 if result.all_converged else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "predict": _cmd_predict,
     "plan": _cmd_plan,
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,
+    "chaos": _cmd_chaos,
 }
 
 

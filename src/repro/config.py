@@ -47,6 +47,67 @@ DEFAULT_MIGRATION_RATE_KBPS = 244.0
 #: SLA threshold from Sec. 8.2: 500 ms is the largest unnoticeable delay.
 DEFAULT_SLA_LATENCY_MS = 500.0
 
+#: Migration chunk size found safe in Sec. 8.1 (kB).
+DEFAULT_CHUNK_KB = 1000.0
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """The ``faults`` section of :class:`PStoreConfig` (chaos testing).
+
+    Fault injection is off by default; when off, no injector is built
+    and every run is bit-identical to a fault-free one.  The retry
+    fields parameterise the :class:`repro.faults.RetryPolicy` that
+    re-drives stalled or corrupted transfers.
+    """
+
+    #: Inject the configured scenario's faults into runs.
+    enabled: bool = False
+    #: Path to a scenario JSON file (see docs/FAULTS.md); empty means
+    #: the host supplies a scenario programmatically.
+    scenario: str = ""
+    #: Seed for the injector RNG (victim picks, retry jitter).
+    seed: int = 0
+    #: Give up re-driving a transfer after this many attempts.
+    max_attempts: int = 5
+    #: First retry backoff (simulated seconds).
+    base_backoff_seconds: float = 2.0
+    #: Growth factor between consecutive backoffs.
+    backoff_multiplier: float = 2.0
+    #: Backoff jitter as a fraction of the backoff (in [0, 1)).
+    jitter_fraction: float = 0.1
+    #: No-progress time before a transfer is declared stalled (seconds).
+    transfer_timeout_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("faults.max_attempts must be >= 1")
+        if self.base_backoff_seconds <= 0:
+            raise ConfigurationError(
+                "faults.base_backoff_seconds must be positive"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("faults.backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ConfigurationError(
+                "faults.jitter_fraction must be in [0, 1)"
+            )
+        if self.transfer_timeout_seconds <= 0:
+            raise ConfigurationError(
+                "faults.transfer_timeout_seconds must be positive"
+            )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultConfig":
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - valid
+        if unknown:
+            raise ConfigurationError(
+                f"unknown faults config keys {sorted(unknown)}; valid "
+                f"keys are {sorted(valid)}"
+            )
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class TelemetryConfig:
@@ -107,8 +168,15 @@ class PStoreConfig:
     max_machines: int = 0
     #: Database size in kB (used to convert chunk sizes to fractions).
     database_kb: float = DEFAULT_DATABASE_KB
+    #: Migration chunk size (kB); Fig. 8 sweeps this.
+    chunk_kb: float = DEFAULT_CHUNK_KB
+    #: Forecast/planning horizon in intervals; 0 derives the paper's
+    #: lower bound ``2 D / P`` (see PredictiveController).
+    horizon_intervals: int = 0
     #: Observability settings (metrics/span/event recording).
     telemetry: TelemetryConfig = TelemetryConfig()
+    #: Fault injection / chaos-testing settings.
+    faults: FaultConfig = FaultConfig()
 
     def __post_init__(self) -> None:
         if isinstance(self.telemetry, dict):
@@ -119,6 +187,14 @@ class PStoreConfig:
         if not isinstance(self.telemetry, TelemetryConfig):
             raise ConfigurationError(
                 "telemetry must be a TelemetryConfig or a mapping"
+            )
+        if isinstance(self.faults, dict):
+            object.__setattr__(
+                self, "faults", FaultConfig.from_dict(self.faults)
+            )
+        if not isinstance(self.faults, FaultConfig):
+            raise ConfigurationError(
+                "faults must be a FaultConfig or a mapping"
             )
         if self.q <= 0 or self.q_hat <= 0:
             raise ConfigurationError("Q and Q_hat must be positive")
@@ -132,12 +208,24 @@ class PStoreConfig:
             raise ConfigurationError("partitions_per_node must be >= 1")
         if self.interval_seconds <= 0:
             raise ConfigurationError("interval_seconds must be positive")
+        if self.sla_latency_ms <= 0:
+            raise ConfigurationError("sla_latency_ms must be positive")
         if self.prediction_inflation <= 0:
             raise ConfigurationError("prediction_inflation must be positive")
         if self.scale_in_confirmations < 1:
             raise ConfigurationError("scale_in_confirmations must be >= 1")
         if self.max_machines < 0:
             raise ConfigurationError("max_machines must be >= 0 (0 = unbounded)")
+        if self.database_kb <= 0:
+            # database_kb / d_seconds is the migration rate R; a zero or
+            # negative size would silently zero every transfer.
+            raise ConfigurationError("database_kb must be positive")
+        if self.chunk_kb <= 0:
+            raise ConfigurationError("chunk_kb must be positive")
+        if self.horizon_intervals < 0:
+            raise ConfigurationError(
+                "horizon_intervals must be >= 0 (0 = derive from 2D/P)"
+            )
 
     @property
     def d_intervals(self) -> float:

@@ -74,6 +74,10 @@ class PredictiveController:
     telemetry:
         telemetry bundle to record cycle spans and decision metrics
         into; defaults to the process-global one at construction time.
+    injector:
+        optional :class:`~repro.faults.FaultInjector`; when an active
+        forecast-drift window is open, the predictor's output is scaled
+        by its magnitude before inflation (model drift / tampering).
     """
 
     def __init__(
@@ -83,17 +87,20 @@ class PredictiveController:
         horizon_intervals: Optional[int] = None,
         emergency_rate_multiplier: float = 1.0,
         telemetry=None,
+        injector=None,
     ):
         if emergency_rate_multiplier <= 0:
             raise PlanningError("emergency_rate_multiplier must be positive")
         self.config = config
         self.predictor = predictor
         self.planner = Planner(config)
-        self.horizon_intervals = (
-            horizon_intervals
-            if horizon_intervals is not None
-            else self.minimum_horizon_intervals(config)
-        )
+        self._injector = injector
+        if horizon_intervals is not None:
+            self.horizon_intervals = horizon_intervals
+        elif config.horizon_intervals:
+            self.horizon_intervals = config.horizon_intervals
+        else:
+            self.horizon_intervals = self.minimum_horizon_intervals(config)
         if self.horizon_intervals < 1:
             raise PlanningError("horizon must be at least one interval")
         self.emergency_rate_multiplier = emergency_rate_multiplier
@@ -179,7 +186,12 @@ class PredictiveController:
                 history, self.horizon_intervals
             )
             forecast_span.set("predicted_next", float(forecast[0]))
-        inflated = np.asarray(forecast, dtype=float) * self.config.prediction_inflation
+        forecast = np.asarray(forecast, dtype=float)
+        if self._injector is not None:
+            drift = self._injector.forecast_multiplier()
+            if drift != 1.0:
+                forecast = forecast * drift
+        inflated = forecast * self.config.prediction_inflation
         measured_now = float(history[-1]) if current_load is None else current_load
         if tel.enabled:
             tel.events.emit(

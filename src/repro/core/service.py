@@ -23,6 +23,7 @@ from typing import List, Optional
 from ..config import PStoreConfig
 from ..elasticity.predictive import PStoreStrategy
 from ..errors import SimulationError
+from ..faults.injector import FaultRecord, injector_from_config
 from ..hstore.cluster import Cluster
 from ..hstore.engine import TransactionExecutor
 from ..hstore.monitor import LoadMonitor
@@ -71,6 +72,11 @@ class PStoreService:
         enable hot-bucket rebalancing between reconfigurations.
     skew_threshold_share:
         the hottest partition's load share that triggers a rebalance.
+    injector:
+        optional :class:`~repro.faults.FaultInjector` to run this
+        service under chaos; defaults to the one described by
+        ``config.faults`` (None when fault injection is disabled, which
+        keeps every code path identical to a fault-free run).
     """
 
     def __init__(
@@ -79,10 +85,11 @@ class PStoreService:
         config: PStoreConfig,
         predictor: Predictor,
         max_machines: Optional[int] = None,
-        chunk_kb: float = 1000.0,
+        chunk_kb: Optional[float] = None,
         skew_rebalancing: bool = False,
         skew_threshold_share: float = 0.25,
         telemetry=None,
+        injector=None,
     ):
         if max_machines is not None and max_machines < 1:
             raise SimulationError("max_machines must be >= 1 when set")
@@ -95,22 +102,35 @@ class PStoreService:
         self._telemetry = telemetry if telemetry is not None else get_telemetry()
 
         tel = self._telemetry
+        self._injector = (
+            injector
+            if injector is not None
+            else injector_from_config(config, telemetry=tel)
+        )
         self.executor = TransactionExecutor(cluster, telemetry=tel)
         self.monitor = LoadMonitor(config.interval_seconds, telemetry=tel)
         self.migrator = ClusterMigrator(
-            cluster, config, chunk_kb=chunk_kb, telemetry=tel
+            cluster, config, chunk_kb=chunk_kb, telemetry=tel,
+            injector=self._injector,
         )
         self._strategy: Optional[PStoreStrategy] = None
         if predictor.is_fitted or isinstance(predictor, OnlinePredictor):
             self._ensure_strategy()
         self._now = 0.0
         self._migration_target: Optional[int] = None
+        self._pending_recovery: List[FaultRecord] = []
         self.events: List[ServiceEvent] = []
+
+    @property
+    def injector(self):
+        """The attached fault injector (None on fault-free runs)."""
+        return self._injector
 
     def _ensure_strategy(self) -> None:
         if self._strategy is None and self.predictor.is_fitted:
             self._strategy = PStoreStrategy(
-                self.config, self.predictor, telemetry=self._telemetry
+                self.config, self.predictor, telemetry=self._telemetry,
+                injector=self._injector,
             )
 
     def _record_event(self, kind: str, detail: str, **fields) -> None:
@@ -160,6 +180,10 @@ class PStoreService:
             raise SimulationError("dt must be positive")
         self._now += dt
 
+        if self._injector is not None:
+            self._injector.advance(self._now)
+            self._handle_crashes()
+
         if self.migrator.migrating:
             finished = self.migrator.advance(dt)
             if finished and self._migration_target is not None:
@@ -189,12 +213,55 @@ class PStoreService:
 
         if closed and not self.migrator.migrating:
             self._plan()
+            if not self.migrator.migrating and self._pending_recovery:
+                # First quiet planning cycle after a crash: the survivors
+                # hold every bucket and the planner saw no need to move
+                # (or the replacement move has already completed) — the
+                # cluster is back to a feasible allocation.
+                for record in self._pending_recovery:
+                    self._injector.mark_recovered(record, self._now)
+                self._pending_recovery = []
             if self.skew_rebalancing:
                 self._maybe_rebalance()
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _handle_crashes(self) -> None:
+        """React to crash faults: abort any in-flight move, re-home the
+        victim's buckets onto the survivors, and queue the fault for
+        recovery confirmation at the next quiet planning cycle."""
+        for record in self._injector.take_new_crashes():
+            live = [n.node_id for n in self.cluster.nodes]
+            if len(live) <= 1:
+                # The last machine cannot be killed; treat the fault as a
+                # no-op so the run still terminates deterministically.
+                self._injector.mark_detected(record, self._now)
+                self._injector.mark_recovered(record, self._now)
+                continue
+            victim = self._injector.resolve_crash_node(record, live)
+            self._injector.mark_detected(record, self._now)
+            if self.migrator.migrating:
+                self.migrator.sim_time = max(self.migrator.sim_time, self._now)
+                self.migrator.abort(reason=f"node {victim} crashed")
+                self._migration_target = None
+                self._record_event(
+                    "migration-aborted",
+                    f"node {victim} crashed mid-move",
+                    node=victim,
+                )
+            summary = self.cluster.fail_node(victim)
+            self._pending_recovery.append(record)
+            self._record_event(
+                "node-down",
+                f"node {victim} crashed; {summary['buckets_moved']} buckets "
+                f"re-homed onto {summary['survivors']} survivors",
+                node=victim,
+                buckets_moved=summary["buckets_moved"],
+                kb_recovered=summary["kb_recovered"],
+                survivors=summary["survivors"],
+            )
 
     def _plan(self) -> None:
         self._ensure_strategy()

@@ -42,6 +42,7 @@ class PStoreStrategy(ProvisioningStrategy):
         emergency_rate_multiplier: float = 1.0,
         name: str = "p-store",
         telemetry=None,
+        injector=None,
     ):
         if not predictor.is_fitted:
             raise SimulationError("predictor must be fitted before use")
@@ -52,6 +53,7 @@ class PStoreStrategy(ProvisioningStrategy):
             horizon_intervals=horizon_intervals,
             emergency_rate_multiplier=emergency_rate_multiplier,
             telemetry=telemetry,
+            injector=injector,
         )
         self.name = name
 

@@ -60,6 +60,11 @@ class MigrationError(PStoreError):
     """The migration subsystem was asked to do something invalid."""
 
 
+class FaultError(PStoreError):
+    """The fault-injection subsystem was misconfigured (unknown fault
+    kind, contradictory trigger, invalid scenario file)."""
+
+
 class SimulationError(PStoreError):
     """The simulator was driven with inconsistent inputs."""
 

@@ -12,6 +12,7 @@ from .ablations import (
     run_inflation_ablation,
     run_schedule_ablation,
 )
+from .chaos import ChaosResult, ChaosRun, run_chaos
 from .common import BenchmarkSetup, benchmark_setup, interval_rates
 from .fig01 import Figure1Result, run_figure1
 from .fig02 import Figure2Result, run_figure2
@@ -32,6 +33,8 @@ from .tab02 import PAPER_TABLE2, Table2Result, run_table2
 
 __all__ = [
     "BenchmarkSetup",
+    "ChaosResult",
+    "ChaosRun",
     "FIGURE4_CASES",
     "FIGURE5_TAUS",
     "FIGURE6_TAUS",
@@ -55,6 +58,7 @@ __all__ = [
     "Table2Result",
     "benchmark_setup",
     "interval_rates",
+    "run_chaos",
     "run_debounce_ablation",
     "run_effcap_ablation",
     "run_figure1",

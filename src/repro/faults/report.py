@@ -1,0 +1,81 @@
+"""Recovery accounting: turn an injector's records into SLA-style
+summaries (counts per fault class, detection latency, mean time to
+recover) and a human-readable report block."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .injector import FaultRecord
+
+
+@dataclass(frozen=True)
+class RecoveryStats:
+    """Aggregate outcome of one chaos run."""
+
+    injected: int
+    detected: int
+    recovered: int
+    mean_time_to_detect: Optional[float]
+    mean_time_to_recover: Optional[float]
+    max_time_to_recover: Optional[float]
+    by_kind: Dict[str, int]
+
+    @property
+    def all_recovered(self) -> bool:
+        return self.recovered == self.injected
+
+
+def mean_time_to_recover(records: Sequence[FaultRecord]) -> Optional[float]:
+    """Mean TTR over the recovered faults (None when nothing recovered)."""
+    ttrs = [r.time_to_recover for r in records if r.time_to_recover is not None]
+    if not ttrs:
+        return None
+    return sum(ttrs) / len(ttrs)
+
+
+def recovery_stats(records: Sequence[FaultRecord]) -> RecoveryStats:
+    """Summarise a run's fault records."""
+    ttds = [r.time_to_detect for r in records if r.time_to_detect is not None]
+    ttrs = [r.time_to_recover for r in records if r.time_to_recover is not None]
+    by_kind: Dict[str, int] = {}
+    for record in records:
+        by_kind[record.kind] = by_kind.get(record.kind, 0) + 1
+    return RecoveryStats(
+        injected=len(records),
+        detected=sum(1 for r in records if r.detected_at is not None),
+        recovered=len(ttrs),
+        mean_time_to_detect=sum(ttds) / len(ttds) if ttds else None,
+        mean_time_to_recover=sum(ttrs) / len(ttrs) if ttrs else None,
+        max_time_to_recover=max(ttrs) if ttrs else None,
+        by_kind=by_kind,
+    )
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:,.1f}s"
+
+
+def render_fault_report(records: Sequence[FaultRecord]) -> str:
+    """One text block per fault plus the aggregate stats, for CLI/bench
+    output."""
+    lines: List[str] = []
+    for record in records:
+        target = f" node {record.node}" if record.node is not None else ""
+        label = f" ({record.spec.label})" if record.spec.label else ""
+        lines.append(
+            f"#{record.fault_id} {record.kind}{target}{label}: "
+            f"injected t={record.injected_at:,.0f}s, "
+            f"detected {_fmt(record.time_to_detect)} later, "
+            f"recovered {_fmt(record.time_to_recover)} later"
+            + (f", {record.retries} retries" if record.retries else "")
+        )
+    stats = recovery_stats(records)
+    lines.append(
+        f"faults: {stats.injected} injected, {stats.detected} detected, "
+        f"{stats.recovered} recovered; "
+        f"MTTR {_fmt(stats.mean_time_to_recover)} "
+        f"(max {_fmt(stats.max_time_to_recover)})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Retry policy for failed or stalled transfers.
+
+Exponential backoff with seeded jitter, a per-transfer timeout that
+drives the migrator's stall watchdog, and a max-attempts cap.  All times
+are simulated seconds, so the same seed reproduces the same retry
+timeline exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import FaultError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a transfer is re-driven after a timeout or corruption.
+
+    ``transfer_timeout_seconds`` is how long a transfer may make no
+    progress before it is declared stalled (``fault.detected``); retry
+    ``k`` then waits ``base_backoff_seconds * backoff_multiplier**(k-1)``
+    scaled by ``1 ± jitter_fraction``.
+    """
+
+    max_attempts: int = 5
+    base_backoff_seconds: float = 2.0
+    backoff_multiplier: float = 2.0
+    jitter_fraction: float = 0.1
+    transfer_timeout_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultError("max_attempts must be >= 1")
+        if self.base_backoff_seconds <= 0:
+            raise FaultError("base_backoff_seconds must be positive")
+        if self.backoff_multiplier < 1.0:
+            raise FaultError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise FaultError("jitter_fraction must be in [0, 1)")
+        if self.transfer_timeout_seconds <= 0:
+            raise FaultError("transfer_timeout_seconds must be positive")
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (1-based) is allowed."""
+        return attempt <= self.max_attempts
+
+    def backoff_seconds(
+        self, attempt: int, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """Backoff before retry ``attempt`` (1-based), with jitter when a
+        generator is supplied."""
+        if attempt < 1:
+            raise FaultError("attempt counts from 1")
+        base = self.base_backoff_seconds * self.backoff_multiplier ** (attempt - 1)
+        if rng is None or self.jitter_fraction == 0.0:
+            return base
+        return base * (1.0 + self.jitter_fraction * rng.uniform(-1.0, 1.0))
+
+    @classmethod
+    def from_config(cls, fault_config) -> "RetryPolicy":
+        """Build from a :class:`repro.config.FaultConfig` section."""
+        return cls(
+            max_attempts=fault_config.max_attempts,
+            base_backoff_seconds=fault_config.base_backoff_seconds,
+            backoff_multiplier=fault_config.backoff_multiplier,
+            jitter_fraction=fault_config.jitter_fraction,
+            transfer_timeout_seconds=fault_config.transfer_timeout_seconds,
+        )

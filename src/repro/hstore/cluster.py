@@ -203,6 +203,43 @@ class Cluster:
                     )
             node.active = False
 
+    def fail_node(self, node_id: int) -> Dict[str, Any]:
+        """Kill a node and recover its buckets onto the survivors.
+
+        Models crash recovery from replicas: every bucket owned by the
+        dead node is immediately re-homed round-robin across the
+        surviving partitions (rows included, so no data is lost), and the
+        node is marked failed.  Returns a summary for logging/telemetry:
+        ``{"node": id, "buckets_moved": n, "kb_recovered": kB,
+        "survivors": n_nodes}``.
+        """
+        node = self._nodes.get(node_id)
+        if node is None or not node.active:
+            raise CatalogError(f"no active node {node_id}")
+        survivors = [n for n in self.nodes if n.node_id != node_id]
+        if not survivors:
+            raise CatalogError(
+                f"cannot fail node {node_id}: it is the last active node"
+            )
+        target_partitions: List[int] = []
+        for survivor in survivors:
+            target_partitions.extend(survivor.partition_ids)
+        target_partitions.sort()
+        buckets_moved = 0
+        kb_recovered = 0.0
+        for pid in node.partition_ids:
+            for bucket in self.plan.buckets_of(pid):
+                dest = target_partitions[buckets_moved % len(target_partitions)]
+                kb_recovered += self.move_bucket(bucket, dest)
+                buckets_moved += 1
+        node.mark_failed()
+        return {
+            "node": node_id,
+            "buckets_moved": buckets_moved,
+            "kb_recovered": kb_recovered,
+            "survivors": len(survivors),
+        }
+
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------

@@ -301,12 +301,15 @@ class QueueingEngine:
         offered_tps: float,
         shares: np.ndarray,
         interference: Optional[MigrationInterference] = None,
+        capacity_multipliers: Optional[np.ndarray] = None,
     ) -> TickStats:
         """Advance one tick of length ``dt`` seconds.
 
         ``shares`` is the per-partition fraction of the offered load
         (length ``n_partitions``; it is normalised internally so callers
-        may pass raw data fractions).
+        may pass raw data fractions).  ``capacity_multipliers`` scales
+        each partition's service rate (straggler injection); None means
+        every partition runs at full speed.
         """
         if dt <= 0:
             raise SimulationError("dt must be positive")
@@ -336,6 +339,16 @@ class QueueingEngine:
             weighted * (1.0 - total_extra) + extra
         )                                                       # txn/s per partition
         mu_eff = self.mu_partition * (1.0 - interference.busy_fraction)
+        if capacity_multipliers is not None:
+            caps = np.asarray(capacity_multipliers, dtype=float)
+            if caps.size != self.n_partitions:
+                raise SimulationError(
+                    f"capacity_multipliers has {caps.size} entries for "
+                    f"{self.n_partitions} partitions"
+                )
+            if np.any(caps <= 0):
+                raise SimulationError("capacity multipliers must be positive")
+            mu_eff = mu_eff * caps
         mu_eff = np.maximum(mu_eff, 1e-6)
 
         # Backlog dynamics: demand this tick is queued work plus arrivals;

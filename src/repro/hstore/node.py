@@ -28,6 +28,9 @@ class Node:
         }
         #: Set False when the node has been decommissioned by a scale-in.
         self.active = True
+        #: Set True when the node died (crash fault) rather than being
+        #: drained; a failed node is also inactive.
+        self.failed = False
 
     @property
     def partition_ids(self) -> List[int]:
@@ -61,8 +64,13 @@ class Node:
         for partition in self._partitions.values():
             partition.reset_stats()
 
+    def mark_failed(self) -> None:
+        """Take the node out of service as dead (crash, not drain)."""
+        self.active = False
+        self.failed = True
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "active" if self.active else "retired"
+        state = "active" if self.active else ("failed" if self.failed else "retired")
         return (
             f"Node(id={self.node_id}, partitions={self.partition_ids}, {state})"
         )

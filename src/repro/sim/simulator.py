@@ -19,15 +19,17 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..config import PStoreConfig
+from ..config import DEFAULT_CHUNK_KB, PStoreConfig
 from ..elasticity.base import ProvisioningStrategy
 from ..errors import SimulationError
+from ..faults.injector import injector_from_config
+from ..faults.retry import RetryPolicy
 from ..hstore.engine import (
     MigrationInterference,
     QueueingEngine,
 )
 from ..hstore.latency import PercentileSeries
-from ..squall.migrator import DEFAULT_CHUNK_KB, ActiveMigration
+from ..squall.migrator import ActiveMigration
 from ..squall.schedule import build_migration_schedule
 from ..telemetry import get_telemetry
 
@@ -86,6 +88,13 @@ class ElasticDbSimulator:
         migration chunk size (Fig. 8 sweeps this).
     seed, engine_kwargs:
         forwarded to the queueing engine (skew/noise processes).
+    injector:
+        optional :class:`~repro.faults.FaultInjector`; defaults to the
+        one described by ``config.faults`` (None when disabled, keeping
+        fault-free runs bit-identical to pre-chaos builds).  Forecast
+        drift is applied inside the strategy, so pass the same injector
+        to :class:`~repro.elasticity.predictive.PStoreStrategy` when a
+        scenario includes it.
     """
 
     def __init__(
@@ -97,6 +106,7 @@ class ElasticDbSimulator:
         seed: int = 1,
         engine_kwargs: Optional[dict] = None,
         telemetry=None,
+        injector=None,
     ):
         if not 1 <= initial_machines <= max_machines:
             raise SimulationError(
@@ -108,6 +118,11 @@ class ElasticDbSimulator:
         self.initial_machines = initial_machines
         self.chunk_kb = chunk_kb
         self._telemetry = telemetry if telemetry is not None else get_telemetry()
+        self._injector = (
+            injector
+            if injector is not None
+            else injector_from_config(config, telemetry=telemetry)
+        )
         p = config.partitions_per_node
         self.engine = QueueingEngine(
             n_partitions=max_machines * p,
@@ -115,6 +130,11 @@ class ElasticDbSimulator:
             telemetry=self._telemetry,
             **(engine_kwargs or {}),
         )
+
+    @property
+    def injector(self):
+        """The attached fault injector (None on fault-free runs)."""
+        return self._injector
 
     # ------------------------------------------------------------------
 
@@ -170,7 +190,61 @@ class ElasticDbSimulator:
         migration_emergency = False
         migration_started = 0.0
 
+        # Fault-injection state (inert on fault-free runs).
+        injector = self._injector
+        retry = RetryPolicy.from_config(config.faults)
+        retry_rng = (
+            np.random.default_rng(injector.seed + 1)
+            if injector is not None
+            else None
+        )
+        crashed: List[int] = []
+        pending_recovery: List = []
+        stall_watch = None
+        stall_attempts = 0
+        next_retry_at = 0.0
+        resend_seconds = 0.0
+        resend_records: List = []
+
         for t in range(n):
+            # ---------------- fault injection --------------------------
+            if injector is not None:
+                injector.advance(float(t))
+                for record in injector.take_new_crashes():
+                    if len(active) <= 1:
+                        # The last machine cannot be killed.
+                        injector.mark_detected(record, float(t))
+                        injector.mark_recovered(record, float(t))
+                        continue
+                    if migration is not None:
+                        migration = None
+                        retiring = []
+                        machines = len(active)
+                        resend_seconds = 0.0
+                        resend_records = []
+                        stall_watch = None
+                        if recording:
+                            tel.events.emit(
+                                "migration.aborted",
+                                time=float(t),
+                                before=migration_before,
+                                after=migration_target,
+                                reason="node crash",
+                            )
+                        strategy.notify_move_finished(machines)
+                    victim = injector.resolve_crash_node(record, active)
+                    injector.mark_detected(record, float(t))
+                    active.remove(victim)
+                    crashed.append(victim)
+                    machines = len(active)
+                    pending_recovery.append(record)
+                    if recording:
+                        tel.events.emit(
+                            "sim.node-down",
+                            time=float(t),
+                            node=victim,
+                            machines=machines,
+                        )
             # ---------------- planning (per interval boundary) --------
             interval_accumulator.append(float(offered[t]))
             if len(interval_accumulator) == interval:
@@ -190,19 +264,23 @@ class ElasticDbSimulator:
                 if migration is None:
                     slot = len(history) - 1
                     decision = strategy.decide(slot, history, machines)
+                    target = decision.target_machines
+                    if crashed and decision.acts and target is not None:
+                        # Dead machines shrink the physical pool.
+                        target = min(target, self.max_machines - len(crashed))
                     if (
                         decision.acts
-                        and decision.target_machines != machines
-                        and 1 <= decision.target_machines <= self.max_machines
+                        and target != machines
+                        and 1 <= target <= self.max_machines - len(crashed)
                     ):
                         migration_rate = (
                             config.migration_rate_kbps * decision.rate_multiplier
                         )
                         migration, retiring = self._start_move(
-                            active, machines, decision.target_machines,
-                            migration_rate,
+                            active, machines, target,
+                            migration_rate, excluded=crashed,
                         )
-                        migration_target = decision.target_machines
+                        migration_target = target
                         migration_before = machines
                         migration_emergency = decision.emergency
                         migration_started = float(t + 1)
@@ -220,7 +298,17 @@ class ElasticDbSimulator:
                                 rate_kbps=migration_rate,
                                 est_seconds=migration.total_seconds,
                             )
-                        strategy.notify_move_started(decision.target_machines)
+                        strategy.notify_move_started(target)
+                        if injector is not None:
+                            injector.notify_migration_started(float(t + 1))
+                if migration is None and pending_recovery:
+                    # A quiet planning boundary with the survivors: the
+                    # controller saw the smaller cluster and needed no
+                    # move (or its replacement move completed) — the
+                    # allocation is feasible again.
+                    for record in pending_recovery:
+                        injector.mark_recovered(record, float(t + 1))
+                    pending_recovery = []
 
             # ---------------- capacity state for this second ----------
             if migration is not None:
@@ -247,7 +335,16 @@ class ElasticDbSimulator:
                 interference = None
                 out_machines[t] = machines
 
-            stats = self.engine.step(1.0, float(offered[t]), shares, interference)
+            capacity = None
+            if injector is not None and injector.any_slowdown_active:
+                machine_caps = injector.capacity_multipliers(
+                    self.max_machines, float(t)
+                )
+                capacity = np.repeat(machine_caps, p)
+            stats = self.engine.step(
+                1.0, float(offered[t]), shares, interference,
+                capacity_multipliers=capacity,
+            )
             out_completed[t] = stats.completed_tps
             p50[t] = stats.p50_ms
             p95[t] = stats.p95_ms
@@ -262,8 +359,56 @@ class ElasticDbSimulator:
 
             # ---------------- migration progress -----------------------
             if migration is not None:
-                migration.advance(1.0)
-                if migration.done:
+                now = float(t + 1)
+                stall = (
+                    injector.stall_record(now)
+                    if injector is not None and not migration.done
+                    else None
+                )
+                if stall is not None:
+                    # Wedged transfer: no progress this second.  The
+                    # watchdog detects after the retry timeout and logs
+                    # one re-drive per backoff interval.
+                    if stall_watch is not stall:
+                        stall_watch = stall
+                        stall_attempts = 0
+                        next_retry_at = (
+                            stall.injected_at + retry.transfer_timeout_seconds
+                        )
+                    while (
+                        now + 1e-9 >= next_retry_at
+                        and retry.should_retry(stall_attempts + 1)
+                    ):
+                        if stall_attempts == 0:
+                            injector.mark_detected(stall, next_retry_at)
+                        stall_attempts += 1
+                        backoff = retry.backoff_seconds(
+                            stall_attempts, retry_rng
+                        )
+                        injector.mark_retry(stall, next_retry_at, backoff)
+                        next_retry_at += backoff
+                elif resend_seconds > 0.0:
+                    # Paying for a corrupted transfer's re-send.
+                    stall_watch = None
+                    resend_seconds = max(0.0, resend_seconds - 1.0)
+                    if resend_seconds <= 1e-9:
+                        for record in resend_records:
+                            injector.mark_recovered(record, now)
+                        resend_records = []
+                else:
+                    stall_watch = None
+                    completed_rounds = migration.advance(1.0)
+                    if injector is not None:
+                        for _ in completed_rounds:
+                            corruption = injector.take_corruption()
+                            if corruption is None:
+                                continue
+                            injector.mark_detected(corruption, now)
+                            backoff = retry.backoff_seconds(1, retry_rng)
+                            injector.mark_retry(corruption, now, backoff)
+                            resend_seconds += migration.round_seconds + backoff
+                            resend_records.append(corruption)
+                if migration.done and resend_seconds <= 1e-9:
                     if retiring:
                         for machine in retiring:
                             active.remove(machine)
@@ -306,18 +451,21 @@ class ElasticDbSimulator:
     # ------------------------------------------------------------------
 
     def _start_move(
-        self, active: List[int], before: int, after: int, rate_kbps: float
+        self, active: List[int], before: int, after: int, rate_kbps: float,
+        excluded: Sequence[int] = (),
     ):
         """Build the migration and its logical->physical machine map.
 
         Scale-out activates the lowest inactive machine indices; scale-in
         retires the highest active ones (drained just-in-time by the
-        reversed schedule).
+        reversed schedule).  ``excluded`` machines (crashed) are never
+        re-activated.
         """
         schedule = build_migration_schedule(before, after)
         if after > before:
             inactive = [
-                m for m in range(self.max_machines) if m not in active
+                m for m in range(self.max_machines)
+                if m not in active and m not in excluded
             ]
             newcomers = inactive[: after - before]
             if len(newcomers) < after - before:

@@ -11,6 +11,7 @@ from .migrator import (
     DEFAULT_CHUNK_KB,
     ActiveMigration,
     ClusterMigrator,
+    chunk_spacing_seconds,
 )
 from .plan import (
     BucketMove,
@@ -47,6 +48,7 @@ __all__ = [
     "Transfer",
     "balanced_target",
     "build_migration_schedule",
+    "chunk_spacing_seconds",
     "make_reconfiguration_plan",
     "plan_balance_error",
     "validate_schedule",

@@ -9,6 +9,13 @@ everything the queueing engine and the capacity accounting need.
 :class:`~repro.hstore.cluster.Cluster`: it computes the bucket-level
 reconfiguration plan, and as each machine-pair transfer completes it
 commits the corresponding bucket moves so the rows physically relocate.
+
+When a :class:`~repro.faults.FaultInjector` is attached, the migrator
+also runs the failure-recovery machinery: a stall watchdog that detects
+wedged transfers after the :class:`~repro.faults.RetryPolicy` timeout
+and re-drives them with exponential backoff, corrupted-transfer
+re-sends (bucket moves only commit once a clean copy has arrived), and
+an :meth:`ClusterMigrator.abort` path used when a node dies mid-move.
 """
 
 from __future__ import annotations
@@ -17,18 +24,35 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
-from ..config import PStoreConfig
+from ..config import (
+    DEFAULT_CHUNK_KB,
+    DEFAULT_MIGRATION_RATE_KBPS,
+    PStoreConfig,
+)
 from ..errors import MigrationError
+from ..faults.retry import RetryPolicy
 from ..hstore.cluster import Cluster
 from ..telemetry import get_telemetry
 from .plan import BucketMove, make_reconfiguration_plan
 from .schedule import MigrationSchedule, Transfer, build_migration_schedule
 
-#: Default migration chunk size (kB); Sec. 8.1 found 1000 kB safe.
-DEFAULT_CHUNK_KB = 1000.0
-#: Average spacing between chunks implied by chunk size 1000 kB moving at
-#: the calibrated R = 244 kB/s (Sec. 8.1, footnote 1).
-CHUNK_SPACING_SECONDS = 1000.0 / 244.0
+
+def chunk_spacing_seconds(chunk_kb: float, rate_kbps: float) -> float:
+    """Average spacing between migration chunks: one ``chunk_kb`` chunk
+    every ``chunk_kb / R`` seconds at rate ``R`` (Sec. 8.1, footnote 1)."""
+    if chunk_kb <= 0:
+        raise MigrationError("chunk_kb must be positive")
+    if rate_kbps <= 0:
+        raise MigrationError("rate_kbps must be positive")
+    return chunk_kb / rate_kbps
+
+
+#: Spacing implied by the calibration defaults (1000 kB at R = 244 kB/s);
+#: configured runs should derive their own via :func:`chunk_spacing_seconds`
+#: or :attr:`ActiveMigration.chunk_spacing_seconds`.
+CHUNK_SPACING_SECONDS = chunk_spacing_seconds(
+    DEFAULT_CHUNK_KB, DEFAULT_MIGRATION_RATE_KBPS
+)
 
 
 class ActiveMigration:
@@ -109,6 +133,19 @@ class ActiveMigration:
     def total_seconds(self) -> float:
         """Wall-clock duration of the whole reconfiguration."""
         return self._round_seconds * self.schedule.n_rounds
+
+    @property
+    def seconds_to_round_end(self) -> float:
+        """Transfer time left in the current round (0 when done)."""
+        if self.done:
+            return 0.0
+        return max(0.0, self._round_seconds - self._elapsed_in_round)
+
+    @property
+    def chunk_spacing_seconds(self) -> float:
+        """Chunk spacing implied by this migration's chunk size and lane
+        rate (replaces the old hardcoded calibration constant)."""
+        return chunk_spacing_seconds(self.chunk_kb, self.rate_kbps)
 
     @property
     def elapsed_fraction(self) -> float:
@@ -205,23 +242,40 @@ class ClusterMigrator:
     over old + new partitions, build the machine schedule, and commit
     each machine pair's buckets when its transfer completes.  Scale-in is
     symmetric (retiring nodes are drained, then decommissioned).
+
+    ``injector`` attaches the chaos layer: migration-stall windows
+    freeze progress until the watchdog re-drives them, and completed
+    rounds may arrive corrupted, costing a re-send before their bucket
+    moves commit.  ``retry`` defaults to the policy described by
+    ``config.faults``.
     """
 
     def __init__(
         self,
         cluster: Cluster,
         config: PStoreConfig,
-        chunk_kb: float = DEFAULT_CHUNK_KB,
+        chunk_kb: Optional[float] = None,
         rate_multiplier: float = 1.0,
         telemetry=None,
+        injector=None,
+        retry: Optional[RetryPolicy] = None,
     ):
         if rate_multiplier <= 0:
             raise MigrationError("rate_multiplier must be positive")
         self.cluster = cluster
         self.config = config
-        self.chunk_kb = chunk_kb
+        self.chunk_kb = config.chunk_kb if chunk_kb is None else chunk_kb
+        if self.chunk_kb <= 0:
+            raise MigrationError("chunk_kb must be positive")
         self.rate_multiplier = rate_multiplier
         self._telemetry = telemetry if telemetry is not None else get_telemetry()
+        self._injector = injector
+        self.retry = retry if retry is not None else RetryPolicy.from_config(
+            config.faults
+        )
+        self._retry_rng = np.random.default_rng(
+            (injector.seed + 1) if injector is not None else 0
+        )
         self._active: Optional[ActiveMigration] = None
         self._pair_buckets: Dict[Tuple[int, int], List[BucketMove]] = {}
         self._retiring_nodes: List[int] = []
@@ -233,6 +287,13 @@ class ClusterMigrator:
         self._move_after = 0
         self._round_started_at = 0.0
         self._rounds_committed = 0
+        # Failure-recovery state.
+        self._stall_watch = None
+        self._stall_attempts = 0
+        self._next_retry_at = 0.0
+        self._resend_seconds = 0.0
+        self._pending_resends: List[Tuple[object, Tuple[Transfer, ...]]] = []
+        self.aborted_moves = 0
 
     @property
     def sim_time(self) -> float:
@@ -251,7 +312,7 @@ class ClusterMigrator:
 
     @property
     def migrating(self) -> bool:
-        return self._active is not None and not self._active.done
+        return self._active is not None
 
     def start_move(self, target_nodes: int) -> ActiveMigration:
         """Begin reconfiguring the cluster to ``target_nodes`` machines."""
@@ -312,6 +373,7 @@ class ClusterMigrator:
         self._move_before = before
         self._move_after = after
         self._rounds_committed = 0
+        self._reset_fault_state()
         tel = self._telemetry
         if tel.enabled:
             tel.events.emit(
@@ -324,39 +386,185 @@ class ClusterMigrator:
                 est_seconds=self._active.total_seconds,
             )
             tel.metrics.counter("migrate.moves_started").inc()
+        if self._injector is not None:
+            self._injector.notify_migration_started(self._sim_time)
         return self._active
 
     def advance(self, dt: float) -> bool:
         """Advance the active migration; returns True when it completes."""
         if self._active is None:
             raise MigrationError("no active migration")
-        round_seconds = self._active.round_seconds
-        completed_rounds = self._active.advance(dt)
-        self._sim_time += dt
-        tel = self._telemetry
-        for round_ in completed_rounds:
-            for transfer in round_:
-                self._commit_transfer(transfer)
-            if tel.enabled:
-                # Rounds are equal-length, so reconstruct each round's
-                # window on the simulated timeline.
-                end = min(
-                    self._round_started_at + round_seconds, self._sim_time
-                )
-                tel.tracer.record(
-                    "migrate.round",
-                    self._round_started_at,
-                    end,
-                    round=self._rounds_committed,
-                    transfers=len(round_),
-                )
-                self._round_started_at = end
-            self._rounds_committed += 1
-        if self._active.done:
+        if dt < 0:
+            raise MigrationError("dt must be non-negative")
+        if self._injector is None:
+            self._step_migration(dt)
+        else:
+            self._advance_with_faults(dt)
+        if (
+            self._active is not None
+            and self._active.done
+            and self._resend_seconds <= 1e-9
+            and not self._pending_resends
+        ):
             self._finish_telemetry()
             self._finish()
             return True
         return False
+
+    def abort(self, reason: str = "node failure") -> None:
+        """Cancel the in-flight migration without completing it.
+
+        Bucket moves already committed stay committed (the plan is always
+        consistent); pending pair transfers are dropped, and retiring
+        nodes remain active since they may still own buckets.  The
+        controller is expected to re-plan from the resulting topology.
+        """
+        if self._active is None:
+            return
+        self.aborted_moves += 1
+        tel = self._telemetry
+        if tel.enabled:
+            tel.events.emit(
+                "migration.aborted",
+                time=self._sim_time,
+                before=self._move_before,
+                after=self._move_after,
+                reason=reason,
+                elapsed=self._sim_time - self._move_started_at,
+            )
+            tel.metrics.counter("migrate.moves_aborted").inc()
+        self._pair_buckets = {}
+        self._retiring_nodes = []
+        self._active = None
+        self._reset_fault_state()
+
+    # ------------------------------------------------------------------
+    # Fault-free fast path
+    # ------------------------------------------------------------------
+
+    def _step_migration(self, dt: float) -> None:
+        """Advance transfers by ``dt`` and commit the completed rounds."""
+        assert self._active is not None
+        round_seconds = self._active.round_seconds
+        completed_rounds = self._active.advance(dt)
+        self._sim_time += dt
+        for round_ in completed_rounds:
+            corruption = (
+                self._injector.take_corruption()
+                if self._injector is not None
+                else None
+            )
+            if corruption is not None:
+                self._begin_resend(corruption, round_)
+                continue
+            self._commit_round(round_, round_seconds)
+
+    def _commit_round(self, round_: Tuple[Transfer, ...], round_seconds: float) -> None:
+        for transfer in round_:
+            self._commit_transfer(transfer)
+        tel = self._telemetry
+        if tel.enabled:
+            # Rounds are equal-length, so reconstruct each round's
+            # window on the simulated timeline (re-sends stretch it).
+            end = min(self._round_started_at + round_seconds, self._sim_time)
+            end = max(end, self._round_started_at)
+            tel.tracer.record(
+                "migrate.round",
+                self._round_started_at,
+                end,
+                round=self._rounds_committed,
+                transfers=len(round_),
+            )
+            self._round_started_at = end
+        self._rounds_committed += 1
+
+    # ------------------------------------------------------------------
+    # Fault-aware path
+    # ------------------------------------------------------------------
+
+    def _advance_with_faults(self, dt: float) -> None:
+        injector = self._injector
+        remaining = float(dt)
+        while remaining > 1e-9 and self._active is not None:
+            injector.advance(self._sim_time)
+            boundary = injector.seconds_to_next_change(self._sim_time)
+            stall = injector.stall_record(self._sim_time)
+            if stall is not None:
+                # Wedged: time passes, no data moves; the watchdog
+                # detects and re-drives after the retry timeout.
+                step = min(remaining, max(min(boundary, remaining), 1e-9))
+                self._sim_time += step
+                remaining -= step
+                self._watch_stall(stall)
+                continue
+            self._stall_watch = None
+            if self._resend_seconds > 1e-9:
+                step = min(remaining, self._resend_seconds)
+                self._resend_seconds -= step
+                self._sim_time += step
+                remaining -= step
+                if self._resend_seconds <= 1e-9:
+                    self._finish_resends()
+                continue
+            if self._active.done:
+                # Only waiting on re-sends/stalls, which are drained above.
+                break
+            # Never run past the current round's completion or the next
+            # fault boundary, so rounds are handled one at a time.
+            step = min(
+                remaining,
+                max(self._active.seconds_to_round_end, 1e-9),
+                max(boundary, 1e-9),
+            )
+            self._step_migration(step)
+            remaining -= step
+
+    def _watch_stall(self, record) -> None:
+        """Detect a wedged transfer after the retry timeout and emit one
+        re-drive attempt per backoff interval (all in simulated time)."""
+        if self._stall_watch is not record:
+            self._stall_watch = record
+            self._stall_attempts = 0
+            self._next_retry_at = (
+                record.injected_at + self.retry.transfer_timeout_seconds
+            )
+        while self._sim_time + 1e-9 >= self._next_retry_at:
+            if not self.retry.should_retry(self._stall_attempts + 1):
+                break
+            if self._stall_attempts == 0:
+                self._injector.mark_detected(record, self._next_retry_at)
+            attempt = self._stall_attempts + 1
+            backoff = self.retry.backoff_seconds(attempt, self._retry_rng)
+            self._injector.mark_retry(record, self._next_retry_at, backoff)
+            self._stall_attempts = attempt
+            self._next_retry_at += backoff
+
+    def _begin_resend(self, record, round_: Tuple[Transfer, ...]) -> None:
+        """A round arrived corrupted: hold its bucket commits and pay for
+        a full re-send (plus one backoff) before committing."""
+        assert self._active is not None
+        self._injector.mark_detected(record, self._sim_time)
+        backoff = self.retry.backoff_seconds(1, self._retry_rng)
+        self._injector.mark_retry(record, self._sim_time, backoff)
+        self._resend_seconds += self._active.round_seconds + backoff
+        self._pending_resends.append((record, round_))
+
+    def _finish_resends(self) -> None:
+        assert self._active is not None
+        self._resend_seconds = 0.0
+        pending, self._pending_resends = self._pending_resends, []
+        for record, round_ in pending:
+            self._commit_round(round_, self._active.round_seconds)
+            self._injector.mark_recovered(record, self._sim_time)
+
+    def _reset_fault_state(self) -> None:
+        self._stall_watch = None
+        self._stall_attempts = 0
+        self._next_retry_at = 0.0
+        self._resend_seconds = 0.0
+        self._pending_resends = []
+
+    # ------------------------------------------------------------------
 
     def _finish_telemetry(self) -> None:
         tel = self._telemetry
@@ -393,3 +601,4 @@ class ClusterMigrator:
             self.cluster.remove_nodes(self._retiring_nodes)
             self._retiring_nodes = []
         self._active = None
+        self._reset_fault_state()

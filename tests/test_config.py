@@ -6,6 +6,7 @@ import pytest
 
 from repro.config import (
     FIGURE12_Q_FRACTIONS,
+    FaultConfig,
     PStoreConfig,
     Q_FRACTION,
     Q_HAT_FRACTION,
@@ -118,6 +119,76 @@ class TestValidation:
         cfg = default_config()
         with pytest.raises(Exception):
             cfg.q = 1.0  # type: ignore[misc]
+
+    def test_zero_sla_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PStoreConfig(sla_latency_ms=0.0)
+
+    def test_zero_database_kb_rejected(self):
+        """database_kb / d_seconds is the migration rate R; it must be
+        positive for any transfer to make progress."""
+        with pytest.raises(ConfigurationError):
+            PStoreConfig(database_kb=0.0)
+
+    def test_negative_database_kb_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PStoreConfig(database_kb=-1.0)
+
+    def test_zero_chunk_kb_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PStoreConfig(chunk_kb=0.0)
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PStoreConfig(horizon_intervals=-1)
+
+    def test_zero_horizon_means_derived(self):
+        # 0 is the sentinel for "derive the 2D/P bound", not invalid
+        assert PStoreConfig(horizon_intervals=0).horizon_intervals == 0
+
+
+class TestFaultConfig:
+    def test_disabled_by_default(self):
+        assert default_config().faults.enabled is False
+
+    def test_zero_max_attempts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(max_attempts=0)
+
+    def test_zero_backoff_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(base_backoff_seconds=0.0)
+
+    def test_shrinking_backoff_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(backoff_multiplier=0.5)
+
+    def test_jitter_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(jitter_fraction=-0.1)
+        with pytest.raises(ConfigurationError):
+            FaultConfig(jitter_fraction=1.0)
+        FaultConfig(jitter_fraction=0.0)  # boundary is legal
+
+    def test_zero_transfer_timeout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(transfer_timeout_seconds=0.0)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig.from_dict({"enabled": True, "blast_radius": 3})
+
+    def test_nested_dict_coerced_by_pstore_config(self):
+        cfg = PStoreConfig.from_dict(
+            {"faults": {"enabled": True, "scenario": "chaos.json", "seed": 4}}
+        )
+        assert isinstance(cfg.faults, FaultConfig)
+        assert cfg.faults.scenario == "chaos.json"
+        assert cfg.faults.seed == 4
+
+    def test_invalid_nested_faults_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PStoreConfig.from_dict({"faults": {"max_attempts": -3}})
 
 
 class TestSerialisation:

@@ -190,6 +190,89 @@ class TestEmergency:
         assert not decision.acts
 
 
+    def test_emergency_resets_scale_in_streak(self):
+        """An emergency interrupts a scale-in countdown: the debounce
+        must restart from zero afterwards, not fire on stale votes."""
+        cfg = default_config().with_interval(600.0)
+        q = cfg.q
+        predictor = LastValuePredictor().fit([1.0])
+        ctrl = PredictiveController(cfg, predictor, horizon_intervals=6)
+        low = flat_history(q * 0.4)
+        ctrl.decide(low, current_machines=3)  # streak 1
+        ctrl.decide(low, current_machines=3)  # streak 2
+        spike = ctrl.decide(
+            flat_history(q * 6.0), current_machines=1, current_load=q * 6.0
+        )
+        assert spike.emergency
+        third = ctrl.decide(low, current_machines=3)
+        # Without the reset this would be the 3rd confirmation and act.
+        assert not third.acts
+        assert "pending confirmation" in third.reason
+
+
+class TestConfiguredHorizon:
+    def test_config_horizon_used_when_set(self):
+        cfg = default_config().with_interval(600.0)
+        cfg = PStoreConfig.from_dict({**cfg.to_dict(), "horizon_intervals": 11})
+        ctrl = controller_for([100.0] * 100, cfg)
+        assert ctrl.horizon_intervals == 11
+
+    def test_explicit_argument_beats_config(self):
+        cfg = default_config().with_interval(600.0)
+        cfg = PStoreConfig.from_dict({**cfg.to_dict(), "horizon_intervals": 11})
+        ctrl = controller_for([100.0] * 100, cfg, horizon_intervals=5)
+        assert ctrl.horizon_intervals == 5
+
+
+class TestForecastDrift:
+    def _drifted_controller(self, truth, cfg, magnitude):
+        from repro.faults import FaultInjector, FaultScenario, FaultSpec
+
+        scenario = FaultScenario(
+            faults=(
+                FaultSpec(
+                    kind="forecast_drift",
+                    at_time=0.0,
+                    duration_seconds=1e9,
+                    magnitude=magnitude,
+                ),
+            ),
+            seed=1,
+        )
+        injector = FaultInjector(scenario)
+        injector.advance(0.0)
+        return PredictiveController(
+            cfg,
+            OraclePredictor(truth),
+            horizon_intervals=6,
+            injector=injector,
+        )
+
+    def test_drift_scales_the_forecast(self):
+        """A 2x drift makes flat load look like a spike: the controller
+        over-provisions relative to the undrifted plan."""
+        cfg = default_config().with_interval(600.0)
+        q = cfg.q
+        truth = [q * 1.5] * 50
+        clean = controller_for(truth, cfg, horizon_intervals=6)
+        baseline = clean.decide(flat_history(q * 1.5), current_machines=2)
+        assert not baseline.acts  # 1.5q * 1.15 still fits 2 machines
+
+        drifted = self._drifted_controller(truth, cfg, magnitude=2.0)
+        decision = drifted.decide(flat_history(q * 1.5), current_machines=2)
+        assert decision.acts
+        assert decision.target_machines is not None
+        assert decision.target_machines > 2
+
+    def test_unit_drift_is_a_noop(self):
+        cfg = default_config().with_interval(600.0)
+        q = cfg.q
+        truth = [q * 1.5] * 50
+        drifted = self._drifted_controller(truth, cfg, magnitude=1.0)
+        decision = drifted.decide(flat_history(q * 1.5), current_machines=2)
+        assert not decision.acts
+
+
 class TestValidation:
     def test_zero_machines_rejected(self):
         ctrl = controller_for([100.0] * 50)

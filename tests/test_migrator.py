@@ -5,14 +5,21 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import default_config
+from repro.config import (
+    DEFAULT_CHUNK_KB,
+    DEFAULT_MIGRATION_RATE_KBPS,
+    PStoreConfig,
+    default_config,
+)
 from repro.core.model import effective_capacity, move_time
 from repro.errors import MigrationError
 from repro.hstore import Cluster, Column, Schema, Table
 from repro.squall import (
     ActiveMigration,
+    CHUNK_SPACING_SECONDS,
     ClusterMigrator,
     build_migration_schedule,
+    chunk_spacing_seconds,
 )
 
 
@@ -132,6 +139,45 @@ class TestActiveMigrationState:
             ActiveMigration(schedule, 1.0, 244.0, partitions_per_node=0)
         with pytest.raises(MigrationError):
             ActiveMigration(schedule, 1.0, 244.0, chunk_kb=0.0)
+
+
+class TestChunkSpacing:
+    def test_constant_derives_from_defaults(self):
+        """CHUNK_SPACING_SECONDS must be the defaults fed through the
+        helper, not an independently hardcoded quotient."""
+        assert CHUNK_SPACING_SECONDS == pytest.approx(
+            chunk_spacing_seconds(DEFAULT_CHUNK_KB, DEFAULT_MIGRATION_RATE_KBPS)
+        )
+        assert CHUNK_SPACING_SECONDS == pytest.approx(
+            DEFAULT_CHUNK_KB / DEFAULT_MIGRATION_RATE_KBPS
+        )
+
+    def test_paper_defaults_give_4_1_seconds(self):
+        """Sec 8.1: 1 MB chunks at R = 244 kB/s -> one chunk every ~4.1 s."""
+        assert CHUNK_SPACING_SECONDS == pytest.approx(4.098, abs=0.001)
+
+    def test_helper_validates_inputs(self):
+        with pytest.raises(MigrationError):
+            chunk_spacing_seconds(0.0, 244.0)
+        with pytest.raises(MigrationError):
+            chunk_spacing_seconds(1000.0, 0.0)
+
+    def test_active_migration_exposes_spacing(self):
+        migration = make_migration(2, 4, rate=500.0, chunk_kb=250.0)
+        assert migration.chunk_spacing_seconds == pytest.approx(0.5)
+
+    def test_migrator_spacing_follows_config(self):
+        """The migrator's chunk cadence tracks config.chunk_kb and the
+        configured rate rather than the module constant."""
+        cfg = PStoreConfig(
+            database_kb=1_000_000.0, d_seconds=2000.0, chunk_kb=2500.0
+        )
+        migrator = ClusterMigrator(kv_cluster(), cfg)
+        migrator.start_move(5)
+        migration = migrator.active
+        assert migration is not None
+        # R = database_kb / D = 500 kB/s; 2500 kB chunks -> 5 s apart
+        assert migration.chunk_spacing_seconds == pytest.approx(5.0)
 
 
 class TestClusterMigrator:
