@@ -21,7 +21,6 @@ from repro.workload import b2w_like_trace
 def planner_inputs():
     config = default_config().with_interval(300.0)
     q = config.q
-    rng = np.random.default_rng(3)
     # A realistic horizon: rising daily ramp needing a 2-step scale-out.
     loads = tuple(q * v for v in np.linspace(1.5, 6.5, 12))
     return config, loads

@@ -1,0 +1,291 @@
+"""Perf-regression harness for the vectorized hot paths.
+
+Times three kernels and locks the wins in:
+
+* ``sim``       — a 2-day, 2-strategy :class:`ElasticDbSimulator` run with
+                  the vectorized fast path, against the scalar tick loop.
+* ``spar``      — warm-cache :meth:`SparPredictor.predict_horizon`
+                  (strided gathers) against the scalar reference, plus the
+                  batched all-tau fit.
+* ``planner``   — one :meth:`Planner.best_moves` DP on a fig9-class
+                  horizon.
+
+Usage::
+
+    python benchmarks/bench_regression.py --write BENCH_perf.json
+    python benchmarks/bench_regression.py --check BENCH_perf.json
+
+``--check`` fails (exit 1) when a bench regresses more than the budget
+(default 30%) against the baseline, or when a machine-independent
+speedup floor is broken (simulator fast path >= 5x, SPAR predict >= 3x).
+Because absolute timings do not transfer between machines, budget
+comparisons use timings normalized by a fixed calibration workload run
+on the same host; the speedup-ratio floors need no normalization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.config import default_config  # noqa: E402
+from repro.core.planner import Planner, PlanRequest  # noqa: E402
+from repro.elasticity import StaticStrategy  # noqa: E402
+from repro.elasticity.manual import ManualStrategy  # noqa: E402
+from repro.prediction import SparPredictor  # noqa: E402
+from repro.sim import ElasticDbSimulator  # noqa: E402
+
+SCHEMA = "pstore.bench/v1"
+
+#: Machine-independent floors (acceptance criteria of the perf pass).
+SPEEDUP_FLOORS = {
+    "sim_fast_path_speedup": 5.0,
+    "spar_predict_speedup": 3.0,
+}
+
+
+def _calibrate() -> float:
+    """A fixed mixed Python/numpy workload used to normalize timings."""
+    rng = np.random.default_rng(0)
+    a = rng.random((256, 256))
+    acc = 0.0
+    t0 = time.perf_counter()
+    for _ in range(40):
+        acc += float((a @ a).sum())
+        acc += sum(i * i for i in range(20000))
+        b = np.sort(rng.random(40000))
+        acc += float(b.searchsorted(0.5))
+    elapsed = time.perf_counter() - t0
+    assert acc != 0.0
+    return elapsed
+
+
+def _sim_trace(days: float, seed: int = 0) -> np.ndarray:
+    """A fig9-style daily sinusoid with noise, one slot per second."""
+    n = int(days * 86400)
+    rng = np.random.default_rng(seed)
+    x = np.arange(n) * (2 * np.pi / 86400.0)
+    return np.clip(
+        500 + 300 * np.sin(x) + rng.normal(0, 20, n), 0, None
+    )
+
+
+def _strategies():
+    return [
+        ("static", lambda: StaticStrategy(3)),
+        ("manual", lambda: ManualStrategy([(5, 5), (600, 3)])),
+    ]
+
+
+def bench_sim(days: float) -> dict:
+    """The 2-day, 2-strategy run: fast path vs scalar tick loop."""
+    cfg = default_config()
+    offered = _sim_trace(days)
+    timings = {}
+    for fast in (True, False):
+        total = 0.0
+        for _, make in _strategies():
+            sim = ElasticDbSimulator(
+                cfg,
+                max_machines=10,
+                initial_machines=3,
+                seed=7,
+                fast_path=fast,
+            )
+            t0 = time.perf_counter()
+            sim.run(offered, make())
+            total += time.perf_counter() - t0
+        timings["fast" if fast else "scalar"] = total
+    return {
+        "sim_fast_seconds": timings["fast"],
+        "sim_scalar_seconds": timings["scalar"],
+        "sim_fast_path_speedup": timings["scalar"] / timings["fast"],
+    }
+
+
+def bench_spar() -> dict:
+    """Warm predict_horizon: vectorized vs scalar reference, + batch fit."""
+    period = 1440  # per-minute slots, daily period (paper setting)
+    rng = np.random.default_rng(9)
+    t = np.arange(period * 9)
+    series = np.clip(
+        1000
+        + 400 * np.sin(2 * np.pi * t / period)
+        + rng.normal(0, 40, t.size),
+        0,
+        None,
+    )
+    history = series[: period * 8 + 97]
+    horizon = 60
+
+    cold = SparPredictor(period, 7, 30).fit(series)
+    t0 = time.perf_counter()
+    cold.fit_horizon(horizon)
+    fit_seconds = time.perf_counter() - t0
+
+    fast = SparPredictor(period, 7, 30).fit(series)
+    ref = SparPredictor(period, 7, 30).fit(series)
+    assert np.array_equal(
+        fast.predict_horizon(history, horizon),
+        ref.predict_horizon_reference(history, horizon),
+    )
+    reps = 300
+    results = {}
+    for label, fn in (
+        ("fast", fast.predict_horizon),
+        ("reference", ref.predict_horizon_reference),
+    ):
+        best = min(
+            _time_reps(fn, (history, horizon), reps) for _ in range(3)
+        )
+        results[label] = best / reps
+    return {
+        "spar_fit_horizon_seconds": fit_seconds,
+        "spar_predict_seconds": results["fast"],
+        "spar_predict_reference_seconds": results["reference"],
+        "spar_predict_speedup": results["reference"] / results["fast"],
+    }
+
+
+def _time_reps(fn, args, reps: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        fn(*args)
+    return time.perf_counter() - t0
+
+
+def bench_planner() -> dict:
+    """One best_moves DP on a rising fig9-class horizon."""
+    import dataclasses
+
+    cfg = dataclasses.replace(
+        default_config(), max_machines=30, d_seconds=600.0
+    )
+    loads = tuple(float(v) for v in np.linspace(4000, 5200, 24))
+    planner = Planner(cfg)
+    request = PlanRequest(predicted_load=loads, initial_machines=15)
+    planner.best_moves(request)  # warm the per-Z grid cache
+    reps = 200
+    best = min(
+        _time_reps(planner.best_moves, (request,), reps)
+        for _ in range(3)
+    )
+    return {"planner_best_moves_seconds": best / reps}
+
+
+def run_benches(days: float) -> dict:
+    calibration = _calibrate()
+    benches = {}
+    benches.update(bench_sim(days))
+    benches.update(bench_spar())
+    benches.update(bench_planner())
+    normalized = {
+        k: v / calibration
+        for k, v in benches.items()
+        if k.endswith("_seconds")
+    }
+    return {
+        "schema": SCHEMA,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "days": days,
+        "calibration_seconds": calibration,
+        "benches": benches,
+        "normalized": normalized,
+    }
+
+
+def check(current: dict, baseline: dict, budget: float) -> list:
+    """Return a list of failure strings (empty = pass)."""
+    failures = []
+    for key, floor in SPEEDUP_FLOORS.items():
+        value = current["benches"].get(key)
+        if value is None or value < floor:
+            failures.append(
+                f"{key} = {value:.2f}x is below the floor of {floor}x"
+            )
+    base_norm = baseline.get("normalized", {})
+    for key, base_value in base_norm.items():
+        new_value = current["normalized"].get(key)
+        if new_value is None:
+            failures.append(f"bench {key} missing from current run")
+            continue
+        limit = base_value * (1.0 + budget)
+        if new_value > limit:
+            failures.append(
+                f"{key}: normalized {new_value:.4f} exceeds baseline "
+                f"{base_value:.4f} by more than {budget:.0%}"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--write",
+        metavar="PATH",
+        help="run the benches and write the baseline JSON",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        help="run the benches and compare against a baseline JSON",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=0.30,
+        help="allowed relative regression vs the baseline (default 0.30)",
+    )
+    parser.add_argument(
+        "--days",
+        type=float,
+        default=2.0,
+        help="simulated days per strategy for the simulator bench",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="also write the current timings JSON here (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+    if not args.write and not args.check:
+        parser.error("one of --write / --check is required")
+
+    result = run_benches(args.days)
+    report = json.dumps(result, indent=2, sort_keys=True)
+    print(report)
+    if args.out:
+        pathlib.Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        pathlib.Path(args.out).write_text(report + "\n")
+    if args.write:
+        pathlib.Path(args.write).write_text(report + "\n")
+        print(f"\nbaseline written to {args.write}")
+    if args.check:
+        baseline = json.loads(pathlib.Path(args.check).read_text())
+        failures = check(result, baseline, args.budget)
+        if failures:
+            print("\nPERF REGRESSION CHECK FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(
+            f"\nperf check OK (budget {args.budget:.0%}, "
+            f"floors {SPEEDUP_FLOORS})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,10 +16,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro import default_config
-from repro.benchmark import ALL_PROCEDURES, B2WDriver, b2w_schema, load_b2w_data
+from repro.benchmark import B2WDriver, b2w_schema, load_b2w_data
 from repro.core import PStoreService
-from repro.hstore import Transaction
-from repro.prediction import LastValuePredictor, OnlinePredictor, SeasonalNaivePredictor
+from repro.prediction import OnlinePredictor, SeasonalNaivePredictor
 
 
 def main() -> None:
@@ -50,7 +49,6 @@ def main() -> None:
     # ~0.4 and ~3.2 machines' worth of traffic.
     q = config.q
     minutes = 75
-    rng = np.random.default_rng(10)
     print(f"driving {minutes} minutes of cyclic traffic "
           f"(Q = {q:.0f} txn/s per machine)\n")
     for minute in range(minutes):

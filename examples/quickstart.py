@@ -14,9 +14,7 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import PStoreConfig, Planner, SparPredictor, default_config
+from repro import Planner, SparPredictor, default_config
 from repro.analysis import series_block
 from repro.core import PredictiveController
 from repro.squall import build_migration_schedule

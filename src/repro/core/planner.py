@@ -22,6 +22,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..config import PStoreConfig
 from ..errors import InfeasiblePlanError, PlanningError
 from . import model
@@ -91,6 +93,16 @@ class Planner:
         self._duration_cache: Dict[Tuple[int, int], int] = {}
         self._cost_cache: Dict[Tuple[int, int], float] = {}
         self._effcap_cache: Dict[Tuple[int, int], Tuple[float, ...]] = {}
+        # Dense per-(B, A) arrays for the vectorized DP, keyed by the grid
+        # bound Z (they depend only on Z and the config, not the loads).
+        self._grid_cache: Dict[
+            int,
+            Tuple[
+                np.ndarray,
+                np.ndarray,
+                List[Tuple[int, np.ndarray, np.ndarray]],
+            ],
+        ] = {}
 
     @property
     def config(self) -> PStoreConfig:
@@ -190,15 +202,24 @@ class Planner:
         horizon: int,
         n0: int,
         z: int,
-    ) -> Tuple[List[List[float]], List[List[Optional[Tuple[int, int]]]]]:
+    ) -> Tuple[np.ndarray, List[List[Optional[Tuple[int, int]]]]]:
         """Compute ``cost[t][A]`` and back-pointers for all states.
 
         ``cost[t][A]`` is the minimum cost of a feasible series of moves
         that ends with ``A`` machines at interval ``t``; ``backptr[t][A]``
         is ``(prev_t, prev_machines)`` of the last move of that series.
+
+        The ``(t, A)`` grid is filled bottom-up as before, but the inner
+        Algorithm 3 scan over ``before`` is a masked vectorized argmin:
+        per-``(B, A)`` durations, move costs, and effective-capacity
+        feasibility windows are precomputed once per call, so each state
+        costs one gather + argmin instead of ``Z`` Python evaluations.
+        ``np.argmin`` returns the first minimum, preserving the scalar
+        loop's ascending-``before`` tie-breaking exactly.
         """
-        q = self._config.q
-        cost = [[_INF] * (z + 1) for _ in range(horizon + 1)]
+        dur, mcost, feas_start = self._move_tables(loads, horizon, z)
+
+        cost = np.full((horizon + 1, z + 1), _INF)
         backptr: List[List[Optional[Tuple[int, int]]]] = [
             [None] * (z + 1) for _ in range(horizon + 1)
         ]
@@ -208,49 +229,91 @@ class Planner:
         if n0 <= z and loads[0] <= self.capacity(n0) + 1e-9:
             cost[0][n0] = float(n0)
 
+        cap_thresh = np.array(
+            [self.capacity(a) + 1e-9 for a in range(1, z + 1)]
+        )
+        before_col = np.arange(z)[:, None]
+        after_idx = np.arange(z)
+        cost_view = cost[:, 1:]
+        reachable = bool(np.isfinite(cost[0]).any())
         for t in range(1, horizon + 1):
-            for after in range(1, z + 1):
-                if loads[t] > self.capacity(after) + 1e-9:
-                    continue  # insufficient capacity at rest
-                best = _INF
-                best_prev: Optional[Tuple[int, int]] = None
-                for before in range(1, z + 1):
-                    candidate = self._sub_cost(
-                        cost, loads, t, before, after
-                    )
-                    if candidate < best:
-                        best = candidate
-                        duration = max(1, self.move_duration(before, after))
-                        best_prev = (t - duration, before)
-                if best_prev is not None:
-                    cost[t][after] = best
-                    backptr[t][after] = best_prev
+            if not reachable:
+                continue  # no reachable predecessor state anywhere yet
+            start = t - dur
+            in_range = start >= 0
+            start_clipped = np.where(in_range, start, 0)
+            prior = cost_view[start_clipped, before_col]
+            feasible = in_range & feas_start[start_clipped, before_col, after_idx]
+            candidates = np.where(feasible, prior + mcost, _INF)
+            best_before = np.argmin(candidates, axis=0)
+            best = candidates[best_before, after_idx]
+            new_row = np.where(loads[t] <= cap_thresh, best, _INF)
+            finite = np.isfinite(new_row)
+            if finite.any():
+                cost[t, 1:] = new_row
+                for ai in np.nonzero(finite)[0]:
+                    bi = int(best_before[ai])
+                    backptr[t][ai + 1] = (t - int(dur[bi, ai]), bi + 1)
         return cost, backptr
 
-    def _sub_cost(
-        self,
-        cost: List[List[float]],
-        loads: List[float],
-        t: int,
-        before: int,
-        after: int,
-    ) -> float:
-        """Algorithm 3: cost of ending at ``t`` with a final ``B -> A`` move."""
-        duration = self.move_duration(before, after)
-        if duration == 0:  # the "do nothing" move lasts one interval
-            duration = 1
-        start = t - duration
-        if start < 0:
-            return _INF  # the move would have to start in the past
-        prior = cost[start][before]
-        if prior == _INF:
-            return _INF
-        # The predicted load must stay under the effective capacity for
-        # every interval of the move (Algorithm 3, lines 6-9).
-        for i, eff in enumerate(self._effcap_profile(before, after, duration)):
-            if loads[start + 1 + i] > eff + 1e-9:
-                return _INF
-        return prior + self.move_cost(before, after)
+    def _grid_tables(
+        self, z: int
+    ) -> Tuple[np.ndarray, np.ndarray, List[Tuple[int, np.ndarray, np.ndarray]]]:
+        """Load-independent per-``(B, A)`` move primitives, cached by Z.
+
+        Returns ``(dur, mcost, groups)`` where ``dur[b-1, a-1]`` is the
+        effective move duration ``max(1, T(B,A))``, ``mcost`` the move
+        cost ``C(B,A)``, and ``groups`` one ``(d, pairs, thresh)`` entry
+        per distinct duration: the ``(B-1, A-1)`` index pairs of that
+        duration and their effective-capacity thresholds ``eff + 1e-9``
+        (Eq. 7), matching the scalar comparison
+        ``loads[...] > eff + 1e-9`` exactly.
+        """
+        cached = self._grid_cache.get(z)
+        if cached is not None:
+            return cached
+        dur = np.empty((z, z), dtype=np.int64)
+        mcost = np.empty((z, z))
+        for b in range(1, z + 1):
+            for a in range(1, z + 1):
+                dur[b - 1, a - 1] = max(1, self.move_duration(b, a))
+                mcost[b - 1, a - 1] = self.move_cost(b, a)
+        groups = []
+        for d in np.unique(dur):
+            d = int(d)
+            pairs = np.argwhere(dur == d)
+            thresh = (
+                np.array(
+                    [self._effcap_profile(b + 1, a + 1, d) for b, a in pairs]
+                )
+                + 1e-9
+            )
+            groups.append((d, pairs, thresh))
+        tables = (dur, mcost, groups)
+        self._grid_cache[z] = tables
+        return tables
+
+    def _move_tables(
+        self, loads: List[float], horizon: int, z: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-``(B, A)`` durations, costs, and feasibility windows.
+
+        ``feas_start[s, b-1, a-1]`` is whether a ``B -> A`` move starting
+        at interval ``s`` keeps the predicted load under the effective
+        capacity (Eq. 7) for each interval it spans (Algorithm 3, lines
+        6-9).  A window starting at ``s`` covers ``loads[s+1 .. s+d]``.
+        """
+        dur, mcost, groups = self._grid_tables(z)
+        loads_arr = np.asarray(loads, dtype=float)
+        feas_start = np.zeros((horizon + 1, z, z), dtype=bool)
+        for d, pairs, thresh in groups:
+            if d > horizon:
+                continue  # such a move cannot complete inside the horizon
+            windows = np.lib.stride_tricks.sliding_window_view(loads_arr, d)
+            windows = windows[1 : horizon - d + 2]
+            ok = np.all(windows[:, None, :] <= thresh[None, :, :], axis=2)
+            feas_start[: horizon - d + 1, pairs[:, 0], pairs[:, 1]] = ok
+        return dur, mcost, feas_start
 
     def _effcap_profile(
         self, before: int, after: int, duration: int
@@ -318,13 +381,15 @@ def best_moves_reference(
     horizon = request.horizon
     n0 = request.initial_machines
     planner = Planner(config)  # reuse cached move primitives only
-    z = max(planner.machines_needed(max(loads)), n0)
-    if config.max_machines:
-        z = min(z, config.max_machines)
+    # Hoisted: Algorithm 2's argmin bound Z depends only on the plan
+    # inputs, so compute it once here instead of re-deriving it (max over
+    # the load curve plus machines_needed) for every candidate ``before``
+    # of every recursive call.
+    z = len(memo_z_bound(loads, n0, planner))
 
     for final in range(1, z + 1):
         memo: Dict[Tuple[int, int], Tuple[float, Optional[Tuple[int, int]]]] = {}
-        if _cost_recursive(horizon, final, loads, n0, planner, memo) != _INF:
+        if _cost_recursive(horizon, final, loads, n0, planner, memo, z) != _INF:
             moves: List[Move] = []
             t, machines = horizon, final
             while t > 0:
@@ -350,6 +415,7 @@ def _cost_recursive(
     n0: int,
     planner: Planner,
     memo: Dict[Tuple[int, int], Tuple[float, Optional[Tuple[int, int]]]],
+    z: int,
 ) -> float:
     """Algorithm 2 (``cost``)."""
     if t < 0 or (t == 0 and after != n0):
@@ -363,8 +429,10 @@ def _cost_recursive(
         return float(after)
     best = _INF
     best_prev: Optional[Tuple[int, int]] = None
-    for before in range(1, len(memo_z_bound(loads, n0, planner)) + 1):
-        candidate = _sub_cost_recursive(t, before, after, loads, n0, planner, memo)
+    for before in range(1, z + 1):
+        candidate = _sub_cost_recursive(
+            t, before, after, loads, n0, planner, memo, z
+        )
         if candidate < best:
             best = candidate
             duration = max(1, planner.move_duration(before, after))
@@ -389,6 +457,7 @@ def _sub_cost_recursive(
     n0: int,
     planner: Planner,
     memo: Dict[Tuple[int, int], Tuple[float, Optional[Tuple[int, int]]]],
+    z: int,
 ) -> float:
     """Algorithm 3 (``sub-cost``)."""
     duration = planner.move_duration(before, after)
@@ -404,7 +473,7 @@ def _sub_cost_recursive(
         eff = model.effective_capacity(before, after, i / duration, q)
         if loads[start + i] > eff + 1e-9:
             return _INF
-    prior = _cost_recursive(start, before, loads, n0, planner, memo)
+    prior = _cost_recursive(start, before, loads, n0, planner, memo, z)
     if prior == _INF:
         return _INF
     return prior + move_cost

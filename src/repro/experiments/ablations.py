@@ -18,8 +18,6 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..config import PStoreConfig, default_config
 from ..core import Planner, model
 from ..core.moves import MoveSchedule
@@ -39,8 +37,6 @@ class _EffCapBlindPlanner(Planner):
     """A planner that pretends capacity jumps instantly to cap(A)."""
 
     def _effcap_profile(self, before, after, duration):
-        target = model.capacity(max(before, after) if after > before else after,
-                                self._config.q)
         # Scale-out: assume full target capacity immediately; scale-in:
         # assume the before-capacity persists until the move ends.
         if after > before:

@@ -185,7 +185,6 @@ def _run_sweep(
     seed_history: bool,
 ) -> CapacityCostCurve:
     points: List[SweepPoint] = []
-    default_result: Optional[CapacitySimResult] = None
     for fraction in q_fractions:
         q = min(fraction * SATURATION_TPS, setup.config.q_hat)
         config = setup.config.with_q(q)

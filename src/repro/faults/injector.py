@@ -18,8 +18,8 @@ byte-identical chronicles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 

@@ -19,8 +19,9 @@ Both engines report per-second latency percentiles through
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -192,6 +193,29 @@ class TickStats:
     backlog: float
 
 
+@dataclass
+class BlockStats:
+    """Per-tick series of one vectorized :meth:`QueueingEngine.step_block`.
+
+    Entry ``i`` of every array equals the :class:`TickStats` field the
+    scalar :meth:`QueueingEngine.step` would have reported for that tick
+    — the block kernel is bit-identical to the per-second loop.
+    """
+
+    times: np.ndarray
+    p50_ms: np.ndarray
+    p95_ms: np.ndarray
+    p99_ms: np.ndarray
+    completed_tps: np.ndarray
+    offered_tps: np.ndarray
+    max_utilization: np.ndarray
+    backlog: np.ndarray
+
+    @property
+    def ticks(self) -> int:
+        return int(self.times.size)
+
+
 class QueueingEngine:
     """Per-partition analytic queueing model with transient skew.
 
@@ -200,6 +224,15 @@ class QueueingEngine:
     (which follow the data distribution); the engine layers on transient
     skew, applies migration interference, advances the backlog dynamics,
     and reports sampled latency percentiles.
+
+    Randomness is split over five independent generators (spawned from
+    one :class:`numpy.random.SeedSequence`), one per *kind* of draw:
+    hot-episode Bernoulli checks, episode details, the lognormal wobble,
+    latency-sample uniforms, and latency-sample exponentials.  Because
+    each stream is consumed in a fixed per-tick layout, a batched draw of
+    ``T`` ticks reads every stream exactly as ``T`` scalar ticks would —
+    which is what makes :meth:`step_block` bit-identical to the scalar
+    :meth:`step` loop.
 
     Transient skew is *key-based*, as in the real workload: during a
     "hot key" episode one partition receives an extra fraction of the
@@ -237,7 +270,12 @@ class QueueingEngine:
         self.extreme_episode_prob = extreme_episode_prob
         self.extreme_extra_range = extreme_extra_range
         self.samples_per_tick = samples_per_tick
-        self._rng = np.random.default_rng(seed)
+        streams = np.random.SeedSequence(seed).spawn(5)
+        self._episode_rng = np.random.default_rng(streams[0])
+        self._detail_rng = np.random.default_rng(streams[1])
+        self._wobble_rng = np.random.default_rng(streams[2])
+        self._sample_u_rng = np.random.default_rng(streams[3])
+        self._sample_e_rng = np.random.default_rng(streams[4])
         self._backlog = np.zeros(n_partitions)
         self._hot_remaining = np.zeros(n_partitions)
         self._hot_extra = np.zeros(n_partitions)
@@ -271,6 +309,20 @@ class QueueingEngine:
             self._hot_remaining = self._hot_remaining[:n_partitions].copy()
             self._hot_extra = self._hot_extra[:n_partitions].copy()
 
+    def _episode_details(self) -> Tuple[int, float, float]:
+        """Draw one new episode's (victim, duration, extra) — a fixed
+        four-draw layout on the detail stream."""
+        n = self.n_partitions
+        victim = int(self._detail_rng.integers(0, n))
+        duration = self._detail_rng.uniform(*self.hot_duration_range)
+        # Most episodes are mild; a small fraction are the extreme
+        # transient skews that even static-10 feels (Fig. 9a).
+        if self._detail_rng.random() < self.extreme_episode_prob:
+            extra = self._detail_rng.uniform(*self.extreme_extra_range)
+        else:
+            extra = self._detail_rng.uniform(*self.hot_extra_range)
+        return victim, duration, extra
+
     def _advance_skew(self, dt: float):
         """Update hot-key episodes; returns (wobble, extra_fractions).
 
@@ -281,18 +333,11 @@ class QueueingEngine:
         self._hot_remaining = np.maximum(0.0, self._hot_remaining - dt)
         self._hot_extra[self._hot_remaining <= 0.0] = 0.0
         # New episode?  Poisson with the configured rate per partition.
-        if self._rng.random() < self.hot_episode_rate * n * dt:
-            victim = int(self._rng.integers(0, n))
-            self._hot_remaining[victim] = self._rng.uniform(*self.hot_duration_range)
-            # Most episodes are mild; a small fraction are the extreme
-            # transient skews that even static-10 feels (Fig. 9a).
-            if self._rng.random() < self.extreme_episode_prob:
-                self._hot_extra[victim] = self._rng.uniform(
-                    *self.extreme_extra_range
-                )
-            else:
-                self._hot_extra[victim] = self._rng.uniform(*self.hot_extra_range)
-        wobble = np.exp(self._rng.normal(0.0, self.skew_sigma, n))
+        if self._episode_rng.random() < self.hot_episode_rate * n * dt:
+            victim, duration, extra = self._episode_details()
+            self._hot_remaining[victim] = duration
+            self._hot_extra[victim] = extra
+        wobble = np.exp(self._wobble_rng.normal(0.0, self.skew_sigma, n))
         return wobble, self._hot_extra.copy()
 
     def step(
@@ -385,6 +430,288 @@ class QueueingEngine:
             metrics.counter("engine.completed_txns").inc(tick.completed_tps * dt)
         return tick
 
+    # ------------------------------------------------------------------
+    # Vectorized block kernel
+    # ------------------------------------------------------------------
+
+    def step_block(
+        self,
+        dt: float,
+        offered_block: Sequence[float],
+        shares: np.ndarray,
+    ) -> BlockStats:
+        """Advance ``len(offered_block)`` quiescent ticks in one batch.
+
+        The kernel assumes a *quiescent* stretch: constant ``shares``, no
+        migration interference, and no capacity multipliers.  Within that
+        contract it is **bit-identical** to calling :meth:`step` once per
+        entry of ``offered_block`` — arrivals, backlog dynamics, RNG
+        consumption, and latency percentiles all match exactly (enforced
+        by test) — while replacing the per-second Python work with numpy
+        batch operations.
+        """
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        offered = np.asarray(offered_block, dtype=float)
+        if offered.ndim != 1 or offered.size == 0:
+            raise SimulationError("offered_block must be a non-empty 1-D array")
+        if np.any(offered < 0):
+            raise SimulationError("offered load cannot be negative")
+        shares = np.asarray(shares, dtype=float)
+        if shares.size != self.n_partitions:
+            raise SimulationError(
+                f"shares has {shares.size} entries for {self.n_partitions} partitions"
+            )
+        if np.any(shares < 0):
+            raise SimulationError("shares must be non-negative")
+        total_share = shares.sum()
+        if total_share <= 0:
+            raise SimulationError("at least one partition must receive load")
+        shares = shares / total_share
+        ticks = offered.size
+        n = self.n_partitions
+
+        wobble, extra = self._skew_block(ticks, dt)
+        weighted = shares[None, :] * wobble
+        weighted /= weighted.sum(axis=1)[:, None]
+        total_extra = np.minimum(0.5, extra.sum(axis=1))
+        arrivals = offered[:, None] * (
+            weighted * (1.0 - total_extra)[:, None] + extra
+        )
+        interference = MigrationInterference.none(n)
+        mu_eff = self.mu_partition * (1.0 - interference.busy_fraction)
+        mu_eff = np.maximum(mu_eff, 1e-6)
+
+        completed, backlog_mid, backlog_end = self._backlog_block(
+            arrivals, mu_eff, dt
+        )
+        total_completed = completed.sum(axis=1)
+
+        if np.all(total_completed > 0.0):
+            p50, p95, p99 = self._sample_block(
+                arrivals, mu_eff, backlog_mid, completed, total_completed
+            )
+        else:
+            # A tick with nothing completed consumes no sample draws, so
+            # the batched layout does not apply; replay tick by tick.
+            p50 = np.empty(ticks)
+            p95 = np.empty(ticks)
+            p99 = np.empty(ticks)
+            for i in range(ticks):
+                p50[i], p95[i], p99[i] = self._sample_latencies(
+                    arrivals[i], mu_eff, backlog_mid[i], completed[i],
+                    interference,
+                )
+
+        utilization = np.max(arrivals / mu_eff, axis=1)
+        backlog_sums = backlog_end.sum(axis=1)
+        completed_tps = total_completed / dt
+        times = self._time + dt * np.arange(1, ticks + 1)
+        self._time += dt * ticks
+
+        tel = self._telemetry
+        if tel.enabled:
+            metrics = tel.metrics
+            for i in range(ticks):
+                metrics.histogram("engine.tick_p50_ms").observe(float(p50[i]))
+                metrics.histogram("engine.tick_p99_ms").observe(float(p99[i]))
+                metrics.gauge("engine.backlog_txns").set(float(backlog_sums[i]))
+                metrics.gauge("engine.max_utilization").set(float(utilization[i]))
+                metrics.counter("engine.completed_txns").inc(
+                    float(completed_tps[i] * dt)
+                )
+        return BlockStats(
+            times=times,
+            p50_ms=p50,
+            p95_ms=p95,
+            p99_ms=p99,
+            completed_tps=completed_tps,
+            offered_tps=offered.copy(),
+            max_utilization=utilization,
+            backlog=backlog_sums,
+        )
+
+    def _skew_block(self, ticks: int, dt: float):
+        """Batched :meth:`_advance_skew` over ``ticks`` ticks.
+
+        Episode-check uniforms and wobble normals are drawn in one batch
+        per stream (bitstream-equivalent to per-tick draws); the sparse
+        hot-episode state is replayed as segments.  Returns the per-tick
+        ``(wobble, extra)`` matrices and leaves the hot-episode state
+        exactly where the scalar loop would.
+        """
+        n = self.n_partitions
+        u = self._episode_rng.random(ticks)
+        wobble = np.exp(self._wobble_rng.normal(0.0, self.skew_sigma, (ticks, n)))
+        extra = np.zeros((ticks, n))
+        p_new = self.hot_episode_rate * n * dt
+
+        # partition -> (extra value, first tick, last tick exclusive,
+        # remaining seconds after the block).  The scalar loop decrements
+        # remaining by dt *before* using it, so an episode with remaining
+        # r at entry stays hot for ceil(r) - 1 more ticks, and one
+        # started at tick s with duration D for ceil(D) ticks from s.
+        open_episodes: Dict[int, Tuple[float, int, int, float]] = {}
+        for p in np.nonzero(self._hot_remaining > 0.0)[0]:
+            r0 = float(self._hot_remaining[p])
+            end = max(0, math.ceil(r0) - 1)
+            open_episodes[int(p)] = (
+                float(self._hot_extra[p]), 0, end, max(0.0, r0 - ticks)
+            )
+        for s in np.nonzero(u < p_new)[0]:
+            s = int(s)
+            victim, duration, extra_val = self._episode_details()
+            if victim in open_episodes:
+                # A fresh episode overwrites the partition's previous one.
+                value, first, last, _ = open_episodes.pop(victim)
+                last = min(last, s)
+                if last > first:
+                    extra[first:last, victim] = value
+            end = s + math.ceil(duration)
+            remaining = max(0.0, duration - (ticks - 1 - s))
+            open_episodes[victim] = (extra_val, s, end, remaining)
+        remaining_state = np.zeros(n)
+        extra_state = np.zeros(n)
+        for p, (value, first, last, remaining) in open_episodes.items():
+            last = min(last, ticks)
+            if last > first:
+                extra[first:last, p] = value
+            remaining_state[p] = remaining
+            if remaining > 0.0:
+                extra_state[p] = value
+        self._hot_remaining = remaining_state
+        self._hot_extra = extra_state
+        return wobble, extra
+
+    def _backlog_block(self, arrivals: np.ndarray, mu_eff: np.ndarray, dt: float):
+        """Advance the backlog recursion over a block of arrivals.
+
+        The fully-drained case (no entry backlog, every tick under
+        capacity) is closed-form; otherwise the recursion runs tick by
+        tick with the exact per-tick expressions of :meth:`step`, which
+        keeps results bit-identical under float rounding.
+        """
+        ticks, n = arrivals.shape
+        capacity = mu_eff * dt
+        completed = np.empty((ticks, n))
+        backlog_mid = np.empty((ticks, n))
+        backlog_end = np.empty((ticks, n))
+        demand0 = arrivals * dt
+        if not self._backlog.any():
+            under = np.all(demand0 <= capacity, axis=1)
+            first_loop = ticks if bool(under.all()) else int(np.argmin(under))
+        else:
+            first_loop = 0
+        if first_loop:
+            completed[:first_loop] = demand0[:first_loop]
+            backlog_mid[:first_loop] = 0.0
+            backlog_end[:first_loop] = 0.0
+        backlog = self._backlog
+        for i in range(first_loop, ticks):
+            demand = backlog + demand0[i]
+            done = np.minimum(demand, capacity)
+            new_backlog = demand - done
+            completed[i] = done
+            backlog_mid[i] = 0.5 * (backlog + new_backlog)
+            backlog_end[i] = new_backlog
+            backlog = new_backlog
+        self._backlog = backlog_end[ticks - 1].copy()
+        return completed, backlog_mid, backlog_end
+
+    @staticmethod
+    def _batched_searchsorted_right(
+        cdf: np.ndarray, keys: np.ndarray
+    ) -> np.ndarray:
+        """Row-wise ``cdf[i].searchsorted(keys[i], side="right")``, batched.
+
+        For non-negative IEEE-754 doubles the uint64 bit pattern is
+        strictly order-preserving, and every value here lies in
+        ``[0, 2)`` (the cdf tops out near 1.0 and keys are
+        ``u * cdf[-1]`` with ``u < 1``), so the bit patterns fit in
+        ``[0, 2**62)``.  Packing four rows at a time into disjoint
+        uint64 ranges lets one C-level search replace four Python-level
+        calls while producing bit-identical indices.
+        """
+        ticks, n = cdf.shape
+        n_keys = keys.shape[1]
+        bits_cdf = np.ascontiguousarray(cdf).view(np.uint64)
+        bits_keys = np.ascontiguousarray(keys).view(np.uint64)
+        group = 4
+        offsets = np.arange(group, dtype=np.uint64) << np.uint64(62)
+        out = np.empty((ticks, n_keys), dtype=np.intp)
+        base = (np.arange(group) * n)[:, None]
+        for start in range(0, ticks, group):
+            stop = min(start + group, ticks)
+            rows = stop - start
+            shifted = bits_cdf[start:stop] + offsets[:rows, None]
+            shifted_keys = bits_keys[start:stop] + offsets[:rows, None]
+            idx = shifted.ravel().searchsorted(
+                shifted_keys.ravel(), side="right"
+            )
+            out[start:stop] = idx.reshape(rows, n_keys) - base[:rows]
+        return out
+
+    @staticmethod
+    def _percentiles_50_95_99(ms: np.ndarray) -> np.ndarray:
+        """``np.percentile(ms, [50, 95, 99], axis=-1)``, bit-identical.
+
+        Replicates numpy's ``linear`` interpolation method (including the
+        ``gamma >= 0.5`` lerp branch) via a single ``np.partition``,
+        skipping the generic quantile machinery that dominates the cost
+        for small sample counts.
+        """
+        size = ms.shape[-1]
+        virtual = np.array([0.5, 0.95, 0.99]) * (size - 1)
+        lo = np.floor(virtual).astype(np.intp)
+        hi = np.ceil(virtual).astype(np.intp)
+        gamma = virtual - lo
+        part = np.partition(ms, np.unique(np.concatenate([lo, hi])), axis=-1)
+        a = part[..., lo]
+        b = part[..., hi]
+        diff = b - a
+        out = a + diff * gamma
+        high = gamma >= 0.5
+        out[..., high] = (b - diff * (1.0 - gamma))[..., high]
+        return np.moveaxis(out, -1, 0)
+
+    def _sample_block(
+        self,
+        arrivals: np.ndarray,
+        mu_eff: np.ndarray,
+        backlog_mid: np.ndarray,
+        completed: np.ndarray,
+        total_completed: np.ndarray,
+    ):
+        """Batched :meth:`_sample_latencies` (no migration interference).
+
+        One ``(T, 3, S)`` uniform batch and one ``(T, 2, S)`` exponential
+        batch consume the sample streams exactly as ``T`` scalar ticks
+        would.  The stall term is identically ``+0.0`` without
+        interference, so it is skipped (its draws are still consumed).
+        """
+        ticks = arrivals.shape[0]
+        n_samples = self.samples_per_tick
+        uniforms = self._sample_u_rng.random((ticks, 3, n_samples))
+        exponentials = self._sample_e_rng.standard_exponential(
+            (ticks, 2, n_samples)
+        )
+        weights = completed / total_completed[:, None]
+        cdf = np.cumsum(weights, axis=1)
+        keys = uniforms[:, 0, :] * cdf[:, -1][:, None]
+        partitions = self._batched_searchsorted_right(cdf, keys)
+        np.minimum(partitions, self.n_partitions - 1, out=partitions)
+        flat_base = np.arange(ticks)[:, None] * self.n_partitions
+        mu = mu_eff[partitions]
+        lam = arrivals.ravel()[flat_base + partitions]
+        backlog = backlog_mid.ravel()[flat_base + partitions]
+        headroom = np.maximum(mu - lam, 0.02 * mu)
+        stationary = exponentials[:, 0, :] / headroom
+        overloaded = backlog / mu + exponentials[:, 1, :] / mu
+        latency = np.where(backlog > 0.5, overloaded, stationary)
+        ms = latency * 1000.0
+        quantiles = self._percentiles_50_95_99(ms)
+        return quantiles[0], quantiles[1], quantiles[2]
+
     def _sample_latencies(
         self,
         arrivals: np.ndarray,
@@ -393,14 +720,25 @@ class QueueingEngine:
         completed: np.ndarray,
         interference: MigrationInterference,
     ):
-        """Monte-Carlo latency percentiles across the partition mixture."""
+        """Monte-Carlo latency percentiles across the partition mixture.
+
+        Draw layout per tick (when any work completed): one ``(3, S)``
+        uniform batch — partition choice, stall hit, stall position — and
+        one ``(2, S)`` exponential batch — stationary, overloaded.  Ticks
+        with no completed work consume nothing.
+        """
         total_completed = completed.sum()
         if total_completed <= 0:
             return 0.0, 0.0, 0.0
-        weights = completed / total_completed
         n_samples = self.samples_per_tick
-        partitions = self._rng.choice(
-            self.n_partitions, size=n_samples, p=weights
+        uniforms = self._sample_u_rng.random((3, n_samples))
+        exponentials = self._sample_e_rng.standard_exponential((2, n_samples))
+
+        weights = completed / total_completed
+        cdf = np.cumsum(weights)
+        partitions = np.minimum(
+            np.searchsorted(cdf, uniforms[0] * cdf[-1], side="right"),
+            self.n_partitions - 1,
         )
         mu = mu_eff[partitions]
         lam = arrivals[partitions]
@@ -409,16 +747,16 @@ class QueueingEngine:
         # Stationary M/M/1 sojourn when under-loaded; backlog-dominated
         # wait when the queue is growing.
         headroom = np.maximum(mu - lam, 0.02 * mu)
-        stationary = self._rng.exponential(1.0 / headroom)
-        overloaded = backlog / mu + self._rng.exponential(1.0 / mu)
+        stationary = exponentials[0] / headroom
+        overloaded = backlog / mu + exponentials[1] / mu
         latency = np.where(backlog > 0.5, overloaded, stationary)
 
         # Migration stalls: a txn arriving while its partition processes a
         # chunk waits out the remainder of the chunk.
         busy = interference.busy_fraction[partitions]
         stall = interference.stall_seconds[partitions]
-        hit = self._rng.random(n_samples) < busy
-        latency = latency + hit * self._rng.uniform(0.0, 1.0, n_samples) * stall
+        hit = uniforms[1] < busy
+        latency = latency + hit * uniforms[2] * stall
 
         ms = latency * 1000.0
         return (

@@ -21,7 +21,7 @@ ahead we look.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,6 +68,10 @@ class SparPredictor(Predictor):
         self.ridge = ridge
         self._train: Optional[np.ndarray] = None
         self._coeffs: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        # Stacked (a, b) coefficient arrays per horizon, plus the largest
+        # horizon whose taus are all fitted (fast path for fit_horizon).
+        self._stacked: Dict[int, Tuple[np.ndarray, List[np.ndarray]]] = {}
+        self._fitted_upto = 0
 
     # ------------------------------------------------------------------
     # Context requirements
@@ -107,6 +111,8 @@ class SparPredictor(Predictor):
             )
         self._train = arr
         self._coeffs = {}
+        self._stacked = {}
+        self._fitted_upto = 0
         self._fitted = True
         return self
 
@@ -130,21 +136,33 @@ class SparPredictor(Predictor):
                 f"not enough training data for tau={tau}"
             )
         anchors = np.arange(t_min, t_max + 1)
-        cols = []
-        for k in range(1, n + 1):
-            cols.append(series[anchors + tau - k * period])
-        period_mean_cache = {}
-        for j in range(1, m + 1):
-            base = series[anchors - j]
-            mean = np.zeros_like(base)
-            for k in range(1, n + 1):
-                mean += series[anchors - j - k * period]
-            mean /= n
-            cols.append(base - mean)
-            period_mean_cache[j] = mean
-        design = np.column_stack(cols)
+        periodic = series[
+            anchors[:, None] + tau - np.arange(1, n + 1) * period
+        ]
+        design = np.concatenate(
+            [periodic, self._offset_block(series, anchors)], axis=1
+        )
         targets = series[anchors + tau]
         return design, targets
+
+    def _offset_block(
+        self, series: np.ndarray, anchors: np.ndarray
+    ) -> np.ndarray:
+        """The ``m`` recent-offset columns ``dy(t - j)`` for each anchor.
+
+        The per-period mean is accumulated sequentially over ``k`` (not
+        ``np.sum`` over a gathered axis) so the floating-point result is
+        bit-identical to the scalar reference loop for any ``n``.
+        """
+        n, m, period = self.n_periods, self.m_recent, self.period
+        if not m:
+            return np.empty((anchors.size, 0))
+        recent = anchors[:, None] - np.arange(1, m + 1)
+        mean = np.zeros((anchors.size, m))
+        for k in range(1, n + 1):
+            mean += series[recent - k * period]
+        mean /= n
+        return series[recent] - mean
 
     def _fit_tau(self, tau: int) -> Tuple[np.ndarray, np.ndarray]:
         """Fit (and cache) coefficients for forecast offset ``tau``."""
@@ -169,6 +187,64 @@ class SparPredictor(Predictor):
         """The fitted ``(a_k, b_j)`` for offset ``tau`` (fitting if needed)."""
         return self._fit_tau(tau)
 
+    def fit_horizon(self, horizon: int) -> None:
+        """Batch-fit every uncached ``tau`` in ``1..horizon`` at once.
+
+        The recent-offset columns depend only on the anchor index, not on
+        ``tau``, so the block is built once for the longest anchor range
+        and sliced per ``tau``; the per-``tau`` normal equations are then
+        solved as one stacked ``np.linalg.solve``.  Produces coefficients
+        bit-identical to calling :meth:`coefficients` per ``tau``.
+        """
+        self._require_fitted()
+        if horizon < 1:
+            raise PredictionError(f"horizon must be >= 1 (got {horizon})")
+        if horizon <= self._fitted_upto:
+            return
+        missing = []
+        for tau in range(1, horizon + 1):
+            self._check_tau(tau)
+            if tau not in self._coeffs:
+                missing.append(tau)
+        if not missing:
+            self._fitted_upto = max(self._fitted_upto, horizon)
+            return
+        assert self._train is not None
+        series = self._train
+        t_len = series.size
+        n, m, period = self.n_periods, self.m_recent, self.period
+        tau_lo = missing[0]
+        t_min = max(n * period - tau_lo, m + n * period)
+        t_max = t_len - tau_lo - 1
+        if t_max < t_min:
+            raise PredictionError(
+                f"not enough training data for tau={tau_lo}"
+            )
+        anchors = np.arange(t_min, t_max + 1)
+        offset_block = self._offset_block(series, anchors)
+        ks = np.arange(1, n + 1) * period
+        n_cols = n + m
+        ridge_eye = self.ridge * np.eye(n_cols)
+        grams = np.empty((len(missing), n_cols, n_cols))
+        rhs = np.empty((len(missing), n_cols))
+        for i, tau in enumerate(missing):
+            rows = t_len - tau - 1 - t_min + 1
+            if rows < 1:
+                raise PredictionError(
+                    f"not enough training data for tau={tau}"
+                )
+            sub = anchors[:rows]
+            design = np.concatenate(
+                [series[sub[:, None] + tau - ks], offset_block[:rows]],
+                axis=1,
+            )
+            grams[i] = design.T @ design + ridge_eye
+            rhs[i] = design.T @ series[sub + tau]
+        weights = np.linalg.solve(grams, rhs[:, :, None])[:, :, 0]
+        for i, tau in enumerate(missing):
+            self._coeffs[tau] = (weights[i, :n], weights[i, n:])
+        self._fitted_upto = max(self._fitted_upto, horizon)
+
     # ------------------------------------------------------------------
     # Forecasting
     # ------------------------------------------------------------------
@@ -189,7 +265,65 @@ class SparPredictor(Predictor):
             )
         t = arr.size - 1
         n, m, period = self.n_periods, self.m_recent, self.period
-        # Recent offsets are shared by every tau.
+        # Recent offsets are shared by every tau: one strided gather per
+        # periodic lag instead of an m * n Python loop.
+        if m:
+            recent = t - np.arange(1, m + 1)
+            acc = np.zeros(m)
+            for k in range(1, n + 1):
+                acc += arr[recent - k * period]
+            offsets = arr[recent] - acc / n
+        else:
+            offsets = np.empty(0)
+        self.fit_horizon(horizon)
+        coeff_a, coeff_b_rows = self._stacked_coeffs(horizon)
+        lags = arr[
+            t + np.arange(1, horizon + 1)[:, None]
+            - np.arange(1, n + 1) * period
+        ]
+        out = np.zeros(horizon)
+        for k in range(n):
+            out += coeff_a[:, k] * lags[:, k]
+        if m:
+            # One BLAS dot per tau, matching the reference's `b @ offsets`
+            # accumulation exactly (a single gemv could round differently).
+            out += np.fromiter(
+                (b @ offsets for b in coeff_b_rows), float, horizon
+            )
+        return np.clip(out, 0.0, None)
+
+    def _stacked_coeffs(
+        self, horizon: int
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Fitted coefficients for ``tau = 1..horizon`` as dense stacks."""
+        cached = self._stacked.get(horizon)
+        if cached is None:
+            coeff_a = np.empty((horizon, self.n_periods))
+            rows = []
+            for tau in range(1, horizon + 1):
+                a, b = self._coeffs[tau]
+                coeff_a[tau - 1] = a
+                rows.append(b)
+            cached = (coeff_a, rows)
+            self._stacked[horizon] = cached
+        return cached
+
+    def predict_horizon_reference(
+        self, history: Sequence[float], horizon: int
+    ) -> np.ndarray:
+        """Scalar-loop transcription of Eq. 8, kept as a differential
+        oracle and as the baseline for the perf-regression benchmark."""
+        self._require_fitted()
+        if horizon < 1:
+            raise PredictionError(f"horizon must be >= 1 (got {horizon})")
+        arr = as_series(history)
+        if arr.size < self.min_history:
+            raise PredictionError(
+                f"history of {arr.size} slots is shorter than the minimum "
+                f"context of {self.min_history}"
+            )
+        t = arr.size - 1
+        n, m, period = self.n_periods, self.m_recent, self.period
         offsets = np.empty(m)
         for j in range(1, m + 1):
             mean = sum(arr[t - j - k * period] for k in range(1, n + 1)) / n

@@ -10,8 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-import numpy as np
-
 from ..errors import SimulationError
 from .capacity_sim import CapacitySimResult
 from .simulator import SimulationResult

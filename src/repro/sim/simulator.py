@@ -14,6 +14,7 @@ allocation — the same series the paper plots.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -95,7 +96,18 @@ class ElasticDbSimulator:
         drift is applied inside the strategy, so pass the same injector
         to :class:`~repro.elasticity.predictive.PStoreStrategy` when a
         scenario includes it.
+    fast_path:
+        advance quiescent stretches (no migration, no pending fault
+        activity, constant machine count, away from planner boundaries)
+        with the vectorized :meth:`QueueingEngine.step_block` kernel.
+        Results are bit-identical to the scalar per-second loop
+        (``fast_path=False``); the flag exists for differential testing
+        and benchmarking.
     """
+
+    #: Shortest quiescent stretch worth dispatching to the block kernel;
+    #: below this the batched call's fixed overhead beats its savings.
+    MIN_BLOCK_TICKS = 4
 
     def __init__(
         self,
@@ -107,6 +119,7 @@ class ElasticDbSimulator:
         engine_kwargs: Optional[dict] = None,
         telemetry=None,
         injector=None,
+        fast_path: bool = True,
     ):
         if not 1 <= initial_machines <= max_machines:
             raise SimulationError(
@@ -117,6 +130,7 @@ class ElasticDbSimulator:
         self.max_machines = max_machines
         self.initial_machines = initial_machines
         self.chunk_kb = chunk_kb
+        self.fast_path = fast_path
         self._telemetry = telemetry if telemetry is not None else get_telemetry()
         self._injector = (
             injector
@@ -206,7 +220,8 @@ class ElasticDbSimulator:
         resend_seconds = 0.0
         resend_records: List = []
 
-        for t in range(n):
+        t = 0
+        while t < n:
             # ---------------- fault injection --------------------------
             if injector is not None:
                 injector.advance(float(t))
@@ -245,6 +260,47 @@ class ElasticDbSimulator:
                             node=victim,
                             machines=machines,
                         )
+            # ---------------- vectorized quiescent fast path -----------
+            # A stretch with no migration, no upcoming fault activity,
+            # and no planner boundary has constant shares, so the whole
+            # span collapses into one batched engine call that is
+            # bit-identical to the scalar per-second ticks it replaces.
+            if self.fast_path and migration is None:
+                block_end = self._quiescent_until(
+                    t, n, interval, len(interval_accumulator), injector
+                )
+                if block_end - t >= self.MIN_BLOCK_TICKS:
+                    shares = np.zeros(total_partitions)
+                    for machine in active:
+                        shares[machine * p : (machine + 1) * p] = 1.0 / (
+                            machines * p
+                        )
+                    block = self.engine.step_block(
+                        1.0, offered[t:block_end], shares
+                    )
+                    out_machines[t:block_end] = machines
+                    out_completed[t:block_end] = block.completed_tps
+                    p50[t:block_end] = block.p50_ms
+                    p95[t:block_end] = block.p95_ms
+                    p99[t:block_end] = block.p99_ms
+                    interval_accumulator.extend(offered[t:block_end].tolist())
+                    if recording:
+                        metrics = tel.metrics
+                        for i in range(t, block_end):
+                            metrics.histogram("sim.latency_p50_ms").observe(
+                                float(p50[i])
+                            )
+                            metrics.histogram("sim.latency_p95_ms").observe(
+                                float(p95[i])
+                            )
+                            metrics.histogram("sim.latency_p99_ms").observe(
+                                float(p99[i])
+                            )
+                            if p99[i] > config.sla_latency_ms:
+                                metrics.counter("sim.sla_violation_seconds").inc()
+                    t = block_end
+                    continue
+
             # ---------------- planning (per interval boundary) --------
             interval_accumulator.append(float(offered[t]))
             if len(interval_accumulator) == interval:
@@ -431,6 +487,8 @@ class ElasticDbSimulator:
                     migration = None
                     strategy.notify_move_finished(machines)
 
+            t += 1
+
         latency = PercentileSeries(
             seconds=np.arange(n),
             percentiles={50.0: p50, 95.0: p95, 99.0: p99},
@@ -449,6 +507,37 @@ class ElasticDbSimulator:
         )
 
     # ------------------------------------------------------------------
+
+    def _quiescent_until(
+        self,
+        t: int,
+        n: int,
+        interval: int,
+        accumulated: int,
+        injector,
+    ) -> int:
+        """End (exclusive) of the quiescent stretch starting at tick ``t``.
+
+        The stretch stops at the next planner-interval boundary tick
+        (where the strategy is consulted and shares may change), at the
+        end of the trace, and — when a fault injector is attached — at
+        the tick where its next scheduled firing or window expiry would
+        be observed.  An active node slowdown disables the fast path
+        entirely (per-tick capacity multipliers apply).
+        """
+        boundary = t + (interval - accumulated - 1)
+        end = min(n, boundary)
+        if injector is not None:
+            if injector.any_slowdown_active:
+                return t
+            horizon = injector.seconds_to_next_change(float(t))
+            if math.isfinite(horizon):
+                # The injector fires an event at absolute time ``tau``
+                # on the first tick s with tau <= s + 1e-9; every tick
+                # strictly before that must stay in the block so the
+                # scalar path observes the event at the same tick.
+                end = min(end, int(math.floor(t + horizon - 1e-9)) + 1)
+        return max(end, t)
 
     def _start_move(
         self, active: List[int], before: int, after: int, rate_kbps: float,

@@ -192,7 +192,6 @@ def _scale_out_rounds(s: int, delta: int) -> Tuple[List[List[Edge]], List[int]]:
 
     # Case 1: all new machines allocated at once, receivers always busy.
     if delta <= s:
-        receivers = list(range(delta))
         rounds: List[List[Edge]] = []
         for i in range(s):
             # Receiver j takes sender (j + i) mod s; receivers all busy,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.benchmark import ALL_PROCEDURES, b2w_schema
-from repro.errors import TransactionAbort
 from repro.hstore import Cluster, Transaction, TransactionExecutor
 
 

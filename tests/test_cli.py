@@ -1,10 +1,9 @@
 """Tests for the pstore command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
-from repro.workload import LoadTrace, read_trace_csv, write_trace_csv
+from repro.workload import read_trace_csv, write_trace_csv
 
 
 @pytest.fixture

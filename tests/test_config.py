@@ -1,7 +1,5 @@
 """Tests for repro.config."""
 
-import math
-
 import pytest
 
 from repro.config import (

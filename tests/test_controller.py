@@ -1,6 +1,5 @@
 """Tests for the Predictive Controller (Section 6)."""
 
-import numpy as np
 import pytest
 
 from repro.config import PStoreConfig, default_config

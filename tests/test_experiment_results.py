@@ -18,7 +18,6 @@ from repro.sim import SimulationResult
 
 def fake_run(name, p99_levels, machines=4.0, seconds=100):
     """A synthetic SimulationResult with controllable p99 series."""
-    rng = np.random.default_rng(hash(name) % 2**32)
     p99 = np.asarray(p99_levels, dtype=float)
     if p99.size != seconds:
         p99 = np.resize(p99, seconds)

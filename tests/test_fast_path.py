@@ -1,0 +1,191 @@
+"""Differential tests: the vectorized simulator fast path and the
+batched :meth:`QueueingEngine.step_block` kernel must be bit-identical
+to the scalar per-second loop — same RNG draws, same per-second outputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.elasticity import StaticStrategy
+from repro.elasticity.manual import ManualStrategy
+from repro.faults import FaultInjector, FaultSpec
+from repro.hstore.engine import QueueingEngine
+from repro.sim import ElasticDbSimulator
+
+CFG = default_config()  # 60 s planner interval
+
+
+def _run(offered, strategy, fast_path, injector=None, **kwargs):
+    defaults = dict(
+        config=CFG, max_machines=8, initial_machines=3, seed=11
+    )
+    defaults.update(kwargs)
+    sim = ElasticDbSimulator(
+        fast_path=fast_path, injector=injector, **defaults
+    )
+    return sim.run(offered, strategy)
+
+
+def _assert_identical(fast, scalar):
+    """Every per-second series must match bit for bit."""
+    assert np.array_equal(fast.machines, scalar.machines)
+    assert np.array_equal(fast.completed_tps, scalar.completed_tps)
+    assert np.array_equal(fast.migrating, scalar.migrating)
+    for q in (50.0, 95.0, 99.0):
+        assert np.array_equal(
+            fast.latency.series(q), scalar.latency.series(q)
+        )
+    assert fast.moves_started == scalar.moves_started
+    assert fast.emergencies == scalar.emergencies
+
+
+def _sinusoid(n, base=500.0, amp=300.0, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 6 * np.pi, n)
+    return np.clip(base + amp * np.sin(x) + rng.normal(0, 20, n), 0, None)
+
+
+class TestFastPathEquality:
+    def test_fault_free_static(self):
+        offered = _sinusoid(1800)
+        fast = _run(offered, StaticStrategy(3), True)
+        scalar = _run(offered, StaticStrategy(3), False)
+        _assert_identical(fast, scalar)
+
+    def test_with_migrations_and_interval_boundaries(self):
+        """Scale-out and scale-in moves interleave with quiescent
+        stretches; the fast path must hand over to the scalar loop for
+        every migration second and resume without drift."""
+        offered = _sinusoid(2400)
+        strategy = lambda: ManualStrategy([(2, 5), (20, 3)])
+        fast = _run(offered, strategy(), True)
+        scalar = _run(offered, strategy(), False)
+        assert scalar.moves_started == 2
+        _assert_identical(fast, scalar)
+
+    def test_with_injected_crash(self):
+        """A timed node crash mid-run (recovery machinery active) must
+        not desynchronise the fast path from the scalar loop."""
+        offered = _sinusoid(1500)
+        specs = [FaultSpec(kind="node_crash", at_time=700.0)]
+        fast = _run(
+            offered,
+            StaticStrategy(3),
+            True,
+            injector=FaultInjector(specs, seed=5),
+        )
+        scalar = _run(
+            offered,
+            StaticStrategy(3),
+            False,
+            injector=FaultInjector(specs, seed=5),
+        )
+        _assert_identical(fast, scalar)
+
+    def test_with_slowdown_window(self):
+        """node_slowdown keeps the simulator on the scalar path while the
+        window is active; outputs must still match exactly."""
+        offered = _sinusoid(900)
+        specs = [
+            FaultSpec(
+                kind="node_slowdown",
+                at_time=200.0,
+                duration_seconds=120.0,
+                node=1,
+                capacity_multiplier=0.5,
+            )
+        ]
+        fast = _run(
+            offered,
+            StaticStrategy(3),
+            True,
+            injector=FaultInjector(specs, seed=9),
+        )
+        scalar = _run(
+            offered,
+            StaticStrategy(3),
+            False,
+            injector=FaultInjector(specs, seed=9),
+        )
+        _assert_identical(fast, scalar)
+
+    def test_zero_load_stretch(self):
+        """Ticks with no completed work take the per-tick sampling
+        fallback inside step_block; equality must survive them."""
+        offered = np.concatenate(
+            [np.zeros(200), _sinusoid(400), np.zeros(150)]
+        )
+        fast = _run(offered, StaticStrategy(2), True, initial_machines=2)
+        scalar = _run(offered, StaticStrategy(2), False, initial_machines=2)
+        _assert_identical(fast, scalar)
+
+
+class TestStepBlockKernel:
+    """Direct engine-level equality of step_block vs repeated step()."""
+
+    @pytest.mark.parametrize("chunk", [1, 7, 59, 128])
+    def test_block_matches_scalar_steps(self, chunk):
+        n_partitions = 18
+        offered = _sinusoid(354, base=900.0, amp=500.0, seed=4)
+        shares = np.full(n_partitions, 1.0 / n_partitions)
+
+        scalar = QueueingEngine(n_partitions=n_partitions, seed=21)
+        expected = [scalar.step(1.0, float(v), shares) for v in offered]
+
+        batched = QueueingEngine(n_partitions=n_partitions, seed=21)
+        got = []
+        for lo in range(0, offered.size, chunk):
+            block = batched.step_block(
+                1.0, offered[lo : lo + chunk], shares
+            )
+            for i in range(block.ticks):
+                got.append(
+                    (
+                        block.p50_ms[i],
+                        block.p95_ms[i],
+                        block.p99_ms[i],
+                        block.completed_tps[i],
+                        block.backlog[i],
+                    )
+                )
+        assert len(got) == len(expected)
+        for tick, (stats, row) in enumerate(zip(expected, got)):
+            assert (
+                stats.p50_ms,
+                stats.p95_ms,
+                stats.p99_ms,
+                stats.completed_tps,
+                stats.backlog,
+            ) == row, f"tick {tick} diverged"
+
+    def test_block_matches_under_overload(self):
+        """Sustained overload exercises the sequential backlog recursion
+        (non-empty queue) instead of the zero-backlog closed form."""
+        n_partitions = 12
+        offered = np.full(120, 438.0 * 2 * 1.5)  # ~1.5x capacity
+        shares = np.full(n_partitions, 1.0 / n_partitions)
+        scalar = QueueingEngine(n_partitions=n_partitions, seed=2)
+        expected = [scalar.step(1.0, float(v), shares) for v in offered]
+        batched = QueueingEngine(n_partitions=n_partitions, seed=2)
+        block = batched.step_block(1.0, offered, shares)
+        assert np.all(block.backlog[-10:] > 0)
+        for i, stats in enumerate(expected):
+            assert stats.p99_ms == block.p99_ms[i]
+            assert stats.completed_tps == block.completed_tps[i]
+            assert stats.backlog == block.backlog[i]
+
+    def test_state_continuity_after_block(self):
+        """A scalar step after a block must see exactly the state a pure
+        scalar run would have."""
+        n_partitions = 12
+        offered = _sinusoid(240, base=800.0, amp=400.0, seed=8)
+        shares = np.full(n_partitions, 1.0 / n_partitions)
+        scalar = QueueingEngine(n_partitions=n_partitions, seed=13)
+        expected = [scalar.step(1.0, float(v), shares) for v in offered]
+        mixed = QueueingEngine(n_partitions=n_partitions, seed=13)
+        mixed.step_block(1.0, offered[:100], shares)
+        for i in range(100, 240):
+            stats = mixed.step(1.0, float(offered[i]), shares)
+            assert stats.p99_ms == expected[i].p99_ms
+            assert stats.completed_tps == expected[i].completed_tps

@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.config import FaultConfig, PStoreConfig, default_config
-from repro.errors import CatalogError, FaultError, MigrationError
+from repro.errors import CatalogError, FaultError
 from repro.faults import (
     FaultInjector,
     FaultScenario,

@@ -150,7 +150,6 @@ class TestRowLevelConsistency:
             assert share == pytest.approx(1 / 3, abs=0.06)
 
         # Stock conservation: quantity only decreases via purchases.
-        purchased = driver.txn_counts.get("PurchaseStock", 0)
         stock_total_after = sum(
             cluster.get("stock", f"SKU-{i:08d}")["quantity"]
             for i in range(300)

@@ -1,7 +1,5 @@
 """Tests for the analytic move model (Eqs. 2-7, Algorithm 4)."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

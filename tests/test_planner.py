@@ -1,7 +1,5 @@
 """Tests for the DP planner (Algorithms 1-3)."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -215,7 +213,6 @@ class TestEffectiveCapacityConstraint:
         # would dip below the load mid-migration.
         loads = [q * n for n in (1.9, 1.95, 1.98, 1.99, 2.9, 2.9, 2.9, 2.9)]
         schedule = p.plan(loads, initial_machines=2)
-        duration = p.move_duration(2, 3)
         for move in schedule:
             if move.is_noop:
                 continue

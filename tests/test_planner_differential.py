@@ -1,0 +1,131 @@
+"""Randomized differential test: the vectorized DP planner must agree
+with the paper-literal recursive oracle on feasibility, plan cost, and
+the exact move sequence, across random load curves, N0, max_machines,
+and migration-rate settings.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.core.planner import (
+    Planner,
+    PlanRequest,
+    best_moves_reference,
+)
+from repro.errors import InfeasiblePlanError
+
+N_TRIALS = 150
+
+
+def _random_case(rng):
+    config = dataclasses.replace(
+        default_config(),
+        max_machines=int(rng.integers(0, 14)),  # 0 = unbounded
+        d_seconds=float(rng.choice([300.0, 600.0, 2000.0, 4646.0])),
+    )
+    horizon = int(rng.integers(1, 16))
+    base = rng.uniform(50, 3000)
+    loads = tuple(
+        float(v)
+        for v in np.clip(
+            base + rng.normal(0, base * 0.5, horizon), 0, None
+        )
+    )
+    n0 = int(rng.integers(1, 10))
+    return config, loads, n0
+
+
+def _plan(callable_, *args, **kwargs):
+    try:
+        return callable_(*args, **kwargs), None
+    except InfeasiblePlanError as exc:
+        return None, exc
+
+
+class TestPlannerDifferential:
+    def test_matches_reference_on_random_inputs(self):
+        rng = np.random.default_rng(1234)
+        feasible = infeasible = 0
+        for trial in range(N_TRIALS):
+            config, loads, n0 = _random_case(rng)
+            planner = Planner(config)
+            request = PlanRequest(
+                predicted_load=loads, initial_machines=n0
+            )
+            fast, fast_err = _plan(planner.best_moves, request)
+            ref, ref_err = _plan(
+                best_moves_reference, loads, n0, config
+            )
+            assert (fast is None) == (ref is None), (
+                f"trial {trial}: feasibility diverged "
+                f"(loads={loads}, n0={n0})"
+            )
+            if fast is None:
+                infeasible += 1
+                assert (
+                    fast_err.required_machines
+                    == ref_err.required_machines
+                )
+            else:
+                feasible += 1
+                assert fast.moves == ref.moves, (
+                    f"trial {trial}: plans diverged "
+                    f"(loads={loads}, n0={n0})"
+                )
+        # The sweep must actually exercise both outcomes.
+        assert feasible > 10
+        assert infeasible > 10
+
+    def test_matches_reference_with_current_load_override(self):
+        rng = np.random.default_rng(99)
+        for trial in range(30):
+            config, loads, n0 = _random_case(rng)
+            current = float(rng.uniform(0, 2500))
+            planner = Planner(config)
+            fast, _ = _plan(
+                planner.best_moves,
+                PlanRequest(
+                    predicted_load=loads,
+                    initial_machines=n0,
+                    current_load=current,
+                ),
+            )
+            ref, _ = _plan(
+                best_moves_reference,
+                loads,
+                n0,
+                config,
+                current_load=current,
+            )
+            assert (fast is None) == (ref is None), trial
+            if fast is not None:
+                assert fast.moves == ref.moves, trial
+
+    def test_cost_tables_reused_across_calls(self):
+        """The per-Z grid cache must not leak state between requests
+        with different load curves."""
+        config = dataclasses.replace(default_config(), max_machines=8)
+        planner = Planner(config)
+        low = tuple([400.0] * 6)
+        high = tuple([400.0, 500.0, 900.0, 1100.0, 1100.0, 900.0])
+        for loads in (low, high, low, high):
+            request = PlanRequest(predicted_load=loads, initial_machines=2)
+            fast, fast_err = _plan(planner.best_moves, request)
+            ref, ref_err = _plan(
+                best_moves_reference, loads, 2, config
+            )
+            assert (fast is None) == (ref is None)
+            if fast is not None:
+                assert fast.moves == ref.moves
+
+    def test_infeasible_spike_raises_with_requirement(self):
+        config = dataclasses.replace(default_config(), max_machines=4)
+        planner = Planner(config)
+        loads = (400.0, 8000.0, 400.0)
+        with pytest.raises(InfeasiblePlanError):
+            planner.best_moves(
+                PlanRequest(predicted_load=loads, initial_machines=2)
+            )

@@ -8,7 +8,6 @@ DP's schedule attains the minimum total cost.
 """
 
 import math
-from itertools import count
 
 import numpy as np
 import pytest

@@ -5,8 +5,6 @@ laws of the trace transformations, continuity of the capacity model, and
 counting identities of the migration schedule.
 """
 
-import io
-
 import numpy as np
 import pytest
 from hypothesis import given, settings

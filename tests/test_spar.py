@@ -151,3 +151,69 @@ class TestAccuracy:
         short = spar.backtest(series, tau=1, start=train, step=7)
         long = spar.backtest(series, tau=24, start=train, step=7)
         assert short.mean_relative_error() <= long.mean_relative_error() * 1.1
+
+
+class TestVectorizedKernels:
+    """The numpy-gather kernels must be bit-identical to the scalar
+    reference loops (same design matrices, coefficients, forecasts)."""
+
+    def _design_reference(self, spar, series, tau):
+        """The original per-element loop version of ``_design``."""
+        t_len = series.size
+        n, m, period = spar.n_periods, spar.m_recent, spar.period
+        t_min = max(n * period - tau, m + n * period)
+        t_max = t_len - tau - 1
+        anchors = np.arange(t_min, t_max + 1)
+        cols = []
+        for k in range(1, n + 1):
+            cols.append(series[anchors + tau - k * period])
+        for j in range(1, m + 1):
+            base = series[anchors - j]
+            mean = np.zeros_like(base)
+            for k in range(1, n + 1):
+                mean += series[anchors - j - k * period]
+            mean /= n
+            cols.append(base - mean)
+        return np.column_stack(cols), series[anchors + tau]
+
+    def test_design_matches_reference(self):
+        series = periodic_series(periods=9, period=96, noise=0.1, seed=3)
+        spar = SparPredictor(period=96, n_periods=4, m_recent=12).fit(series)
+        for tau in (1, 5, 40, 95):
+            fast = spar._design(spar._train, tau)
+            ref = self._design_reference(spar, spar._train, tau)
+            assert np.array_equal(fast[0], ref[0]), tau
+            assert np.array_equal(fast[1], ref[1]), tau
+
+    def test_batch_fit_matches_per_tau_fit(self):
+        series = periodic_series(periods=9, period=96, noise=0.1, seed=4)
+        batch = SparPredictor(period=96, n_periods=4, m_recent=12).fit(series)
+        single = SparPredictor(period=96, n_periods=4, m_recent=12).fit(series)
+        batch.fit_horizon(30)
+        for tau in range(1, 31):
+            a_b, b_b = batch.coefficients(tau)
+            a_s, b_s = single.coefficients(tau)
+            assert np.array_equal(a_b, a_s), tau
+            assert np.array_equal(b_b, b_s), tau
+
+    def test_predict_horizon_matches_reference(self):
+        series = periodic_series(periods=10, period=96, noise=0.15, seed=5)
+        fast = SparPredictor(period=96, n_periods=5, m_recent=20).fit(series)
+        ref = SparPredictor(period=96, n_periods=5, m_recent=20).fit(series)
+        history = series[: 96 * 9 + 17]
+        for horizon in (1, 12, 60):
+            assert np.array_equal(
+                fast.predict_horizon(history, horizon),
+                ref.predict_horizon_reference(history, horizon),
+            ), horizon
+
+    def test_predict_horizon_matches_reference_without_offsets(self):
+        """m_recent=0 drops the offset term entirely."""
+        series = periodic_series(periods=8, period=96, seed=6)
+        fast = SparPredictor(period=96, n_periods=3, m_recent=0).fit(series)
+        ref = SparPredictor(period=96, n_periods=3, m_recent=0).fit(series)
+        history = series[: 96 * 7 + 5]
+        assert np.array_equal(
+            fast.predict_horizon(history, 24),
+            ref.predict_horizon_reference(history, 24),
+        )
