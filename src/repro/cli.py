@@ -15,7 +15,11 @@ Subcommands
 ``chaos``
     run a fault-injection scenario (node crashes, stalled transfers,
     forecast drift, ...) against the benchmark and report SLA violations
-    and recovery times per strategy (see docs/FAULTS.md).
+    and recovery times per strategy (see docs/FAULTS.md);
+``check``
+    run the correctness harness: the simulated-time lint, the runtime
+    invariant tiers, and the cross-engine differential suites (see
+    docs/CORRECTNESS.md).
 
 Run ``pstore <subcommand> --help`` for options.
 
@@ -171,6 +175,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-reactive", action="store_true",
         help="skip the reactive-baseline comparison run",
     )
+
+    check = sub.add_parser(
+        "check", parents=[common],
+        help="run invariants, differential suites, and the sim-time lint",
+    )
+    check.add_argument(
+        "--level", choices=("cheap", "expensive"), default="expensive",
+        help="invariant tier active during the differential runs "
+        "(default: expensive)",
+    )
+    check.add_argument(
+        "--suite", action="append", choices=("fast-path", "engines", "migration"),
+        default=None, metavar="NAME",
+        help="differential suite(s) to run (repeatable; default: all)",
+    )
+    check.add_argument(
+        "--seconds", type=int, default=900,
+        help="trace length for the fast-path differential",
+    )
+    check.add_argument(
+        "--skip-lint", action="store_true",
+        help="skip the AST lint over the repro package",
+    )
+    check.add_argument(
+        "--inject", choices=("drop-bucket", "perturb-fast-path"), default=None,
+        help="deliberately corrupt one path to verify the harness "
+        "catches it (the command must then exit nonzero)",
+    )
     return parser
 
 
@@ -294,11 +326,24 @@ def _parse_strategy(spec: str, config, setup):
     if spec == "reactive":
         return ReactiveStrategy(config, scale_in_patience=12), []
     if spec.startswith("static:"):
-        return StaticStrategy(int(spec.split(":", 1)[1])), []
+        try:
+            machines = int(spec.split(":", 1)[1])
+        except ValueError:
+            raise PStoreError(
+                f"bad machine count in strategy spec {spec!r} "
+                "(expected static:<N>)"
+            ) from None
+        return StaticStrategy(machines), []
     if spec.startswith("simple:"):
-        day, night = spec.split(":", 1)[1].split("/")
+        try:
+            day, night = spec.split(":", 1)[1].split("/")
+            day_machines, night_machines = int(day), int(night)
+        except ValueError:
+            raise PStoreError(
+                f"bad strategy spec {spec!r} (expected simple:<day>/<night>)"
+            ) from None
         return (
-            SimpleStrategy(int(day), int(night), slots_per_day=288,
+            SimpleStrategy(day_machines, night_machines, slots_per_day=288,
                            morning_hour=5.0),
             [],
         )
@@ -436,6 +481,35 @@ def _cmd_chaos(args) -> int:
     return 0 if result.all_converged else 1
 
 
+def _cmd_check(args) -> int:
+    from .check import check_scope, differential
+    from .check import lint as lint_mod
+
+    failures = 0
+    if not args.skip_lint:
+        issues = lint_mod.lint_package()
+        for issue in issues:
+            print(f"lint: {issue}", file=sys.stderr)
+        if issues:
+            failures += len(issues)
+        else:
+            print("lint: ok")
+
+    suites = args.suite or list(differential.SUITES)
+    logger.info("running differential suites %s at level %s", suites, args.level)
+    with check_scope(args.level):
+        report = differential.run_suite(
+            suites=suites, seconds=args.seconds, inject=args.inject
+        )
+    print(report.describe())
+    failures += len(report.failures)
+    if failures:
+        print(f"error: {failures} check(s) failed", file=sys.stderr)
+        return 1
+    print("all checks passed")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "predict": _cmd_predict,
@@ -443,6 +517,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,
     "chaos": _cmd_chaos,
+    "check": _cmd_check,
 }
 
 
@@ -458,7 +533,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         try:
             code = _COMMANDS[args.command](args)
-        except PStoreError as error:
+        except (PStoreError, OSError) as error:
+            # Expected failure modes (bad inputs, missing files, invalid
+            # configs) exit nonzero with one line, not a traceback.
             print(f"error: {error}", file=sys.stderr)
             code = 1
         if recording:

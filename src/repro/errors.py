@@ -16,6 +16,10 @@ class ConfigurationError(PStoreError):
     """A configuration value is missing, inconsistent, or out of range."""
 
 
+#: Short alias; most call sites read better as ``except ConfigError``.
+ConfigError = ConfigurationError
+
+
 class PlanningError(PStoreError):
     """The move planner was called with invalid inputs."""
 
@@ -67,6 +71,27 @@ class FaultError(PStoreError):
 
 class SimulationError(PStoreError):
     """The simulator was driven with inconsistent inputs."""
+
+
+class InvariantViolation(PStoreError):
+    """A runtime invariant of :mod:`repro.check` failed.
+
+    Raised by the invariant library when a cross-cutting consistency
+    property breaks at runtime — rows lost across a migration commit,
+    data fractions not summing to one, negative queue backlog, capacity
+    accounting inconsistent with Q/Q̂.  Each raise is paired with an
+    ``invariant.violation`` event in the telemetry event log so the
+    divergence is auditable after the fact.
+    """
+
+
+class DivergenceError(PStoreError):
+    """Two engines that must agree diverged beyond declared tolerance.
+
+    Raised by the differential runner in :mod:`repro.check.differential`
+    when the transaction engine and the queueing engine (or the
+    vectorized fast path and the scalar loop) disagree on throughput,
+    latency, or migration accounting."""
 
 
 class TelemetryError(PStoreError):

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from ..check import invariants
 from ..errors import FaultError
 from ..telemetry import get_telemetry
 from .spec import (
@@ -126,6 +127,7 @@ class FaultInjector:
         self._now = 0.0
         self._migrations_started = 0
         self._next_fault_id = 1
+        self._clock = invariants.MonotoneClock("FaultInjector.advance", start=0.0)
 
         self.records: List[FaultRecord] = []
         #: Deterministic audit log: one flat dict per lifecycle step.
@@ -160,6 +162,10 @@ class FaultInjector:
         tick) simply does not fire anything new.
         """
         self._now = max(self._now, now)
+        if invariants.enabled(invariants.CHEAP):
+            # Guards the clamp above: the injector clock may never run
+            # backwards even when hosts advance out of order.
+            self._clock.observe(self._now)
         fired: List[FaultRecord] = []
         while self._timed and self._timed[0].spec.at_time <= self._now + 1e-9:
             pending = self._timed.pop(0)

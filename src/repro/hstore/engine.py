@@ -25,6 +25,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..check import invariants
 from ..config import SINGLE_NODE_SATURATION_TPS
 from ..errors import SimulationError, TransactionAbort
 from ..telemetry import get_telemetry
@@ -405,6 +406,10 @@ class QueueingEngine:
         backlog_mid = 0.5 * (self._backlog + new_backlog)
         self._backlog = new_backlog
         self._time += dt
+        if invariants.enabled(invariants.CHEAP):
+            invariants.check_nonnegative_backlog(
+                new_backlog, "QueueingEngine.step", time=self._time
+            )
 
         stats = self._sample_latencies(
             arrivals, mu_eff, backlog_mid, completed, interference
@@ -508,6 +513,13 @@ class QueueingEngine:
         completed_tps = total_completed / dt
         times = self._time + dt * np.arange(1, ticks + 1)
         self._time += dt * ticks
+        if invariants.enabled(invariants.CHEAP):
+            # One end-of-block check keeps the fast path's per-tick cost
+            # at zero; mid-block negativity cannot heal (the recursion
+            # only clips at zero), so the end state is sufficient.
+            invariants.check_nonnegative_backlog(
+                self._backlog, "QueueingEngine.step_block", time=self._time
+            )
 
         tel = self._telemetry
         if tel.enabled:

@@ -29,18 +29,32 @@ from .cluster import Cluster
 class LoadMonitor:
     """Aggregates a stream of transaction counts into interval rates.
 
-    When telemetry is enabled, every closed interval is published as a
+    When telemetry is enabled, every counted interval is published as a
     ``monitor.window`` span plus an ``interval`` event (both in
-    simulated time), and the latest rate is mirrored to the
+    simulated time), runs of *empty* intervals are batched into a single
+    ``monitor.gap`` span and ``interval.gap`` event (O(1) per
+    observation, not O(gap)), and the latest rate is mirrored to the
     ``monitor.load_tps`` gauge.
+
+    Interval boundaries are derived as ``start_time + k *
+    interval_seconds`` rather than by repeated addition, so they stay
+    exact over arbitrarily long runs (repeated ``+=`` accumulates one
+    rounding error per interval).
     """
 
     def __init__(self, interval_seconds: float, start_time: float = 0.0,
-                 telemetry=None):
+                 telemetry=None, min_elapsed_fraction: float = 0.05):
         if interval_seconds <= 0:
             raise SimulationError("interval_seconds must be positive")
+        if not 0.0 <= min_elapsed_fraction <= 1.0:
+            raise SimulationError("min_elapsed_fraction must be in [0, 1]")
         self.interval_seconds = interval_seconds
-        self._interval_start = start_time
+        #: Floor (as a fraction of the interval) on the elapsed time used
+        #: by :meth:`current_rate_estimate`, so a burst right after a
+        #: boundary cannot divide by near-zero and report absurd rates.
+        self.min_elapsed_fraction = min_elapsed_fraction
+        self._origin = start_time
+        self._closed = 0
         self._current_count = 0.0
         self._rates: List[float] = []
         self._telemetry = telemetry if telemetry is not None else get_telemetry()
@@ -49,12 +63,37 @@ class LoadMonitor:
     def completed_intervals(self) -> int:
         return len(self._rates)
 
+    def _boundary(self, k: int) -> float:
+        """Exact start of interval ``k``: origin + k * interval."""
+        return self._origin + k * self.interval_seconds
+
+    @property
+    def _interval_start(self) -> float:
+        """Start of the open interval (derived, never accumulated)."""
+        return self._boundary(self._closed)
+
+    def _interval_index(self, timestamp: float) -> int:
+        """Index of the interval containing ``timestamp``.
+
+        ``floor`` on the quotient can misplace timestamps that sit on a
+        boundary the float grid cannot represent exactly (0.1-second
+        intervals, say); the correction loops pin the result to the
+        canonical ``origin + k * interval`` boundaries.
+        """
+        k = int((timestamp - self._origin) // self.interval_seconds)
+        while self._boundary(k + 1) <= timestamp:
+            k += 1
+        while self._boundary(k) > timestamp:
+            k -= 1
+        return k
+
     def record(self, timestamp: float, count: float = 1.0) -> int:
         """Record ``count`` transactions at ``timestamp``.
 
         Returns the number of intervals closed by this observation (0 in
         the common case; >= 1 when the timestamp crosses a boundary, in
-        which case intervening empty intervals are emitted as zero load).
+        which case intervening empty intervals are appended as zero load
+        and reported through one batched telemetry emission).
         """
         if count < 0:
             raise SimulationError("count must be non-negative")
@@ -63,24 +102,44 @@ class LoadMonitor:
                 f"timestamp {timestamp} is before the open interval "
                 f"starting at {self._interval_start}"
             )
-        closed = 0
-        tel = self._telemetry
-        while timestamp >= self._interval_start + self.interval_seconds:
+        closed = self._interval_index(timestamp) - self._closed
+        if closed > 0:
+            tel = self._telemetry
+            # Close the open interval with whatever it counted...
             rate = self._current_count / self.interval_seconds
+            start = self._interval_start
             self._rates.append(rate)
             if tel.enabled:
                 slot = len(self._rates) - 1
-                end = self._interval_start + self.interval_seconds
+                end = self._boundary(self._closed + 1)
                 tel.tracer.record(
-                    "monitor.window", self._interval_start, end,
-                    slot=slot, tps=rate,
+                    "monitor.window", start, end, slot=slot, tps=rate,
                 )
                 tel.events.emit("interval", time=end, slot=slot, tps=rate)
                 tel.metrics.gauge("monitor.load_tps").set(rate)
-                tel.metrics.counter("monitor.intervals_closed").inc()
+            # ...then batch the run of empty intervals behind it.
+            gap = closed - 1
+            if gap:
+                first_empty = len(self._rates)
+                self._rates.extend([0.0] * gap)
+                if tel.enabled:
+                    gap_start = self._boundary(self._closed + 1)
+                    gap_end = self._boundary(self._closed + closed)
+                    tel.tracer.record(
+                        "monitor.gap", gap_start, gap_end,
+                        first_slot=first_empty, intervals=gap,
+                    )
+                    tel.events.emit(
+                        "interval.gap", time=gap_end,
+                        first_slot=first_empty, intervals=gap, tps=0.0,
+                    )
+                    tel.metrics.gauge("monitor.load_tps").set(0.0)
+            if tel.enabled:
+                tel.metrics.counter("monitor.intervals_closed").inc(closed)
             self._current_count = 0.0
-            self._interval_start += self.interval_seconds
-            closed += 1
+            self._closed += closed
+        else:
+            closed = 0
         self._current_count += count
         return closed
 
@@ -89,11 +148,18 @@ class LoadMonitor:
         return np.asarray(self._rates)
 
     def current_rate_estimate(self, now: float) -> float:
-        """Rate of the open interval so far (0 if it just opened)."""
+        """Rate of the open interval so far (0 if it just opened).
+
+        The divisor is floored at ``min_elapsed_fraction`` of the
+        interval: without it, a handful of transactions arriving moments
+        after a boundary divide by near-zero and feed absurd rate spikes
+        into the reactive strategy.
+        """
         elapsed = now - self._interval_start
         if elapsed <= 0:
             return 0.0
-        return self._current_count / elapsed
+        floor = self.min_elapsed_fraction * self.interval_seconds
+        return self._current_count / max(elapsed, floor)
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..check import invariants
 from ..config import PStoreConfig
 from ..elasticity.base import ProvisioningStrategy
 from ..errors import SimulationError
@@ -244,6 +245,12 @@ class CapacitySimulator:
             tel.metrics.gauge("sim.slots").set(n_slots)
             tel.metrics.counter("sim.moves_started").inc(moves_started)
             tel.metrics.counter("sim.emergencies").inc(emergencies)
+
+        if invariants.enabled(invariants.CHEAP):
+            invariants.check_capacity_accounting(
+                out_machines, out_eff_q, out_eff_qhat, out_migrating,
+                config.q, config.q_hat, "CapacitySimulator.run",
+            )
 
         return CapacitySimResult(
             strategy_name=strategy.name,

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..check import invariants
 from ..config import DEFAULT_CHUNK_KB, PStoreConfig
 from ..elasticity.base import ProvisioningStrategy
 from ..errors import SimulationError
@@ -190,6 +191,7 @@ class ElasticDbSimulator:
         interval_accumulator: List[float] = []
 
         n = offered.size
+        engine_time_start = self.engine.time
         out_machines = np.empty(n)
         out_migrating = np.zeros(n, dtype=bool)
         out_completed = np.empty(n)
@@ -489,6 +491,14 @@ class ElasticDbSimulator:
 
             t += 1
 
+        if invariants.enabled(invariants.CHEAP):
+            # Every tick must pass through the engine exactly once — a
+            # fast-path block dropping or double-counting ticks shows up
+            # here no matter which branch mix the run took.
+            invariants.check_time_accounting(
+                self.engine.time - engine_time_start, float(n),
+                "ElasticDbSimulator.run",
+            )
         latency = PercentileSeries(
             seconds=np.arange(n),
             percentiles={50.0: p50, 95.0: p95, 99.0: p99},

@@ -24,6 +24,7 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
+from ..check import invariants
 from ..config import (
     DEFAULT_CHUNK_KB,
     DEFAULT_MIGRATION_RATE_KBPS,
@@ -115,6 +116,10 @@ class ActiveMigration:
         self._fractions[:smaller] = 1.0 / schedule.before
         if schedule.before > schedule.after:
             self._fractions[smaller:] = 1.0 / schedule.before
+        # Fraction vector as of the last committed round.  Commits rebuild
+        # from this snapshot, so partial-step float increments within a
+        # round can never drift the committed trajectory.
+        self._round_base = self._fractions.copy()
         self._completed_rounds: List[Tuple[Transfer, ...]] = []
 
     # ------------------------------------------------------------------
@@ -175,12 +180,22 @@ class ActiveMigration:
             if remaining + 1e-12 >= left_in_round:
                 remaining -= left_in_round
                 round_ = self.schedule.rounds[self._round_index]
-                self._apply_round(round_, fraction=1.0 - self._progress_applied)
+                # Commit exactly: restore the round-entry snapshot and
+                # apply the whole round in one step, so the committed
+                # vector equals the snapshot plus one exact transfer per
+                # pair no matter how the round was sliced.
+                np.copyto(self._fractions, self._round_base)
+                self._apply_round(round_, fraction=1.0)
+                self._round_base = self._fractions.copy()
                 self._completed_rounds.append(round_)
                 completed.append(round_)
                 self._round_index += 1
                 self._elapsed_in_round = 0.0
                 self._progress_applied = 0.0
+                if invariants.enabled(invariants.CHEAP):
+                    invariants.check_fraction_conservation(
+                        self._fractions, "ActiveMigration.advance"
+                    )
             else:
                 # Partial progress within the current round.
                 step_fraction = remaining / self._round_seconds
@@ -460,8 +475,18 @@ class ClusterMigrator:
             self._commit_round(round_, round_seconds)
 
     def _commit_round(self, round_: Tuple[Transfer, ...], round_seconds: float) -> None:
+        # Bracket the commit itself rather than diffing against a
+        # start-of-move snapshot: live workload legitimately changes row
+        # counts *between* advances, but a bucket move must never.
+        check_rows = invariants.enabled(invariants.CHEAP)
+        before = invariants.snapshot_row_counts(self.cluster) if check_rows else None
         for transfer in round_:
             self._commit_transfer(transfer)
+        if check_rows:
+            invariants.check_row_conservation(
+                self.cluster, before,
+                "ClusterMigrator.commit", time=self._sim_time,
+            )
         tel = self._telemetry
         if tel.enabled:
             # Rounds are equal-length, so reconstruct each round's
@@ -591,6 +616,8 @@ class ClusterMigrator:
             self.cluster.move_bucket(move.bucket, move.destination_partition)
 
     def _finish(self) -> None:
+        check_rows = invariants.enabled(invariants.CHEAP)
+        before = invariants.snapshot_row_counts(self.cluster) if check_rows else None
         # Commit any residual bucket moves (pairs whose buckets were not
         # perfectly covered by the machine schedule's transfers).
         for moves in self._pair_buckets.values():
@@ -600,5 +627,14 @@ class ClusterMigrator:
         if self._retiring_nodes:
             self.cluster.remove_nodes(self._retiring_nodes)
             self._retiring_nodes = []
+        if check_rows:
+            invariants.check_row_conservation(
+                self.cluster, before,
+                "ClusterMigrator.finish", time=self._sim_time,
+            )
+        if invariants.enabled(invariants.EXPENSIVE):
+            invariants.check_bucket_map_agreement(
+                self.cluster, "ClusterMigrator.finish", time=self._sim_time
+            )
         self._active = None
         self._reset_fault_state()

@@ -156,3 +156,45 @@ class TestPlanWithConfigFile:
         )
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestErrorHandling:
+    """repro.errors exceptions (and missing files) must exit nonzero
+    with a one-line ``error:`` message, never a raw traceback."""
+
+    def test_missing_trace_file_is_one_line_error(self, capsys):
+        code = main(["plan", "/nonexistent/trace.csv"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_bad_static_machine_count(self, capsys):
+        code = main(["simulate", "static:abc", "--days", "2"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "static:<N>" in err
+        assert "Traceback" not in err
+
+    def test_bad_simple_spec(self, capsys):
+        code = main(["simulate", "simple:6", "--days", "2"])
+        assert code == 1
+        assert "simple:<day>/<night>" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "exc_name", ["SimulationError", "MigrationError", "ConfigError"]
+    )
+    def test_domain_errors_exit_nonzero(self, exc_name, capsys, monkeypatch):
+        import repro.cli as cli_mod
+        from repro import errors
+
+        exc = getattr(errors, exc_name)
+
+        def boom(args):
+            raise exc("synthetic failure")
+
+        monkeypatch.setitem(cli_mod._COMMANDS, "plan", boom)
+        code = main(["plan", "whatever.csv"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err == "error: synthetic failure\n"

@@ -1,5 +1,6 @@
 """Tests for the simulated-time migrator (ActiveMigration, ClusterMigrator)."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -245,3 +246,105 @@ class TestClusterMigrator:
         assert cluster.n_nodes == after
         total = sum(cluster.partition(p).row_count() for p in cluster.partition_ids)
         assert total == 500
+
+
+class TestRoundCommitExactness:
+    """Committed migration state must be free of partial-step residue.
+
+    ActiveMigration.advance used to accumulate each partial step's
+    fractional progress into ``_fractions`` and "top up" at the round
+    boundary, so the committed vector depended on *how* time was sliced.
+    Commits now rebuild from the round-entry snapshot, making the
+    committed fractions a pure function of which rounds completed.
+    """
+
+    @given(
+        before=st.integers(min_value=1, max_value=5),
+        after=st.integers(min_value=1, max_value=6),
+        data=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_final_fractions_independent_of_step_sizes(
+        self, before, after, data
+    ):
+        if before == after:
+            return
+        mig = make_migration(before, after, db_kb=50_000.0)
+        total = mig.total_seconds
+        while not mig.done:
+            dt = data.draw(
+                st.floats(min_value=total / 97.0, max_value=total / 3.0)
+            )
+            mig.advance(dt)
+        ref = make_migration(before, after, db_kb=50_000.0)
+        while not ref.done:
+            ref.advance(ref.round_seconds)  # exact whole-round commits
+        assert np.array_equal(mig.data_fractions(), ref.data_fractions())
+
+    @given(
+        before=st.integers(min_value=1, max_value=5),
+        after=st.integers(min_value=1, max_value=6),
+        data=st.data(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_committed_base_is_pure_function_of_round_count(
+        self, before, after, data
+    ):
+        if before == after:
+            return
+        mig = make_migration(before, after, db_kb=50_000.0)
+        total = mig.total_seconds
+        while not mig.done:
+            dt = data.draw(
+                st.floats(min_value=total / 19.0, max_value=total / 3.0)
+            )
+            mig.advance(dt)
+            ref = make_migration(before, after, db_kb=50_000.0)
+            for _ in range(len(mig._completed_rounds)):
+                ref.advance(ref.round_seconds)
+            assert np.array_equal(mig._round_base, ref._fractions)
+
+    @given(
+        before=st.integers(min_value=1, max_value=5),
+        after=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_fractions_sum_to_one_at_every_commit(self, before, after):
+        from repro.check import invariants
+
+        if before == after:
+            return
+        mig = make_migration(before, after, db_kb=50_000.0)
+        with invariants.check_scope("cheap"):
+            while not mig.done:
+                mig.advance(mig.total_seconds / 7.3)  # never a round multiple
+        assert float(mig.data_fractions().sum()) == pytest.approx(1.0, abs=1e-12)
+
+    def test_abort_mid_move_conserves_rows_under_checks(self):
+        from repro.check import invariants
+
+        cluster = kv_cluster(nodes=4, ppn=2, buckets=120, rows=1000)
+        migrator = ClusterMigrator(cluster, default_config())
+        with invariants.check_scope("cheap"):
+            migrator.start_move(2)  # scale-in
+            migrator.advance(migrator.active.round_seconds + 1.0)
+            migrator.abort("test abort")
+        total = sum(
+            cluster.partition(p).row_count() for p in cluster.partition_ids
+        )
+        assert total == 1000
+
+    def test_scale_in_passes_expensive_checks(self):
+        from repro.check import invariants
+
+        cluster = kv_cluster(nodes=4, ppn=2, buckets=120, rows=800)
+        migrator = ClusterMigrator(cluster, default_config())
+        with invariants.check_scope("expensive"):
+            migrator.start_move(2)
+            while migrator.migrating:
+                migrator.advance(120.0)
+        assert cluster.n_nodes == 2
+        total = sum(
+            cluster.partition(p).row_count() for p in cluster.partition_ids
+        )
+        assert total == 800

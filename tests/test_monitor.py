@@ -143,10 +143,64 @@ class TestLoadMonitorBoundaries:
         monitor = LoadMonitor(interval_seconds=10.0, telemetry=tel)
         monitor.record(1.0, count=20.0)
         monitor.record(35.0)
+        # The counted interval gets its own span/event; the run of empty
+        # intervals behind it is batched into one gap span/event.
         spans = tel.tracer.by_name("monitor.window")
-        assert [s.attrs["slot"] for s in spans] == [0, 1, 2]
+        assert [s.attrs["slot"] for s in spans] == [0]
         assert spans[0].attrs["tps"] == pytest.approx(2.0)
         assert spans[0].clock == "sim"
+        gaps = tel.tracer.by_name("monitor.gap")
+        assert len(gaps) == 1
+        assert gaps[0].attrs["first_slot"] == 1
+        assert gaps[0].attrs["intervals"] == 2
+        assert (gaps[0].start, gaps[0].end) == (10.0, 30.0)
         events = tel.events.by_kind("interval")
-        assert [e["slot"] for e in events] == [0, 1, 2]
+        assert [e["slot"] for e in events] == [0]
+        gap_events = tel.events.by_kind("interval.gap")
+        assert len(gap_events) == 1
+        assert gap_events[0]["intervals"] == 2
         assert tel.metrics.counter("monitor.intervals_closed").value == 3
+
+    def test_large_gap_is_one_batched_emission(self):
+        # Regression: a big timestamp jump used to emit one event per
+        # empty interval (O(gap) work); now it is one gap record.
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        monitor = LoadMonitor(interval_seconds=1.0, telemetry=tel)
+        monitor.record(0.5)
+        closed = monitor.record(100_000.5)
+        assert closed == 100_000
+        assert monitor.completed_intervals == 100_000
+        assert len(tel.events.by_kind("interval")) == 1
+        assert len(tel.events.by_kind("interval.gap")) == 1
+        assert len(tel.tracer.by_name("monitor.window")) == 1
+        assert tel.metrics.counter("monitor.intervals_closed").value == 100_000
+
+    def test_no_float_drift_over_long_runs(self):
+        # Regression: `_interval_start += 0.1` accumulated one rounding
+        # error per interval, so boundaries slowly walked off the grid.
+        interval = 0.1
+        monitor = LoadMonitor(interval_seconds=interval)
+        n = 50_000
+        for k in range(1, n + 1):
+            monitor.record(k * interval)  # every record sits on a boundary
+        assert monitor.completed_intervals == n
+        assert monitor._interval_start == n * interval
+        # Each boundary record opens the next interval: one count each.
+        assert np.all(monitor.history_tps()[1:] == pytest.approx(1.0 / interval))
+
+    def test_rate_estimate_clamped_right_after_boundary(self):
+        # Regression: a burst moments after a boundary divided by a
+        # near-zero elapsed time and fed absurd rates to the reactive
+        # strategy.  The divisor is floored at 5% of the interval.
+        monitor = LoadMonitor(interval_seconds=300.0)
+        monitor.record(300.001, count=10.0)
+        estimate = monitor.current_rate_estimate(300.001)
+        assert estimate == pytest.approx(10.0 / (0.05 * 300.0))
+        assert estimate < 1.0  # not the ~10,000 tps the raw division gives
+
+    def test_rate_estimate_unclamped_later_in_interval(self):
+        monitor = LoadMonitor(interval_seconds=300.0)
+        monitor.record(100.0, count=500.0)
+        assert monitor.current_rate_estimate(150.0) == pytest.approx(500.0 / 150.0)
