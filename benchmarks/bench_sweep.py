@@ -1,0 +1,69 @@
+"""Bench: sweep-executor throughput and cache behaviour (not in the paper).
+
+Runs the 8-cell ``smoke`` grid through :mod:`repro.runner` three ways —
+cold serial, cold parallel, warm cache — and reports wall-clock plus the
+parallel speedup.  Also asserts the executor's two contracts on every
+run: parallel results are bit-identical to serial, and a repeat
+invocation is 100% cache hits.
+"""
+
+import tempfile
+import time
+
+from repro import sweep
+from repro.analysis import ascii_table
+
+from _utils import emit
+
+JOBS = 4
+
+
+def _timed_sweep(**kwargs):
+    start = time.perf_counter()
+    result = sweep("smoke", **kwargs)
+    return result, time.perf_counter() - start
+
+
+def run_sweep_bench():
+    with tempfile.TemporaryDirectory() as serial_dir, \
+            tempfile.TemporaryDirectory() as parallel_dir:
+        serial, serial_s = _timed_sweep(cache_dir=serial_dir, jobs=1)
+        parallel, parallel_s = _timed_sweep(cache_dir=parallel_dir, jobs=JOBS)
+        warm, warm_s = _timed_sweep(cache_dir=parallel_dir, jobs=JOBS)
+    return {
+        "serial": (serial, serial_s),
+        "parallel": (parallel, parallel_s),
+        "warm": (warm, warm_s),
+    }
+
+
+def test_sweep_throughput(benchmark, results_dir):
+    runs = benchmark.pedantic(run_sweep_bench, rounds=1, iterations=1)
+    serial, serial_s = runs["serial"]
+    parallel, parallel_s = runs["parallel"]
+    warm, warm_s = runs["warm"]
+
+    n = len(serial)
+    rows = [
+        ("serial (jobs=1, cold)", f"{serial_s:.2f}s",
+         f"{n / serial_s:.1f}", f"{serial.executed}/{n}"),
+        (f"parallel (jobs={JOBS}, cold)", f"{parallel_s:.2f}s",
+         f"{n / parallel_s:.1f}", f"{parallel.executed}/{n}"),
+        (f"warm cache (jobs={JOBS})", f"{warm_s:.2f}s",
+         f"{n / warm_s:.1f}", f"{warm.executed}/{n}"),
+    ]
+    text = ascii_table(
+        ["run", "wall clock", "cells/s", "executed"],
+        rows,
+        title=f"Sweep throughput: {n}-cell smoke grid "
+        f"(result {serial.result_hash[:12]})",
+    )
+    emit(results_dir, "bench_sweep", text)
+
+    # Contract 1: parallel execution is bit-identical to serial.
+    assert parallel.result_hash == serial.result_hash
+    assert warm.result_hash == serial.result_hash
+    # Contract 2: the repeat invocation is pure cache hits.
+    assert warm.hits == n and warm.executed == 0
+    # The warm run skips all the work; it must be much faster than cold.
+    assert warm_s < serial_s

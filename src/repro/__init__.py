@@ -33,7 +33,13 @@ Quick tour
 * :mod:`repro.faults` — declarative fault injection (crashes,
   stragglers, stalled/corrupted transfers, forecast drift) and the
   recovery machinery driven by it (off by default; see
-  ``docs/FAULTS.md``).
+  ``docs/FAULTS.md``);
+* :mod:`repro.runner` — the parallel sweep executor with
+  content-addressed result caching behind ``pstore sweep``;
+* :mod:`repro.api` — the stable facade (:func:`repro.run`,
+  :func:`repro.sweep`, :func:`repro.load_trace`,
+  :func:`repro.fit_predictor`); prefer it over the internal packages
+  (see ``docs/API.md``).
 """
 
 from .config import (
@@ -78,7 +84,20 @@ from .prediction import (
 )
 from .workload import LoadTrace, b2w_like_trace, wikipedia_like_trace
 
-__version__ = "1.0.0"
+# The facade imports repro.runner, which builds on the modules above;
+# keep this import last.
+from .api import (  # noqa: E402  (intentional late import)
+    RunResult,
+    SweepResult,
+    fit_predictor,
+    load_trace,
+    run,
+    sweep,
+)
+from .elasticity import StrategySpec
+from .runner import RunSpec
+
+__version__ = "1.1.0"
 
 __all__ = [
     "ArPredictor",
@@ -105,13 +124,21 @@ __all__ = [
     "PredictionError",
     "PredictiveController",
     "RetryPolicy",
+    "RunResult",
+    "RunSpec",
     "SINGLE_NODE_SATURATION_TPS",
     "SimulationError",
     "SparPredictor",
+    "StrategySpec",
+    "SweepResult",
     "TelemetryConfig",
     "TelemetryError",
     "TransactionAbort",
     "b2w_like_trace",
     "default_config",
+    "fit_predictor",
+    "load_trace",
+    "run",
+    "sweep",
     "wikipedia_like_trace",
 ]

@@ -1,0 +1,327 @@
+"""Stable high-level API for the P-Store reproduction.
+
+Four entry points cover the common workflows without touching the
+internal packages (see ``docs/API.md``):
+
+>>> import repro
+>>> result = repro.run(strategy="static:6", days=2)      # one simulation
+>>> report = repro.sweep("smoke", jobs=4)                # a cached grid
+>>> trace = repro.load_trace("trace.csv")                # trace I/O
+>>> spar = repro.fit_predictor("spar", series, period=288)
+
+Results are frozen dataclasses with ``.to_json()`` / ``.summary()``;
+everything the CLI prints is derived from them.  The heavyweight result
+objects (full per-slot series) remain reachable through ``.detail`` for
+callers that need more than the headline numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from .config import PStoreConfig, default_config
+from .elasticity import StrategySpec
+from .errors import ConfigurationError
+from .prediction import (
+    ArmaPredictor,
+    ArPredictor,
+    LastValuePredictor,
+    OraclePredictor,
+    SparPredictor,
+)
+from .runner import RunSpec
+from .workload import LoadTrace, b2w_like_trace
+
+#: Training window (days) used by :func:`run`, matching the paper.
+TRAIN_DAYS = 28
+
+#: Patience the CLI's reactive baseline has always used.
+REACTIVE_PATIENCE = 12
+
+
+# ----------------------------------------------------------------------
+# run()
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Headline numbers of one capacity simulation."""
+
+    strategy: str                 # canonical spec, e.g. "static:machines=6"
+    strategy_name: str            # the strategy's display name, "static-6"
+    days: int
+    seed: int
+    slots: int
+    cost_machine_slots: float
+    average_machines: float
+    pct_time_insufficient: float
+    moves_started: int
+    emergencies: int
+    #: The full :class:`~repro.sim.CapacitySimResult` (per-slot series).
+    detail: Any = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "strategy_name": self.strategy_name,
+            "days": self.days,
+            "seed": self.seed,
+            "slots": self.slots,
+            "cost_machine_slots": self.cost_machine_slots,
+            "average_machines": self.average_machines,
+            "pct_time_insufficient": self.pct_time_insufficient,
+            "moves_started": self.moves_started,
+            "emergencies": self.emergencies,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def summary(self) -> str:
+        return (
+            f"{self.strategy_name}: avg machines {self.average_machines:.2f}, "
+            f"insufficient {self.pct_time_insufficient:.2f}% of time, "
+            f"{self.moves_started} moves ({self.emergencies} emergency) "
+            f"over {self.days} day(s)"
+        )
+
+
+def run(
+    config: Optional[PStoreConfig] = None,
+    *,
+    strategy: Union[str, StrategySpec] = "p-store",
+    days: int = 14,
+    seed: int = 7,
+    peak_tps: float = 1450.0,
+    trace: Optional[LoadTrace] = None,
+) -> RunResult:
+    """Capacity-simulate one provisioning strategy over a B2W-like trace.
+
+    Mirrors ``pstore simulate``: four weeks of training data precede the
+    ``days``-long evaluation window; ``p-store`` specs get a SPAR model
+    fitted on the training window.  ``trace``, when given, must cover
+    ``TRAIN_DAYS + days`` at 300 s slots and replaces the generator.
+    """
+    from .sim import run_capacity_simulation
+
+    spec = (
+        strategy
+        if isinstance(strategy, StrategySpec)
+        else StrategySpec.parse(strategy)
+    )
+    config = (config or default_config()).with_interval(300.0)
+    if trace is None:
+        trace = b2w_like_trace(
+            n_days=TRAIN_DAYS + days,
+            slot_seconds=300.0,
+            seed=seed,
+            base_level=peak_tps * 300.0,
+        )
+    train = trace.slice_days(0, TRAIN_DAYS).as_rate_per_second()
+    evaluation = trace.slice_days(TRAIN_DAYS, days)
+
+    predictor = None
+    history: list = []
+    if spec.kind == "p-store":
+        predictor = SparPredictor(period=288, n_periods=7, m_recent=30).fit(
+            train
+        )
+        history = [float(v) for v in train]
+    if spec.kind == "reactive" and spec.param("patience") is None:
+        spec = StrategySpec(
+            kind="reactive",
+            params=spec.params + (("patience", REACTIVE_PATIENCE),),
+        )
+    built = spec.build(config, predictor=predictor, slots_per_day=288)
+    initial = (
+        int(spec.param("machines"))
+        if spec.kind == "static"
+        else max(
+            1,
+            math.ceil(evaluation.as_rate_per_second()[0] * 1.3 / config.q),
+        )
+    )
+    result = run_capacity_simulation(
+        evaluation, built, config, initial, history_seed=history
+    )
+    return RunResult(
+        strategy=spec.canonical(),
+        strategy_name=result.strategy_name,
+        days=days,
+        seed=seed,
+        slots=result.n_slots,
+        cost_machine_slots=result.cost_machine_slots,
+        average_machines=result.average_machines,
+        pct_time_insufficient=result.pct_time_insufficient,
+        moves_started=result.moves_started,
+        emergencies=result.emergencies,
+        detail=result,
+    )
+
+
+# ----------------------------------------------------------------------
+# sweep()
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one (possibly cached, possibly parallel) sweep."""
+
+    experiment: str
+    config_hash: str
+    result_hash: str
+    jobs: int
+    hits: int
+    executed: int
+    elapsed_seconds: float
+    #: cell label -> JSON payload.
+    payloads: Mapping[str, Any]
+    #: The full :class:`~repro.runner.SweepReport`.
+    detail: Any = field(default=None, repr=False, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "config_hash": self.config_hash,
+            "result_hash": self.result_hash,
+            "jobs": self.jobs,
+            "hits": self.hits,
+            "executed": self.executed,
+            "elapsed_seconds": self.elapsed_seconds,
+            "payloads": dict(self.payloads),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def summary(self) -> str:
+        return (
+            f"{self.experiment}: {len(self.payloads)} cells, {self.hits} "
+            f"cached, {self.executed} executed in "
+            f"{self.elapsed_seconds:.1f}s (jobs={self.jobs}), "
+            f"result {self.result_hash[:12]}"
+        )
+
+
+def sweep(
+    grid: Union[str, Sequence[RunSpec]],
+    *,
+    config: Optional[PStoreConfig] = None,
+    jobs: int = 1,
+    cache_dir: Union[str, None] = None,
+    force: bool = False,
+    record_events: bool = False,
+    grid_options: Optional[Dict[str, Any]] = None,
+) -> SweepResult:
+    """Execute an experiment's cell grid through the cached executor.
+
+    ``grid`` is an experiment name (its registered grid is used,
+    parameterised by ``grid_options``) or an explicit list of
+    :class:`~repro.runner.RunSpec` cells.  Cells already in the cache
+    under the active config are served from disk; set ``force=True`` to
+    re-execute everything.
+    """
+    from .experiments.registry import get_experiment
+    from .runner import ResultCache, SweepExecutor
+    from .runner.cache import default_cache_root
+
+    if isinstance(grid, str):
+        specs = get_experiment(grid).make_grid(**(grid_options or {}))
+        name = grid
+    else:
+        specs = list(grid)
+        if not specs:
+            raise ConfigurationError("sweep grid is empty")
+        name = "+".join(sorted({s.experiment for s in specs}))
+    cache = ResultCache(cache_dir if cache_dir else default_cache_root())
+    executor = SweepExecutor(
+        config or default_config(),
+        cache,
+        jobs=jobs,
+        record_events=record_events,
+    )
+    report = executor.run(specs, force=force)
+    payloads = {cell.spec.label: cell.payload for cell in report.cells}
+    return SweepResult(
+        experiment=name,
+        config_hash=report.config_hash,
+        result_hash=report.result_hash,
+        jobs=report.jobs,
+        hits=report.hits,
+        executed=report.executed,
+        elapsed_seconds=report.elapsed_seconds,
+        payloads=payloads,
+        detail=report,
+    )
+
+
+# ----------------------------------------------------------------------
+# load_trace() / fit_predictor()
+# ----------------------------------------------------------------------
+
+
+def load_trace(path) -> LoadTrace:
+    """Read a load trace from the CSV format ``pstore generate`` writes."""
+    from .workload.io import read_trace_csv
+
+    return read_trace_csv(path)
+
+
+#: Predictor families :func:`fit_predictor` knows how to build.
+PREDICTORS: Tuple[str, ...] = ("spar", "arma", "ar", "naive", "oracle")
+
+
+def fit_predictor(
+    name: str,
+    series,
+    *,
+    period: int = 288,
+    n_periods: int = 7,
+    m_recent: int = 30,
+    order: int = 30,
+    p: int = 30,
+    q: int = 10,
+):
+    """Build and fit a predictor by family name.
+
+    ``period``/``n_periods``/``m_recent`` parameterise SPAR, ``order``
+    the AR baseline, ``p``/``q`` the ARMA baseline.  The fitted model is
+    returned (SPAR's paper defaults are the argument defaults).
+    """
+    key = str(name).lower()
+    if key == "spar":
+        model = SparPredictor(
+            period=period, n_periods=n_periods, m_recent=m_recent
+        )
+    elif key == "arma":
+        model = ArmaPredictor(p=p, q=q)
+    elif key == "ar":
+        model = ArPredictor(order=order)
+    elif key == "naive":
+        model = LastValuePredictor()
+    elif key == "oracle":
+        return OraclePredictor(series)
+    else:
+        raise ConfigurationError(
+            f"unknown predictor {name!r} (expected one of {PREDICTORS})"
+        )
+    return model.fit(series)
+
+
+__all__ = [
+    "PREDICTORS",
+    "RunResult",
+    "SweepResult",
+    "fit_predictor",
+    "load_trace",
+    "run",
+    "sweep",
+]

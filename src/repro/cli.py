@@ -11,7 +11,13 @@ Subcommands
 ``simulate``
     run the fast capacity simulator for a provisioning strategy;
 ``experiment``
-    run one of the paper's experiments at reduced scale;
+    run one of the paper's experiments (``--list`` enumerates them, and
+    ``--jobs N`` executes the experiment's cell grid through the cached
+    sweep executor instead of the serial runner);
+``sweep``
+    execute an experiment's cell grid across a worker pool with
+    content-addressed result caching — re-runs only execute dirty cells
+    and interrupted sweeps resume for free (see docs/API.md);
 ``chaos``
     run a fault-injection scenario (node crashes, stalled transfers,
     forecast drift, ...) against the benchmark and report SLA violations
@@ -34,24 +40,16 @@ from __future__ import annotations
 
 import argparse
 import logging
-import math
 import sys
 from typing import List, Optional
 
 import numpy as np
 
-from . import PStoreConfig, default_config
+from . import PStoreConfig, api, default_config
 from .analysis import ascii_table, series_block
+from .config import parse_set_overrides
 from .core import Planner
-from .elasticity import (
-    PStoreStrategy,
-    ReactiveStrategy,
-    SimpleStrategy,
-    StaticStrategy,
-)
 from .errors import InfeasiblePlanError, PStoreError
-from .prediction import ArmaPredictor, ArPredictor, SparPredictor
-from .sim import run_capacity_simulation
 from .telemetry import (
     disable_telemetry,
     enable_telemetry,
@@ -150,13 +148,49 @@ def _build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", parents=[common],
                          help="run a paper experiment")
     exp.add_argument(
-        "name",
-        choices=(
-            "fig01", "fig02", "fig04", "fig05", "fig06", "fig07", "fig08",
-            "tab01", "sec5",
-        ),
-        help="experiment id (lightweight ones only; use the bench "
-        "harness for Figs 9-13)",
+        "name", nargs="?", default=None,
+        help="experiment id (see --list; heavy experiments warn at "
+        "default scale)",
+    )
+    exp.add_argument(
+        "--list", action="store_true", dest="list_experiments",
+        help="enumerate the registered experiments and exit",
+    )
+    exp.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run the experiment's cell grid through the cached sweep "
+        "executor with N workers instead of the serial runner",
+    )
+
+    swp = sub.add_parser(
+        "sweep", parents=[common],
+        help="run an experiment's cell grid with caching and workers",
+    )
+    swp.add_argument("name", help="experiment id (see `experiment --list`)")
+    swp.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (1 = in-process serial)")
+    swp.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: .pstore-cache, or "
+        "$PSTORE_CACHE_DIR)",
+    )
+    swp.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write manifest.json and merged events.jsonl into DIR",
+    )
+    swp.add_argument(
+        "--force", action="store_true",
+        help="re-execute every cell even when cached",
+    )
+    swp.add_argument(
+        "--config", default=None,
+        help="JSON config file (see PStoreConfig.from_sources)",
+    )
+    swp.add_argument(
+        "--set", action="append", default=None, metavar="KEY=VALUE",
+        dest="overrides",
+        help="config override (repeatable, dotted keys allowed, e.g. "
+        "--set q=300 --set faults.seed=9)",
     )
 
     chaos = sub.add_parser(
@@ -224,14 +258,7 @@ def _cmd_generate(args) -> int:
 
 
 def _fit_model(name: str, values: np.ndarray, period: int, train_slots: int):
-    if name == "spar":
-        model = SparPredictor(period=period, n_periods=7, m_recent=30)
-    elif name == "arma":
-        model = ArmaPredictor(p=30, q=10)
-    else:
-        model = ArPredictor(order=30)
-    model.fit(values[:train_slots])
-    return model
+    return api.fit_predictor(name, values[:train_slots], period=period)
 
 
 def _cmd_predict(args) -> int:
@@ -317,116 +344,105 @@ def _cmd_plan(args) -> int:
     return 0
 
 
-def _parse_strategy(spec: str, config, setup):
-    values, train = setup
-    if spec == "p-store":
-        period = 288
-        spar = SparPredictor(period=period, n_periods=7, m_recent=30).fit(train)
-        return PStoreStrategy(config, spar), list(train)
-    if spec == "reactive":
-        return ReactiveStrategy(config, scale_in_patience=12), []
-    if spec.startswith("static:"):
-        try:
-            machines = int(spec.split(":", 1)[1])
-        except ValueError:
-            raise PStoreError(
-                f"bad machine count in strategy spec {spec!r} "
-                "(expected static:<N>)"
-            ) from None
-        return StaticStrategy(machines), []
-    if spec.startswith("simple:"):
-        try:
-            day, night = spec.split(":", 1)[1].split("/")
-            day_machines, night_machines = int(day), int(night)
-        except ValueError:
-            raise PStoreError(
-                f"bad strategy spec {spec!r} (expected simple:<day>/<night>)"
-            ) from None
-        return (
-            SimpleStrategy(day_machines, night_machines, slots_per_day=288,
-                           morning_hour=5.0),
-            [],
-        )
-    raise PStoreError(f"unknown strategy spec {spec!r}")
-
-
 def _cmd_simulate(args) -> int:
-    config = default_config().with_interval(300.0)
-    full = b2w_like_trace(
-        n_days=28 + args.days,
-        slot_seconds=300.0,
-        seed=args.seed,
-        base_level=args.peak_tps * 300.0,
-    )
-    train = full.slice_days(0, 28).as_rate_per_second()
-    evaluation = full.slice_days(28, args.days)
     logger.info("simulating %s for %d days (seed %d)", args.strategy,
                 args.days, args.seed)
-    strategy, history = _parse_strategy(args.strategy, config, (None, train))
-    initial = (
-        strategy.machines
-        if isinstance(strategy, StaticStrategy)
-        else max(1, math.ceil(evaluation.as_rate_per_second()[0] * 1.3 / config.q))
+    result = api.run(
+        strategy=args.strategy,
+        days=args.days,
+        seed=args.seed,
+        peak_tps=args.peak_tps,
     )
-    result = run_capacity_simulation(
-        evaluation, strategy, config, initial, history_seed=history
-    )
-    print(series_block("load (txn/s)", result.load_tps))
-    print(series_block("machines", result.machines))
+    detail = result.detail
+    print(series_block("load (txn/s)", detail.load_tps))
+    print(series_block("machines", detail.machines))
     print()
-    print(result.summary())
+    print(detail.summary())
     return 0
 
 
 def _cmd_experiment(args) -> int:
-    from . import experiments as ex
+    from .experiments.registry import get_experiment, list_experiments
 
-    if args.name == "fig01":
-        r = ex.run_figure1()
-        print(f"peak/trough {r.peak_to_trough:.1f}x, "
-              f"day-lag autocorrelation {r.daily_autocorrelation:.2f}")
-    elif args.name == "fig02":
-        r = ex.run_figure2()
-        print(f"step allocation overhead vs ideal: {r.overhead_pct:.1f}%")
-    elif args.name == "fig04":
-        r = ex.run_figure4()
-        for case in r.cases:
+    if args.list_experiments:
+        rows = [
+            (
+                defn.name,
+                "grid" if defn.has_grid else "-",
+                "heavy" if defn.heavy else "",
+                defn.title,
+            )
+            for defn in list_experiments()
+        ]
+        print(ascii_table(
+            ["id", "cells", "scale", "title"], rows,
+            title="registered experiments",
+        ))
+        return 0
+    if args.name is None:
+        print("error: give an experiment id or --list", file=sys.stderr)
+        return 2
+    defn = get_experiment(args.name)
+    if args.jobs > 1:
+        if not defn.has_grid:
             print(
-                f"{case.before} -> {case.after}: {case.duration_in_d:.3f} D, "
-                f"max allocation/eff-cap gap {case.max_allocation_gap:.2f} machines"
+                f"error: experiment {defn.name!r} declares no cell grid; "
+                "run it without --jobs",
+                file=sys.stderr,
             )
-    elif args.name == "fig05":
-        r = ex.run_figure5()
-        for tau, mre in sorted(r.mre_by_tau.items()):
-            print(f"tau={tau:>3} min: MRE {100 * mre:.1f}%")
-    elif args.name == "fig06":
-        r = ex.run_figure6()
-        for lang in (r.english, r.german):
-            errors = ", ".join(
-                f"{t}h={100 * m:.1f}%" for t, m in sorted(lang.mre_by_tau.items())
-            )
-            print(f"{lang.language}: {errors}")
-    elif args.name == "fig07":
-        r = ex.run_figure7()
-        print(f"saturation {r.saturation_tps:.0f} txn/s; "
-              f"Q-hat {r.q_hat:.0f}; Q {r.q:.0f}")
-    elif args.name == "fig08":
-        r = ex.run_figure8()
-        for run in r.runs:
-            label = "static" if run.chunk_kb is None else f"{run.chunk_kb:.0f}kB"
-            print(
-                f"{label:>7}: p99 peak {run.p99_peak_ms:7.0f} ms, "
-                f"migration {run.migration_seconds:5.0f} s"
-            )
-    elif args.name == "tab01":
-        r = ex.run_table1()
-        print(r.schedule.describe())
-        print(f"average machines {r.average_machines:.3f} "
-              f"(Algorithm 4: {r.algorithm4_average:.3f})")
-    else:  # sec5
-        r = ex.run_model_comparison()
-        for name in r.ordering:
-            print(f"{name:>5}: MRE {100 * r.mre_by_model[name]:.1f}%")
+            return 2
+        result = api.sweep(args.name, jobs=args.jobs)
+        for label in sorted(result.payloads):
+            print(f"{label}: {_payload_line(result.payloads[label])}")
+        print()
+        print(result.summary())
+        return 0
+    if defn.heavy:
+        logger.warning(
+            "experiment %s runs minutes at default scale", defn.name
+        )
+    result = defn.run()
+    print(defn.render(result))
+    return 0
+
+
+def _payload_line(payload) -> str:
+    """One compact line for a cell payload (skip the digest blobs)."""
+    if not isinstance(payload, dict):
+        return str(payload)
+    parts = []
+    for key, value in payload.items():
+        if key in ("series_sha", "chronicle", "rows", "points"):
+            continue
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        elif isinstance(value, (str, int, bool)):
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def _cmd_sweep(args) -> int:
+    config = PStoreConfig.from_sources(
+        file=args.config,
+        overrides=parse_set_overrides(args.overrides or []),
+    )
+    logger.info("sweeping %s with %d job(s)", args.name, args.jobs)
+    result = api.sweep(
+        args.name,
+        config=config,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        force=args.force,
+        record_events=bool(args.out),
+    )
+    for label in sorted(result.payloads):
+        print(f"{label}: {_payload_line(result.payloads[label])}")
+    print()
+    print(result.summary())
+    if args.out:
+        paths = result.detail.write_manifest(args.out)
+        for kind, path in sorted(paths.items()):
+            logger.info("wrote %s -> %s", kind, path)
     return 0
 
 
@@ -516,6 +532,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,
+    "sweep": _cmd_sweep,
     "chaos": _cmd_chaos,
     "check": _cmd_check,
 }

@@ -22,9 +22,18 @@ buffer) and a migration rate ``R = 244 kB/s`` over a 1106 MB database.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass
 
 from .errors import ConfigurationError
+
+
+def canonical_json(obj) -> str:
+    """Serialise ``obj`` to a canonical JSON string (sorted keys, no
+    whitespace).  Identical values always yield identical strings, so the
+    output is safe to hash for cache keys."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 #: Saturation throughput of a single 6-partition server (txn/s, Fig. 7).
 SINGLE_NODE_SATURATION_TPS = 438.0
@@ -281,17 +290,88 @@ class PStoreConfig:
             {"q": 285.0, "q_hat": 350.0, "d_seconds": 4646,
              "interval_seconds": 300, "prediction_inflation": 1.15}
         """
-        import json
+        return cls.from_dict(cls._read_file(path))
+
+    @classmethod
+    def from_sources(
+        cls,
+        file=None,
+        data: "dict | None" = None,
+        overrides: "dict | None" = None,
+        base: "PStoreConfig | None" = None,
+    ) -> "PStoreConfig":
+        """Build a config by layering every supported source.
+
+        This is *the* construction path for CLI commands, experiment
+        defaults, and JSON scenario files alike.  Precedence, lowest to
+        highest:
+
+        1. the built-in defaults (or ``base`` when given);
+        2. ``file`` — a JSON config file (see :meth:`from_file`);
+        3. ``data`` — a plain mapping (e.g. an experiment's defaults);
+        4. ``overrides`` — individual key overrides (e.g. CLI ``--set``).
+
+        ``data`` and ``overrides`` accept dotted keys for the nested
+        sections (``"faults.seed"``, ``"telemetry.enabled"``).  Unknown
+        keys raise :class:`ConfigurationError`, as everywhere else.
+        """
+        merged: dict = dict(base.to_dict()) if base is not None else {}
+        for source in (
+            cls._read_file(file) if file is not None else None,
+            data,
+            overrides,
+        ):
+            if not source:
+                continue
+            for key, value in source.items():
+                cls._merge_key(merged, str(key), value)
+        return cls.from_dict(merged)
+
+    @staticmethod
+    def _read_file(path) -> dict:
         import pathlib
 
         text = pathlib.Path(path).read_text()
         try:
             data = json.loads(text)
         except json.JSONDecodeError as exc:
-            raise ConfigurationError(f"config file {path} is not valid JSON: {exc}")
+            raise ConfigurationError(
+                f"config file {path} is not valid JSON: {exc}"
+            )
         if not isinstance(data, dict):
             raise ConfigurationError("config file must contain a JSON object")
-        return cls.from_dict(data)
+        return data
+
+    @staticmethod
+    def _merge_key(merged: dict, key: str, value) -> None:
+        """Merge one possibly-dotted key into the accumulating mapping."""
+        if "." in key:
+            section, _, inner = key.partition(".")
+            sub = merged.setdefault(section, {})
+            if not isinstance(sub, dict):
+                sub = dict(dataclasses.asdict(sub)) if dataclasses.is_dataclass(sub) else {}
+                merged[section] = sub
+            sub[inner] = value
+        elif isinstance(value, dict) and isinstance(merged.get(key), dict):
+            merged[key].update(value)
+        else:
+            merged[key] = value
+
+    def config_hash(self) -> str:
+        """Hex digest identifying every *result-relevant* setting.
+
+        The sweep result cache keys cells on this hash: two configs with
+        the same hash produce bit-identical runs.  The ``telemetry``
+        section is excluded — recording metrics does not change results —
+        while the ``faults`` section is included because injected faults
+        do.
+        """
+        payload = {
+            k: v for k, v in self.to_dict().items() if k != "telemetry"
+        }
+        return hashlib.sha256(
+            canonical_json(payload).encode("utf-8")
+        ).hexdigest()
 
     def to_dict(self) -> dict:
         """The config as a plain mapping (for serialisation/round trips)."""
@@ -301,6 +381,39 @@ class PStoreConfig:
 def default_config() -> PStoreConfig:
     """The configuration used throughout the paper's evaluation."""
     return PStoreConfig()
+
+
+def parse_override_value(text: str):
+    """Coerce a CLI override value: bool, int, float, then string."""
+    if not isinstance(text, str):
+        return text
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_set_overrides(pairs) -> dict:
+    """Parse repeated CLI ``--set key=value`` arguments into a mapping.
+
+    Keys may be dotted (``faults.seed=3``); values are coerced with
+    :func:`parse_override_value`.  Malformed items raise
+    :class:`ConfigurationError`.
+    """
+    overrides: dict = {}
+    for item in pairs or ():
+        key, sep, value = str(item).partition("=")
+        if not sep or not key.strip():
+            raise ConfigurationError(
+                f"bad --set override {item!r} (expected key=value)"
+            )
+        overrides[key.strip()] = parse_override_value(value.strip())
+    return overrides
 
 
 #: Fractions of the saturation throughput swept in Figure 12.  Each value

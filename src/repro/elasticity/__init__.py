@@ -1,6 +1,6 @@
 """Provisioning strategies: P-Store and the paper's baselines."""
 
-from .base import NO_ACTION, ProvisioningStrategy, ScaleDecision
+from .base import NO_ACTION, ProvisioningStrategy, ScaleDecision, StrategySpec
 from .composite import CompositeStrategy, ManualReservation
 from .manual import ManualStrategy
 from .predictive import PStoreStrategy
@@ -19,4 +19,5 @@ __all__ = [
     "ScaleDecision",
     "SimpleStrategy",
     "StaticStrategy",
+    "StrategySpec",
 ]

@@ -11,10 +11,10 @@ granularity and the current cluster size and answers with a
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Tuple, Union
 
-from ..errors import SimulationError
+from ..errors import SimulationError, StrategySpecError
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,270 @@ class ScaleDecision:
 
 #: The "do nothing" decision.
 NO_ACTION = ScaleDecision()
+
+
+#: Scalar parameter value of a strategy spec.
+ParamValue = Union[int, float, str]
+
+#: Parameter names accepted per strategy kind (``StrategySpec.parse``
+#: rejects anything else with one typed error).
+_SPEC_PARAMS = {
+    "static": {"machines"},
+    "simple": {"day", "night", "slots_per_day", "morning_hour", "night_hour"},
+    "reactive": {
+        "patience", "max_machines", "min_machines", "threshold", "headroom",
+        "rate",
+    },
+    "p-store": {"name", "horizon", "emergency_rate"},
+}
+
+#: Parameters that must be present after parsing.
+_SPEC_REQUIRED = {
+    "static": ("machines",),
+    "simple": ("day", "night"),
+    "reactive": (),
+    "p-store": (),
+}
+
+
+def _coerce_param(text: str) -> ParamValue:
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """Declarative description of a provisioning strategy.
+
+    The one spec grammar shared by the CLI, the experiment cell grids,
+    and chaos/fault scenarios (replacing the CLI's old private string
+    parser).  String forms::
+
+        p-store                      # SPAR-driven predictive controller
+        reactive                     # E-Store-style reactive baseline
+        reactive:patience=10         # ... with keyword parameters
+        static:6                     # fixed 6-machine allocation
+        simple:7/3                   # clock-driven day/night allocation
+
+    After the ``:`` a kind-specific positional shorthand (``static:<N>``,
+    ``simple:<day>/<night>``) and/or comma-separated ``key=value`` pairs
+    are accepted.  Malformed specs raise :class:`StrategySpecError` — the
+    single typed error for every consumer.
+
+    Instances are frozen and hashable; :meth:`canonical` returns a
+    normalised string (sorted parameters) suitable for cache keys.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, ParamValue], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SPEC_PARAMS:
+            raise StrategySpecError(
+                f"unknown strategy kind {self.kind!r} (expected one of "
+                f"{sorted(_SPEC_PARAMS)})"
+            )
+        normalized = tuple(sorted((str(k), v) for k, v in self.params))
+        object.__setattr__(self, "params", normalized)
+        allowed = _SPEC_PARAMS[self.kind]
+        for key, value in normalized:
+            if key not in allowed:
+                raise StrategySpecError(
+                    f"unknown parameter {key!r} for strategy "
+                    f"{self.kind!r} (allowed: {sorted(allowed)})"
+                )
+            if not isinstance(value, (int, float, str)):
+                raise StrategySpecError(
+                    f"parameter {key}={value!r} must be an int, float, or "
+                    "string"
+                )
+        missing = [
+            k for k in _SPEC_REQUIRED[self.kind] if k not in dict(normalized)
+        ]
+        if missing:
+            raise StrategySpecError(
+                f"strategy {self.kind!r} is missing required parameter(s) "
+                f"{missing}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "StrategySpec":
+        """Parse a spec string (see the class docstring for the grammar)."""
+        if not isinstance(text, str) or not text.strip():
+            raise StrategySpecError("strategy spec must be a non-empty string")
+        kind, _, arg = text.strip().partition(":")
+        if kind not in _SPEC_PARAMS:
+            raise StrategySpecError(
+                f"unknown strategy spec {text!r} (expected p-store, "
+                "reactive, static:<N>, or simple:<day>/<night>)"
+            )
+        params: dict = {}
+        positional: list = []
+        if arg:
+            for part in arg.split(","):
+                part = part.strip()
+                if not part:
+                    raise StrategySpecError(
+                        f"empty parameter in strategy spec {text!r}"
+                    )
+                if "=" in part:
+                    key, _, raw = part.partition("=")
+                    params[key.strip()] = _coerce_param(raw.strip())
+                else:
+                    positional.append(part)
+        if positional:
+            params.update(cls._positional_params(kind, positional, text))
+        return cls(kind=kind, params=tuple(params.items()))
+
+    @staticmethod
+    def _positional_params(kind: str, positional: list, text: str) -> dict:
+        if kind == "static":
+            if len(positional) != 1:
+                raise StrategySpecError(
+                    f"bad strategy spec {text!r} (expected static:<N>)"
+                )
+            try:
+                return {"machines": int(positional[0])}
+            except ValueError:
+                raise StrategySpecError(
+                    f"bad machine count in strategy spec {text!r} "
+                    "(expected static:<N>)"
+                ) from None
+        if kind == "simple":
+            try:
+                day, night = positional[0].split("/")
+                extra = {"day": int(day), "night": int(night)}
+            except ValueError:
+                raise StrategySpecError(
+                    f"bad strategy spec {text!r} "
+                    "(expected simple:<day>/<night>)"
+                ) from None
+            if len(positional) != 1:
+                raise StrategySpecError(
+                    f"bad strategy spec {text!r} "
+                    "(expected simple:<day>/<night>)"
+                )
+            return extra
+        raise StrategySpecError(
+            f"strategy {kind!r} takes only key=value parameters, got "
+            f"{positional} in {text!r}"
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "StrategySpec":
+        """Build a spec from a mapping, e.g. ``{"kind": "static",
+        "machines": 6}`` (scenario files, sweep grids)."""
+        if not isinstance(data, Mapping):
+            raise StrategySpecError("strategy spec must be a mapping")
+        if "kind" not in data:
+            raise StrategySpecError("strategy spec mapping needs a 'kind' key")
+        params = {k: v for k, v in data.items() if k != "kind"}
+        return cls(kind=str(data["kind"]), params=tuple(params.items()))
+
+    # ------------------------------------------------------------------
+    # Introspection / serialisation
+    # ------------------------------------------------------------------
+
+    def param(self, key: str, default: ParamValue = None):
+        return dict(self.params).get(key, default)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, **dict(self.params)}
+
+    def canonical(self) -> str:
+        """Normalised string form (sorted parameters); parse-stable."""
+        if not self.params:
+            return self.kind
+        rendered = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.kind}:{rendered}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.canonical()
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+
+    def build(
+        self,
+        config,
+        *,
+        predictor=None,
+        slots_per_day: Optional[int] = None,
+        injector=None,
+        telemetry=None,
+    ) -> "ProvisioningStrategy":
+        """Materialise the strategy this spec describes.
+
+        ``predictor`` (fitted) is required for ``p-store`` specs;
+        ``slots_per_day`` is required for ``simple`` specs unless the
+        spec carries a ``slots_per_day`` parameter.  ``injector`` and
+        ``telemetry`` are forwarded to strategies that accept them.
+        """
+        from .predictive import PStoreStrategy
+        from .reactive import ReactiveStrategy
+        from .simple import SimpleStrategy
+        from .static import StaticStrategy
+
+        params = dict(self.params)
+        if self.kind == "static":
+            return StaticStrategy(int(params["machines"]))
+        if self.kind == "simple":
+            spd = params.get("slots_per_day", slots_per_day)
+            if spd is None:
+                raise StrategySpecError(
+                    "simple strategy needs slots_per_day (parameter or "
+                    "build argument)"
+                )
+            return SimpleStrategy(
+                day_machines=int(params["day"]),
+                night_machines=int(params["night"]),
+                slots_per_day=int(spd),
+                morning_hour=float(params.get("morning_hour", 5.0)),
+                night_hour=float(params.get("night_hour", 23.5)),
+            )
+        if self.kind == "reactive":
+            kwargs = {}
+            if "patience" in params:
+                kwargs["scale_in_patience"] = int(params["patience"])
+            if "max_machines" in params:
+                kwargs["max_machines"] = int(params["max_machines"])
+            if "min_machines" in params:
+                kwargs["min_machines"] = int(params["min_machines"])
+            if "threshold" in params:
+                kwargs["scale_out_threshold"] = float(params["threshold"])
+            if "headroom" in params:
+                kwargs["headroom"] = float(params["headroom"])
+            if "rate" in params:
+                kwargs["rate_multiplier"] = float(params["rate"])
+            return ReactiveStrategy(config, **kwargs)
+        # p-store
+        if predictor is None:
+            raise StrategySpecError(
+                "p-store strategy needs a fitted predictor (pass one to "
+                "StrategySpec.build)"
+            )
+        kwargs = {}
+        if "horizon" in params:
+            kwargs["horizon_intervals"] = int(params["horizon"])
+        if "emergency_rate" in params:
+            kwargs["emergency_rate_multiplier"] = float(params["emergency_rate"])
+        return PStoreStrategy(
+            config,
+            predictor,
+            name=str(params.get("name", "p-store")),
+            injector=injector,
+            telemetry=telemetry,
+            **kwargs,
+        )
 
 
 class ProvisioningStrategy(abc.ABC):

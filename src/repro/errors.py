@@ -20,6 +20,28 @@ class ConfigurationError(PStoreError):
 ConfigError = ConfigurationError
 
 
+class StrategySpecError(ConfigurationError):
+    """A provisioning-strategy spec string or mapping is malformed.
+
+    Raised by :meth:`repro.elasticity.StrategySpec.parse` and
+    :meth:`~repro.elasticity.StrategySpec.from_dict` — the one error type
+    every consumer of strategy specs (CLI, experiments, fault scenarios)
+    has to handle.
+    """
+
+
+class UnknownExperimentError(ConfigurationError):
+    """An experiment name is not in :mod:`repro.experiments`' registry."""
+
+
+class SweepError(PStoreError):
+    """A sweep cell failed to execute.
+
+    Completed cells are already persisted in the result cache when this
+    is raised, so re-running the sweep resumes from where it stopped.
+    """
+
+
 class PlanningError(PStoreError):
     """The move planner was called with invalid inputs."""
 

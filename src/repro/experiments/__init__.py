@@ -4,6 +4,14 @@ Each ``run_*`` function executes an experiment at (optionally reduced)
 scale and returns a typed result object; the benches under
 ``benchmarks/`` are thin wrappers that print the same rows/series the
 paper reports.
+
+Every module additionally declares its **sweep-cell grid**: ``grid()``
+returns the experiment's independent cells as
+:class:`~repro.runner.RunSpec` objects and ``run_cell(spec, config)``
+executes one of them hermetically.  The registry in
+:mod:`repro.experiments.registry` enumerates all experiments for
+``pstore experiment --list`` and ``pstore sweep`` without importing the
+heavy modules up front.
 """
 
 from .ablations import (
@@ -27,7 +35,14 @@ from .fig10 import Figure10Result, run_figure10
 from .fig11 import Figure11Result, run_figure11
 from .fig12 import Figure12Result, run_figure12, season_setup
 from .fig13 import Figure13Result, run_figure13
+from .registry import (
+    ExperimentDef,
+    experiment_names,
+    get_experiment,
+    list_experiments,
+)
 from .sec5_models import ModelComparisonResult, run_model_comparison
+from .smoke import SmokeResult, run_smoke
 from .tab01 import Table1Result, run_table1
 from .tab02 import PAPER_TABLE2, Table2Result, run_table2
 
@@ -35,6 +50,7 @@ __all__ = [
     "BenchmarkSetup",
     "ChaosResult",
     "ChaosRun",
+    "ExperimentDef",
     "FIGURE4_CASES",
     "FIGURE5_TAUS",
     "FIGURE6_TAUS",
@@ -54,10 +70,14 @@ __all__ = [
     "Figure13Result",
     "ModelComparisonResult",
     "PAPER_TABLE2",
+    "SmokeResult",
     "Table1Result",
     "Table2Result",
     "benchmark_setup",
+    "experiment_names",
+    "get_experiment",
     "interval_rates",
+    "list_experiments",
     "run_chaos",
     "run_debounce_ablation",
     "run_effcap_ablation",
@@ -77,6 +97,7 @@ __all__ = [
     "run_inflation_ablation",
     "run_model_comparison",
     "run_schedule_ablation",
+    "run_smoke",
     "run_table1",
     "run_table2",
     "season_setup",

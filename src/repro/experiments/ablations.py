@@ -264,3 +264,74 @@ def run_inflation_ablation(
             )
         )
     return InflationAblationResult(points=points)
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol
+# ----------------------------------------------------------------------
+
+ABLATION_CELLS = ("effcap", "schedule", "debounce", "inflation")
+
+
+def grid(n_days: int = 7) -> list:
+    from ..runner import RunSpec
+
+    seeds = {"debounce": 19, "inflation": 23}
+    return [
+        RunSpec(
+            experiment="ablations",
+            cell=cell,
+            seed=seeds.get(cell, 0),
+            overrides=(("n_days", int(n_days)),),
+        )
+        for cell in ABLATION_CELLS
+    ]
+
+
+def run_cell(spec, config) -> dict:
+    from ..errors import ConfigurationError
+
+    n_days = int(spec.option("n_days", 7))
+    if spec.cell == "effcap":
+        result = run_effcap_ablation()
+        return {
+            "aware_feasible": result.aware_feasible,
+            "blind_feasible": result.blind_feasible,
+            "blind_underprovision_intervals":
+                result.blind_underprovision_intervals,
+        }
+    if spec.cell == "schedule":
+        result = run_schedule_ablation()
+        return {
+            "rows": [
+                {
+                    "before": row.before,
+                    "after": row.after,
+                    "phased_rounds": row.phased_rounds,
+                    "naive_rounds": row.naive_rounds,
+                }
+                for row in result.rows
+            ],
+            "total_saved": result.total_saved,
+        }
+    if spec.cell == "debounce":
+        result = run_debounce_ablation(n_days=n_days, seed=spec.seed)
+        return {
+            "moves_with_debounce": result.moves_with_debounce,
+            "moves_without_debounce": result.moves_without_debounce,
+            "cost_with_debounce": result.cost_with_debounce,
+            "cost_without_debounce": result.cost_without_debounce,
+        }
+    if spec.cell == "inflation":
+        result = run_inflation_ablation(n_days=n_days, seed=spec.seed)
+        return {
+            "points": [
+                {
+                    "inflation": p.inflation,
+                    "cost_machine_slots": p.cost_machine_slots,
+                    "pct_time_insufficient": p.pct_time_insufficient,
+                }
+                for p in result.points
+            ],
+        }
+    raise ConfigurationError(f"unknown ablation cell {spec.cell!r}")

@@ -144,3 +144,97 @@ def run_chaos(
         )
 
     return ChaosResult(scenario=scenario, runs=runs, baseline=baseline)
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol
+# ----------------------------------------------------------------------
+
+#: (cell name, strategy spec, faults enabled) — the three chaos runs.
+CHAOS_CELLS = (
+    ("baseline", "p-store", False),
+    ("p-store", "p-store", True),
+    ("reactive", "reactive", True),
+)
+
+
+def grid(eval_days: int = 1, seed: int = 21, scenario_seed: int = 7) -> list:
+    """One cell per (strategy, faults on/off) combination."""
+    from ..runner import RunSpec
+
+    return [
+        RunSpec(
+            experiment="chaos",
+            cell=name,
+            strategy=strategy,
+            seed=seed,
+            overrides=(
+                ("eval_days", int(eval_days)),
+                ("faults", bool(faulted)),
+                ("scenario_seed", int(scenario_seed)),
+            ),
+        )
+        for name, strategy, faulted in CHAOS_CELLS
+    ]
+
+
+def run_cell(spec, config) -> dict:
+    """One strategy under the canonical crash-during-migration drill."""
+    from ..elasticity import StrategySpec
+    from .common import sim_payload
+
+    setup = benchmark_setup(
+        eval_days=int(spec.option("eval_days", 1)),
+        seed=spec.seed,
+        config=config,
+    )
+    injector = None
+    if spec.option("faults"):
+        scenario = crash_during_migration_scenario(
+            migration=1, seed=int(spec.option("scenario_seed", 7))
+        )
+        injector = FaultInjector(scenario)
+    parsed = StrategySpec.parse(spec.strategy)
+    if parsed.kind == "p-store":
+        strategy = PStoreStrategy(
+            config, setup.spar, name="p-store", injector=injector
+        )
+    else:
+        strategy = parsed.build(config, predictor=setup.spar)
+    simulator = ElasticDbSimulator(
+        config,
+        max_machines=10,
+        initial_machines=4,
+        seed=ENGINE_SEED,
+        injector=injector,
+    )
+    result = simulator.run(
+        setup.offered_tps,
+        strategy,
+        history_seed_tps=setup.train_interval_tps,
+    )
+    payload = sim_payload(result)
+    if injector is not None:
+        stats = recovery_stats(injector.records)
+        payload["recovery"] = {
+            "injected": stats.injected,
+            "detected": stats.detected,
+            "recovered": stats.recovered,
+            "mean_time_to_detect": stats.mean_time_to_detect,
+            "mean_time_to_recover": stats.mean_time_to_recover,
+            "max_time_to_recover": stats.max_time_to_recover,
+            "converged": stats.all_recovered,
+        }
+        payload["chronicle"] = list(injector.chronicle)
+    return payload
+
+
+def summarize(result: ChaosResult) -> str:
+    lines = [f"scenario: {len(result.scenario.faults)} fault(s)"]
+    for label, violations in result.violation_rows().items():
+        parts = ", ".join(
+            f"p{int(q)}={violations[q]}" for q in sorted(violations)
+        )
+        lines.append(f"{label}: [{parts}]")
+    lines.append(f"all converged: {result.all_converged}")
+    return "\n".join(lines)

@@ -13,13 +13,14 @@ cluster; these helpers build the equivalent synthetic setup:
 
 from __future__ import annotations
 
+import hashlib
 import logging
 from dataclasses import dataclass
 from typing import List
 
 import numpy as np
 
-from ..config import PStoreConfig, default_config
+from ..config import PStoreConfig, canonical_json, default_config
 from ..prediction import SparPredictor
 from ..workload import LoadTrace, b2w_like_trace
 
@@ -102,3 +103,63 @@ def benchmark_setup(
         eval_trace=eval_compressed,
         spar=spar,
     )
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell helpers.  Every experiment module exposes ``grid()`` (its
+# cell decomposition as RunSpec objects) and ``run_cell(spec, config)``
+# (one hermetic cell -> JSON payload); these helpers keep the payloads
+# uniform so cache entries and bit-identity checks mean the same thing
+# everywhere.
+# ----------------------------------------------------------------------
+
+
+def series_digest(values) -> str:
+    """Short deterministic digest of a numeric series.
+
+    Cell payloads carry digests instead of full per-second arrays: the
+    digest pins bit-identity (parallel vs serial, cached vs fresh) while
+    keeping cache entries a few hundred bytes.
+    """
+    as_floats = [float(v) for v in np.asarray(values).ravel()]
+    blob = canonical_json(as_floats).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def sim_payload(result) -> dict:
+    """Canonical JSON payload for an :class:`ElasticDbSimulator` run."""
+    violations = result.sla_violations()
+    return {
+        "strategy": result.strategy_name,
+        "seconds": result.seconds,
+        "sla_ms": float(result.sla_ms),
+        "average_machines": round(result.average_machines, 9),
+        "emergencies": int(result.emergencies),
+        "moves_started": int(result.moves_started),
+        "sla_violations": {
+            f"p{int(q)}": int(n) for q, n in sorted(violations.items())
+        },
+        "series_sha": {
+            "machines": series_digest(result.machines),
+            "completed_tps": series_digest(result.completed_tps),
+            "p99_ms": series_digest(result.latency.series(99.0)),
+        },
+    }
+
+
+def capacity_payload(result) -> dict:
+    """Canonical JSON payload for a :class:`CapacitySimulator` run."""
+    return {
+        "strategy": result.strategy_name,
+        "slots": result.n_slots,
+        "cost_machine_slots": round(result.cost_machine_slots, 9),
+        "average_machines": round(result.average_machines, 9),
+        "insufficient_slots": int(result.insufficient_slots),
+        "pct_time_insufficient": round(result.pct_time_insufficient, 9),
+        "emergencies": int(result.emergencies),
+        "moves_started": int(result.moves_started),
+        "series_sha": {
+            "machines": series_digest(result.machines),
+            "eff_cap_max": series_digest(result.eff_cap_max),
+        },
+    }

@@ -58,3 +58,42 @@ def run_figure1(n_days: int = 3, seed: int = 7) -> Figure1Result:
         peak_to_trough=float(np.mean(ratios)),
         daily_autocorrelation=autocorr,
     )
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol
+# ----------------------------------------------------------------------
+
+
+def grid(n_days: int = 3, seed: int = 7) -> list:
+    from ..runner import RunSpec
+
+    return [
+        RunSpec(
+            experiment="fig01",
+            cell="trace-shape",
+            seed=seed,
+            overrides=(("n_days", int(n_days)),),
+        )
+    ]
+
+
+def run_cell(spec, config) -> dict:
+    result = run_figure1(
+        n_days=int(spec.option("n_days", 3)), seed=spec.seed
+    )
+    return {
+        "peak_requests_per_min": result.peak_requests_per_min,
+        "trough_requests_per_min": result.trough_requests_per_min,
+        "peak_to_trough": result.peak_to_trough,
+        "daily_autocorrelation": result.daily_autocorrelation,
+    }
+
+
+def summarize(result: Figure1Result) -> str:
+    return (
+        f"peak {result.peak_requests_per_min:,.0f}/min, trough "
+        f"{result.trough_requests_per_min:,.0f}/min "
+        f"(ratio {result.peak_to_trough:.1f}x), daily autocorrelation "
+        f"{result.daily_autocorrelation:.3f}"
+    )

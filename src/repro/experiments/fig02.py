@@ -59,3 +59,40 @@ def run_figure2(
         ideal_cost=ideal_cost,
         overhead_pct=100.0 * (step_cost - ideal_cost) / ideal_cost,
     )
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol
+# ----------------------------------------------------------------------
+
+
+def grid(buffer_fraction: float = 0.10) -> list:
+    from ..runner import RunSpec
+
+    return [
+        RunSpec(
+            experiment="fig02",
+            cell="step-overhead",
+            overrides=(("buffer_fraction", float(buffer_fraction)),),
+        )
+    ]
+
+
+def run_cell(spec, config) -> dict:
+    result = run_figure2(
+        buffer_fraction=float(spec.option("buffer_fraction", 0.10)),
+        config=config,
+    )
+    return {
+        "ideal_cost": result.ideal_cost,
+        "step_cost": result.step_cost,
+        "overhead_pct": result.overhead_pct,
+    }
+
+
+def summarize(result: Figure2Result) -> str:
+    return (
+        f"step allocation costs {result.overhead_pct:.1f}% more than the "
+        f"ideal fractional allocation "
+        f"({result.step_cost:,.0f} vs {result.ideal_cost:,.0f} server-slots)"
+    )

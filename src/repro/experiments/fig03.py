@@ -88,3 +88,43 @@ def run_figure3(
         machines_end=schedule.final_machines,
         total_cost=total_cost,
     )
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol
+# ----------------------------------------------------------------------
+
+
+def grid(horizon: int = 9, start_machines: int = 2) -> list:
+    from ..runner import RunSpec
+
+    return [
+        RunSpec(
+            experiment="fig03",
+            cell="schematic-plan",
+            overrides=(
+                ("horizon", int(horizon)),
+                ("start_machines", int(start_machines)),
+            ),
+        )
+    ]
+
+
+def run_cell(spec, config) -> dict:
+    result = run_figure3(
+        horizon=int(spec.option("horizon", 9)),
+        start_machines=int(spec.option("start_machines", 2)),
+    )
+    return {
+        "machines_end": result.machines_end,
+        "total_cost": result.total_cost,
+        "capacity_always_exceeds_demand": result.capacity_always_exceeds_demand,
+    }
+
+
+def summarize(result: Figure3Result) -> str:
+    ok = "yes" if result.capacity_always_exceeds_demand else "NO"
+    return (
+        f"plan ends at {result.machines_end} machines, cost "
+        f"{result.total_cost:,.0f}; capacity covers demand: {ok}"
+    )

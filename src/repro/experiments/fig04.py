@@ -64,3 +64,42 @@ def run_figure4(q: float | None = None) -> Figure4Result:
             )
         )
     return Figure4Result(cases=cases)
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol
+# ----------------------------------------------------------------------
+
+
+def grid() -> list:
+    from ..runner import RunSpec
+
+    return [
+        RunSpec(
+            experiment="fig04",
+            cell=f"{before}-{after}",
+            overrides=(("before", before), ("after", after)),
+        )
+        for before, after in FIGURE4_CASES
+    ]
+
+
+def run_cell(spec, config) -> dict:
+    before = int(spec.option("before"))
+    after = int(spec.option("after"))
+    result = run_figure4(q=config.q)
+    case = result.case(before, after)
+    return {
+        "before": before,
+        "after": after,
+        "duration_in_d": case.duration_in_d,
+        "max_allocation_gap": case.max_allocation_gap,
+    }
+
+
+def summarize(result: Figure4Result) -> str:
+    return "\n".join(
+        f"{case.before} -> {case.after}: {case.duration_in_d:.2f} D, max "
+        f"allocation gap {case.max_allocation_gap:.2f} machines"
+        for case in result.cases
+    )

@@ -86,3 +86,40 @@ def run_figure5(
         mre_by_tau=mre_by_tau,
         predictor=spar,
     )
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol
+# ----------------------------------------------------------------------
+
+
+def grid(taus=FIGURE5_TAUS, seed: int = 7, eval_days: int = 7) -> list:
+    from ..runner import RunSpec
+
+    return [
+        RunSpec(
+            experiment="fig05",
+            cell=f"tau-{tau}",
+            seed=seed,
+            overrides=(("tau", int(tau)), ("eval_days", int(eval_days))),
+        )
+        for tau in taus
+    ]
+
+
+def run_cell(spec, config) -> dict:
+    tau = int(spec.option("tau", 60))
+    result = run_figure5(
+        eval_days=int(spec.option("eval_days", 7)),
+        seed=spec.seed,
+        taus=(tau,),
+    )
+    return {"tau_minutes": tau, "mre": result.mre_by_tau[tau]}
+
+
+def summarize(result: Figure5Result) -> str:
+    sweep = ", ".join(
+        f"tau={tau}m: {100.0 * mre:.1f}%"
+        for tau, mre in sorted(result.mre_by_tau.items())
+    )
+    return f"SPAR MRE on B2W: {sweep}"

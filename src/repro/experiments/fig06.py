@@ -84,3 +84,50 @@ def run_figure6(
         english=_evaluate_language("en", train_days, eval_days, seed, taus),
         german=_evaluate_language("de", train_days, eval_days, seed + 1, taus),
     )
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol
+# ----------------------------------------------------------------------
+
+
+def grid(seed: int = 11, eval_days: int = 14) -> list:
+    from ..runner import RunSpec
+
+    return [
+        RunSpec(
+            experiment="fig06",
+            cell=language,
+            seed=seed + offset,
+            overrides=(
+                ("language", language),
+                ("eval_days", int(eval_days)),
+            ),
+        )
+        for offset, language in enumerate(("en", "de"))
+    ]
+
+
+def run_cell(spec, config) -> dict:
+    result = _evaluate_language(
+        str(spec.option("language", "en")),
+        train_days=28,
+        eval_days=int(spec.option("eval_days", 14)),
+        seed=spec.seed,
+        taus=FIGURE6_TAUS,
+    )
+    return {
+        "language": result.language,
+        "mre_by_tau": {str(t): m for t, m in sorted(result.mre_by_tau.items())},
+    }
+
+
+def summarize(result: Figure6Result) -> str:
+    lines = []
+    for lang in (result.english, result.german):
+        sweep = ", ".join(
+            f"{tau}h: {100.0 * mre:.1f}%"
+            for tau, mre in sorted(lang.mre_by_tau.items())
+        )
+        lines.append(f"{lang.language}: {sweep}")
+    return "\n".join(lines)

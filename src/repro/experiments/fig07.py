@@ -72,3 +72,43 @@ def run_figure7(
         q=0.65 * saturation,
         latency_knee_tps=knee,
     )
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol
+# ----------------------------------------------------------------------
+
+
+def grid(duration_seconds: int = 2500, seed: int = 5) -> list:
+    from ..runner import RunSpec
+
+    return [
+        RunSpec(
+            experiment="fig07",
+            cell="saturation-ramp",
+            seed=seed,
+            overrides=(("duration_seconds", int(duration_seconds)),),
+        )
+    ]
+
+
+def run_cell(spec, config) -> dict:
+    result = run_figure7(
+        duration_seconds=int(spec.option("duration_seconds", 2500)),
+        config=config,
+        seed=spec.seed,
+    )
+    return {
+        "saturation_tps": result.saturation_tps,
+        "q_hat": result.q_hat,
+        "q": result.q,
+        "latency_knee_tps": result.latency_knee_tps,
+    }
+
+
+def summarize(result: Figure7Result) -> str:
+    return (
+        f"saturation {result.saturation_tps:.0f} txn/s -> "
+        f"Q-hat {result.q_hat:.0f}, Q {result.q:.0f}; p99 crosses the SLA "
+        f"at {result.latency_knee_tps:.0f} txn/s offered"
+    )

@@ -110,3 +110,56 @@ def run_figure8(
             )
         )
     return Figure8Result(runs=runs)
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol
+# ----------------------------------------------------------------------
+
+
+def grid(chunks=FIGURE8_CHUNKS, duration_seconds: int = 1200,
+         seed: int = 13) -> list:
+    from ..runner import RunSpec
+
+    return [
+        RunSpec(
+            experiment="fig08",
+            cell="static" if chunk is None else f"chunk-{int(chunk)}kb",
+            seed=seed,
+            overrides=(
+                ("chunk_kb", None if chunk is None else float(chunk)),
+                ("duration_seconds", int(duration_seconds)),
+            ),
+        )
+        for chunk in chunks
+    ]
+
+
+def run_cell(spec, config) -> dict:
+    chunk = spec.option("chunk_kb")
+    result = run_figure8(
+        chunks=(None if chunk is None else float(chunk),),
+        duration_seconds=int(spec.option("duration_seconds", 1200)),
+        config=config,
+        seed=spec.seed,
+    )
+    run = result.runs[0]
+    return {
+        "chunk_kb": run.chunk_kb,
+        "rate_kbps": run.rate_kbps,
+        "p50_peak_ms": run.p50_peak_ms,
+        "p99_peak_ms": run.p99_peak_ms,
+        "p99_mean_ms": run.p99_mean_ms,
+        "migration_seconds": run.migration_seconds,
+    }
+
+
+def summarize(result: Figure8Result) -> str:
+    lines = []
+    for run in result.runs:
+        label = "static" if run.chunk_kb is None else f"{run.chunk_kb:.0f} kB"
+        lines.append(
+            f"{label}: p99 peak {run.p99_peak_ms:.0f} ms, migration "
+            f"{run.migration_seconds:.0f} s"
+        )
+    return "\n".join(lines)

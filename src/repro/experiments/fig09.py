@@ -15,14 +15,24 @@ violations and machine usage).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-from ..elasticity import PStoreStrategy, ReactiveStrategy, StaticStrategy
+from ..elasticity import StrategySpec
 from ..sim import ElasticDbSimulator, SimulationResult
-from .common import BenchmarkSetup, benchmark_setup
+from .common import BenchmarkSetup, benchmark_setup, sim_payload
 
 #: Engine seed shared across approaches so they see the same skew.
 ENGINE_SEED = 77
+
+#: (approach name, strategy spec, initial machines) — the four runs of
+#: Fig. 9, also the experiment's sweep-cell grid (reused by Fig. 10 and
+#: Table 2).
+APPROACH_SPECS = (
+    ("static-10", "static:10", 10),
+    ("static-4", "static:4", 4),
+    ("reactive", "reactive:patience=10", 4),
+    ("p-store", "p-store", 4),
+)
 
 
 @dataclass
@@ -62,40 +72,85 @@ def run_figure9(
     "static-10" / "static-4" / "reactive" / "p-store".
     """
     setup = setup or benchmark_setup(eval_days=eval_days, seed=seed)
-    config = setup.config
-    wanted = approaches or {
-        "static-10": True,
-        "static-4": True,
-        "reactive": True,
-        "p-store": True,
-    }
+    wanted = approaches or {name: True for name, _, _ in APPROACH_SPECS}
     runs: Dict[str, SimulationResult] = {}
+    for name, spec_text, initial in APPROACH_SPECS:
+        if wanted.get(name):
+            runs[name] = run_approach(
+                StrategySpec.parse(spec_text), setup, initial_machines=initial
+            )
+    return Figure9Result(runs=runs, setup=setup)
 
-    def simulator(initial: int) -> ElasticDbSimulator:
-        return ElasticDbSimulator(
-            config,
-            max_machines=10,
-            initial_machines=initial,
-            seed=ENGINE_SEED,
-        )
 
-    if wanted.get("static-10"):
-        runs["static-10"] = simulator(10).run(
-            setup.offered_tps, StaticStrategy(10)
-        )
-    if wanted.get("static-4"):
-        runs["static-4"] = simulator(4).run(
-            setup.offered_tps, StaticStrategy(4)
-        )
-    if wanted.get("reactive"):
-        runs["reactive"] = simulator(4).run(
+def run_approach(
+    spec: StrategySpec,
+    setup: BenchmarkSetup,
+    initial_machines: int = 4,
+) -> SimulationResult:
+    """One Fig. 9-style benchmark run for a declarative strategy spec."""
+    config = setup.config
+    strategy = spec.build(config, predictor=setup.spar)
+    simulator = ElasticDbSimulator(
+        config,
+        max_machines=10,
+        initial_machines=initial_machines,
+        seed=ENGINE_SEED,
+    )
+    if spec.kind == "p-store":
+        return simulator.run(
             setup.offered_tps,
-            ReactiveStrategy(config, scale_in_patience=10),
-        )
-    if wanted.get("p-store"):
-        runs["p-store"] = simulator(4).run(
-            setup.offered_tps,
-            PStoreStrategy(config, setup.spar),
+            strategy,
             history_seed_tps=setup.train_interval_tps,
         )
-    return Figure9Result(runs=runs, setup=setup)
+    return simulator.run(setup.offered_tps, strategy)
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol
+# ----------------------------------------------------------------------
+
+
+def grid(eval_days: int = 3, seed: int = 21) -> List:
+    """One cell per provisioning approach (the paper's four runs)."""
+    from ..runner import RunSpec
+
+    return [
+        RunSpec(
+            experiment="fig09",
+            cell=name,
+            strategy=spec_text,
+            seed=seed,
+            overrides=(("eval_days", int(eval_days)),),
+        )
+        for name, spec_text, _ in APPROACH_SPECS
+    ]
+
+
+def initial_machines_for(cell: str) -> int:
+    for name, _, initial in APPROACH_SPECS:
+        if name == cell:
+            return initial
+    return 4
+
+
+def run_cell(spec, config) -> dict:
+    """Execute one approach hermetically (used by ``pstore sweep``)."""
+    setup = benchmark_setup(
+        eval_days=int(spec.option("eval_days", 3)),
+        seed=spec.seed,
+        config=config,
+    )
+    result = run_approach(
+        StrategySpec.parse(spec.strategy),
+        setup,
+        initial_machines=initial_machines_for(spec.cell),
+    )
+    return sim_payload(result)
+
+
+def summarize(result: Figure9Result) -> str:
+    return "\n".join(
+        result.runs[name].summary()
+        for name, _, _ in APPROACH_SPECS
+        if name in result.runs
+    )

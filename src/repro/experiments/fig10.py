@@ -51,3 +51,25 @@ def run_figure10(
             for name, result in figure9.runs.items()
         }
     return Figure10Result(cdfs=cdfs, figure9=figure9)
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol (reuses fig09's cells)
+# ----------------------------------------------------------------------
+
+
+def grid(eval_days: int = 3, seed: int = 21) -> list:
+    from .fig09 import grid as fig09_grid
+
+    return fig09_grid(eval_days=eval_days, seed=seed)
+
+
+def summarize(result: Figure10Result) -> str:
+    lines = []
+    table = result.probability_table(99.0, probes=(500.0, 1000.0))
+    for name, probs in table.items():
+        rendered = ", ".join(
+            f"P(<= {int(p)}ms) = {v:.2f}" for p, v in probs.items()
+        )
+        lines.append(f"{name} (p99 tail): {rendered}")
+    return "\n".join(lines)

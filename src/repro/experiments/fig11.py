@@ -97,3 +97,67 @@ def run_figure11(
     return Figure11Result(
         regular_rate=results["regular"], boosted_rate=results["boosted"]
     )
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol
+# ----------------------------------------------------------------------
+
+
+def grid(eval_days: int = 1, seed: int = 33,
+         spike_magnitude: float = 2.2) -> list:
+    from ..runner import RunSpec
+
+    return [
+        RunSpec(
+            experiment="fig11",
+            cell=cell,
+            strategy=f"p-store:emergency_rate={multiplier}",
+            seed=seed,
+            overrides=(
+                ("eval_days", int(eval_days)),
+                ("spike_magnitude", float(spike_magnitude)),
+            ),
+        )
+        for cell, multiplier in (("rate-R", 1.0), ("rate-Rx8", 8.0))
+    ]
+
+
+def run_cell(spec, config) -> dict:
+    from ..elasticity import StrategySpec
+    from .common import sim_payload
+
+    eval_days = int(spec.option("eval_days", 1))
+    trace = _spike_trace(
+        eval_days, spec.seed, float(spec.option("spike_magnitude", 2.2))
+    )
+    setup = benchmark_setup(eval_days=eval_days, config=config, trace=trace)
+    parsed = StrategySpec.parse(spec.strategy)
+    multiplier = float(parsed.param("emergency_rate", 1.0))
+    strategy = PStoreStrategy(
+        config,
+        setup.spar,
+        emergency_rate_multiplier=multiplier,
+        name=f"p-store-R{'' if multiplier == 1 else 'x8'}",
+    )
+    simulator = ElasticDbSimulator(
+        config, max_machines=10, initial_machines=4, seed=ENGINE_SEED
+    )
+    result = simulator.run(
+        setup.offered_tps,
+        strategy,
+        history_seed_tps=setup.train_interval_tps,
+    )
+    return sim_payload(result)
+
+
+def summarize(result: Figure11Result) -> str:
+    lines = []
+    for label, violations in result.violation_rows().items():
+        parts = ", ".join(
+            f"p{int(q)}={violations[q]}" for q in sorted(violations)
+        )
+        lines.append(f"{label}: [{parts}]")
+    better = "yes" if result.boost_reduces_total_violations else "no"
+    lines.append(f"boosting the rate reduces total violations: {better}")
+    return "\n".join(lines)

@@ -291,3 +291,107 @@ def run_figure12(
         default_runs=default_runs,
         setup=setup,
     )
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol
+# ----------------------------------------------------------------------
+
+#: The Q-swept strategy families of Fig. 12.
+SWEEP_FAMILIES = ("p-store-spar", "p-store-oracle", "reactive", "simple")
+
+
+def grid(
+    n_days: int = 135,
+    seed: int = 7,
+    q_fractions: Sequence[float] = DEFAULT_Q_FRACTIONS,
+) -> list:
+    """(family x Q-fraction) cells plus one cell per static size."""
+    from ..runner import RunSpec
+
+    specs = []
+    for family in SWEEP_FAMILIES:
+        for fraction in q_fractions:
+            specs.append(
+                RunSpec(
+                    experiment="fig12",
+                    cell=f"{family}@{fraction}",
+                    seed=seed,
+                    overrides=(
+                        ("family", family),
+                        ("q_fraction", float(fraction)),
+                        ("n_days", int(n_days)),
+                    ),
+                )
+            )
+    for size in STATIC_SIZES:
+        specs.append(
+            RunSpec(
+                experiment="fig12",
+                cell=f"static-{size}",
+                seed=seed,
+                overrides=(
+                    ("family", "static"),
+                    ("size", int(size)),
+                    ("n_days", int(n_days)),
+                ),
+            )
+        )
+    return specs
+
+
+def run_cell(spec, config) -> dict:
+    """One (strategy, Q) point of the capacity-cost plane."""
+    from ..errors import ConfigurationError
+    from .common import capacity_payload
+
+    setup = season_setup(n_days=int(spec.option("n_days", 135)), seed=spec.seed)
+    family = str(spec.option("family"))
+    if family == "static":
+        size = int(spec.option("size"))
+        result = run_capacity_simulation(
+            setup.trace, StaticStrategy(size), setup.config,
+            initial_machines=size,
+        )
+        payload = capacity_payload(result)
+        payload["family"] = family
+        return payload
+
+    fraction = float(spec.option("q_fraction"))
+    cfg = setup.config.with_q(
+        min(fraction * SATURATION_TPS, setup.config.q_hat)
+    )
+    seed_history = family.startswith("p-store")
+    if family == "p-store-spar":
+        strategy = PStoreStrategy(cfg, setup.spar, name="p-store-spar")
+    elif family == "p-store-oracle":
+        strategy = PStoreStrategy(cfg, setup.oracle, name="p-store-oracle")
+    elif family == "reactive":
+        strategy = ReactiveStrategy(cfg, scale_in_patience=12)
+    elif family == "simple":
+        strategy = simple_strategy_for(setup, cfg)
+    else:
+        raise ConfigurationError(f"unknown fig12 family {family!r}")
+    result = run_capacity_simulation(
+        setup.trace,
+        strategy,
+        cfg,
+        initial_machines=_initial_machines(setup, cfg.q),
+        history_seed=list(setup.train_tps) if seed_history else [],
+    )
+    payload = capacity_payload(result)
+    payload.update({"family": family, "q_fraction": fraction, "q": cfg.q})
+    return payload
+
+
+def summarize(result: Figure12Result) -> str:
+    lines = []
+    for row in result.normalized_points():
+        fraction = row["q_fraction"]
+        q_label = "-" if fraction != fraction else f"{fraction:.2f}"
+        lines.append(
+            f"{row['strategy']} (Q x {q_label}): cost "
+            f"{row['normalized_cost']:.2f}, insufficient "
+            f"{row['pct_insufficient']:.2f}%"
+        )
+    return "\n".join(lines)

@@ -99,3 +99,61 @@ def run_figure13(
         runs=runs,
         setup=setup,
     )
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol
+# ----------------------------------------------------------------------
+
+
+def grid(n_days: int = 120, seed: int = 7) -> list:
+    from ..runner import RunSpec
+
+    return [
+        RunSpec(
+            experiment="fig13",
+            cell=cell,
+            strategy=strategy,
+            seed=seed,
+            overrides=(("n_days", int(n_days)),),
+        )
+        for cell, strategy in (
+            ("p-store-spar", "p-store:name=p-store-spar"),
+            ("simple", "simple:6/3"),
+        )
+    ]
+
+
+def run_cell(spec, config) -> dict:
+    from ..elasticity import StrategySpec
+    from ..sim import run_capacity_simulation
+    from .common import capacity_payload
+
+    n_days = int(spec.option("n_days", 120))
+    setup = season_setup(n_days=n_days, seed=spec.seed)
+    cfg = setup.config
+    initial = max(1, math.ceil(float(setup.eval_tps[0]) * 1.3 / cfg.q))
+    parsed = StrategySpec.parse(spec.strategy)
+    if parsed.kind == "p-store":
+        strategy = parsed.build(cfg, predictor=setup.spar)
+        history = list(setup.train_tps)
+    else:
+        strategy = simple_strategy_for(setup, cfg)
+        history = []
+    result = run_capacity_simulation(
+        setup.trace, strategy, cfg,
+        initial_machines=initial, history_seed=history,
+    )
+    return capacity_payload(result)
+
+
+def summarize(result: Figure13Result) -> str:
+    lines = []
+    for name in result.runs:
+        ordinary = result.ordinary.insufficient_fraction(name)
+        surge = result.black_friday.insufficient_fraction(name)
+        lines.append(
+            f"{name}: insufficient {100 * ordinary:.1f}% of the ordinary "
+            f"window, {100 * surge:.1f}% of the Black Friday window"
+        )
+    return "\n".join(lines)

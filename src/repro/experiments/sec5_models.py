@@ -54,3 +54,56 @@ def run_model_comparison(
         )
         mre[name] = result.mean_relative_error()
     return ModelComparisonResult(mre_by_model=mre)
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol
+# ----------------------------------------------------------------------
+
+
+def grid(tau_minutes: int = 60, seed: int = 7) -> list:
+    from ..runner import RunSpec
+
+    return [
+        RunSpec(
+            experiment="sec5",
+            cell=model.lower(),
+            seed=seed,
+            overrides=(
+                ("model", model),
+                ("tau_minutes", int(tau_minutes)),
+            ),
+        )
+        for model in ("SPAR", "ARMA", "AR")
+    ]
+
+
+def run_cell(spec, config) -> dict:
+    name = str(spec.option("model", "SPAR"))
+    trace = b2w_like_trace(n_days=28 + 7, slot_seconds=60.0, seed=spec.seed)
+    period = trace.slots_per_day
+    train = 28 * period
+    stop = train + 7 * period
+    models = {
+        "SPAR": SparPredictor(period=period, n_periods=7, m_recent=30),
+        "ARMA": ArmaPredictor(p=30, q=10),
+        "AR": ArPredictor(order=30),
+    }
+    model = models[name]
+    model.fit(trace.values[:train])
+    backtest = model.backtest(
+        trace.values,
+        tau=int(spec.option("tau_minutes", 60)),
+        start=train,
+        stop=stop,
+        step=31,
+    )
+    return {"model": name, "mre": backtest.mean_relative_error()}
+
+
+def summarize(result: ModelComparisonResult) -> str:
+    ranked = ", ".join(
+        f"{name}: {100.0 * result.mre_by_model[name]:.1f}%"
+        for name in result.ordering
+    )
+    return f"MRE at tau=60 min — {ranked} (best first)"

@@ -1,0 +1,118 @@
+"""Experiment: ``smoke`` — a fast capacity-sim grid for sweep testing.
+
+Not a paper artefact.  This grid exists so ``pstore sweep`` has a
+many-celled, seconds-fast workload for CI smoke jobs and for the
+parallel-vs-serial bit-identity tests: four cheap strategies crossed
+with two workload seeds over a 2-day trace at 5-minute slots (8 cells,
+each well under a second).
+
+Cells honour an ``explode`` override (fail on purpose) so the
+resume-after-failure path of the executor can be exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..elasticity import StrategySpec
+from ..sim import CapacitySimResult, run_capacity_simulation
+from ..workload import b2w_like_trace
+from .common import capacity_payload
+
+#: Strategy specs crossed with seeds to form the grid.
+SMOKE_STRATEGIES = ("static:4", "static:6", "reactive", "simple:6/3")
+
+#: Workload seeds (two distinct traces).
+SMOKE_SEEDS = (7, 11)
+
+#: Trace shape: 2 days at 5-minute slots = 576 planner slots per cell.
+SMOKE_DAYS = 2
+SMOKE_SLOT_SECONDS = 300.0
+SLOTS_PER_DAY = 288
+
+
+@dataclass
+class SmokeResult:
+    """Per-cell capacity-sim results, keyed by cell name."""
+
+    runs: Dict[str, CapacitySimResult]
+
+
+def _cell_name(strategy_text: str, seed: int) -> str:
+    return f"{strategy_text.replace(':', '-').replace('/', '-')}@{seed}"
+
+
+def grid(
+    strategies: Sequence[str] = SMOKE_STRATEGIES,
+    seeds: Sequence[int] = SMOKE_SEEDS,
+    n_days: int = SMOKE_DAYS,
+) -> List:
+    """strategies x seeds cells (8 by default)."""
+    from ..runner import RunSpec
+
+    return [
+        RunSpec(
+            experiment="smoke",
+            cell=_cell_name(text, seed),
+            strategy=text,
+            seed=seed,
+            overrides=(("n_days", int(n_days)),),
+        )
+        for text in strategies
+        for seed in seeds
+    ]
+
+
+def run_one(
+    strategy: StrategySpec, seed: int, n_days: int, config
+) -> CapacitySimResult:
+    """One hermetic capacity-sim run of the smoke workload."""
+    config = config.with_interval(SMOKE_SLOT_SECONDS)
+    trace = b2w_like_trace(
+        n_days=n_days,
+        slot_seconds=SMOKE_SLOT_SECONDS,
+        seed=seed,
+        base_level=1250.0 * SMOKE_SLOT_SECONDS,
+    )
+    built = strategy.build(config, slots_per_day=SLOTS_PER_DAY)
+    initial = (
+        int(strategy.param("machines"))
+        if strategy.kind == "static"
+        else 4
+    )
+    return run_capacity_simulation(
+        trace, built, config, initial_machines=initial
+    )
+
+
+def run_cell(spec, config) -> dict:
+    if spec.option("explode"):
+        raise RuntimeError(f"cell {spec.label} exploded on request")
+    result = run_one(
+        StrategySpec.parse(spec.strategy),
+        seed=spec.seed,
+        n_days=int(spec.option("n_days", SMOKE_DAYS)),
+        config=config,
+    )
+    return capacity_payload(result)
+
+
+def run_smoke(config=None, n_days: int = SMOKE_DAYS) -> SmokeResult:
+    """Serial runner: execute the whole grid in-process."""
+    from ..config import default_config
+
+    config = config or default_config()
+    runs: Dict[str, CapacitySimResult] = {}
+    for text in SMOKE_STRATEGIES:
+        for seed in SMOKE_SEEDS:
+            runs[_cell_name(text, seed)] = run_one(
+                StrategySpec.parse(text), seed, n_days, config
+            )
+    return SmokeResult(runs=runs)
+
+
+def summarize(result: SmokeResult) -> str:
+    return "\n".join(
+        f"{name}: {run.summary()}" for name, run in sorted(result.runs.items())
+    )

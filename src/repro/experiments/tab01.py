@@ -45,3 +45,41 @@ def run_table1(before: int = 3, after: int = 14) -> Table1Result:
         algorithm4_average=avg_machines_allocated(before, after),
         phases=phases,
     )
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol
+# ----------------------------------------------------------------------
+
+
+def grid(before: int = 3, after: int = 14) -> list:
+    from ..runner import RunSpec
+
+    return [
+        RunSpec(
+            experiment="tab01",
+            cell=f"{before}-{after}",
+            overrides=(("before", int(before)), ("after", int(after))),
+        )
+    ]
+
+
+def run_cell(spec, config) -> dict:
+    result = run_table1(
+        before=int(spec.option("before", 3)),
+        after=int(spec.option("after", 14)),
+    )
+    return {
+        "n_rounds": result.n_rounds,
+        "naive_rounds": result.naive_rounds,
+        "average_machines": result.average_machines,
+        "algorithm4_average": result.algorithm4_average,
+    }
+
+
+def summarize(result: Table1Result) -> str:
+    return (
+        f"{result.n_rounds} rounds (naive: {result.naive_rounds}), average "
+        f"machines {result.average_machines:.2f} "
+        f"(Algorithm 4: {result.algorithm4_average:.2f})"
+    )

@@ -60,3 +60,29 @@ def run_table2(
     order = ["static-10", "static-4", "reactive", "p-store"]
     results = [figure9.runs[name] for name in order if name in figure9.runs]
     return Table2Result(rows=sla_table(results), figure9=figure9)
+
+
+# ----------------------------------------------------------------------
+# Sweep-cell protocol (reuses fig09's cells)
+# ----------------------------------------------------------------------
+
+
+def grid(eval_days: int = 3, seed: int = 21) -> list:
+    from .fig09 import grid as fig09_grid
+
+    return fig09_grid(eval_days=eval_days, seed=seed)
+
+
+def summarize(result: Table2Result) -> str:
+    lines = []
+    for row in result.rows:
+        lines.append(
+            f"{row.approach}: p50={row.violations_p50} "
+            f"p95={row.violations_p95} p99={row.violations_p99} "
+            f"avg machines {row.average_machines:.2f}"
+        )
+    lines.append(
+        "p-store vs reactive: "
+        f"{result.pstore_vs_reactive_reduction_pct:.0f}% fewer violations"
+    )
+    return "\n".join(lines)

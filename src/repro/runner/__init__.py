@@ -1,0 +1,29 @@
+"""Parallel sweep execution with content-addressed result caching.
+
+The paper's evaluation is a grid of independent (experiment × strategy ×
+seed) simulations; this package runs that grid across a worker pool with
+bit-identical-to-serial results and caches each cell's payload on disk,
+so re-running a sweep only executes dirty cells and interrupted sweeps
+resume for free.  See ``docs/API.md``.
+"""
+
+from .cache import ResultCache, default_cache_root
+from .executor import (
+    CellOutcome,
+    SweepExecutor,
+    SweepReport,
+    run_sweep,
+)
+from .spec import CACHE_SCHEMA_VERSION, RunSpec, jsonify
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CellOutcome",
+    "ResultCache",
+    "RunSpec",
+    "SweepExecutor",
+    "SweepReport",
+    "default_cache_root",
+    "jsonify",
+    "run_sweep",
+]

@@ -1,0 +1,87 @@
+"""Content-addressed on-disk cache for sweep cell results.
+
+Each cell result lives in its own JSON file at
+``<root>/<key[:2]>/<key>.json`` where ``key`` is the cell's
+:meth:`~repro.runner.spec.RunSpec.cache_key`.  Writes are atomic
+(temp file + ``os.replace``), so a sweep killed mid-write never leaves a
+half-written entry behind, and two workers racing on the same key both
+leave a valid file.  Corrupt or unreadable entries read as misses and
+are overwritten on the next store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Iterator, Optional
+
+#: Envelope schema identifier written into every cached entry.
+ENVELOPE_SCHEMA = "pstore.sweep-cell/v1"
+
+
+def default_cache_root() -> pathlib.Path:
+    """Where sweeps cache results unless told otherwise.
+
+    ``PSTORE_CACHE_DIR`` overrides the default ``.pstore-cache`` in the
+    working directory (CI jobs point it at a persistent volume).
+    """
+    return pathlib.Path(os.environ.get("PSTORE_CACHE_DIR", ".pstore-cache"))
+
+
+class ResultCache:
+    """A directory of content-addressed cell results."""
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[dict]:
+        """The cached envelope for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("schema") != ENVELOPE_SCHEMA
+            or envelope.get("key") != key
+            or "payload" not in envelope
+        ):
+            return None
+        return envelope
+
+    def store(self, key: str, envelope: dict) -> pathlib.Path:
+        """Atomically persist ``envelope`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(envelope, sort_keys=True, indent=1)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def keys(self) -> Iterator[str]:
+        for path in sorted(self.root.glob("*/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()

@@ -1,0 +1,415 @@
+"""The parallel sweep executor.
+
+Decomposes an experiment sweep into independent :class:`RunSpec` cells,
+executes the dirty ones across a multiprocess worker pool, and persists
+every completed cell into a content-addressed :class:`ResultCache` the
+moment it finishes — so interrupted sweeps resume for free and repeat
+invocations are pure cache hits.
+
+Determinism contract: cells are hermetic (every RNG stream is derived
+from the spec's seed), workers receive the spec and the base config by
+value, and results are re-assembled in submission order — so a sweep's
+payloads are bit-identical whether it ran with ``jobs=1`` or ``jobs=N``,
+with a warm cache or a cold one.  The manifest's ``result_hash`` pins
+exactly that: it hashes only ``{label: payload}``, never timings or
+worker ids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..config import PStoreConfig, canonical_json, default_config
+from ..errors import SweepError
+from ..telemetry import get_telemetry
+from ..telemetry.runtime import Telemetry, telemetry_scope
+from .cache import ENVELOPE_SCHEMA, ResultCache
+from .spec import RunSpec, jsonify
+
+#: Manifest schema identifier.
+MANIFEST_SCHEMA = "pstore.sweep/v1"
+
+
+def _resolve_cell_runner(experiment: str):
+    """The registered ``run_cell`` callable for ``experiment``."""
+    from ..experiments.registry import get_experiment
+
+    return get_experiment(experiment).cell_runner()
+
+
+def _execute_cell(task: tuple) -> tuple:
+    """Worker entry: run one cell hermetically, return its result.
+
+    ``task`` is ``(index, spec_dict, config_dict, record_events)``; the
+    return value is ``(index, payload, events, elapsed, error)`` where
+    exactly one of ``payload``/``error`` is set.  Runs in a pool worker
+    (or inline for ``jobs=1``); everything crossing the boundary is
+    plain picklable data.
+    """
+    index, spec_dict, config_dict, record_events = task
+    start = time.perf_counter()
+    try:
+        spec = RunSpec.from_dict(spec_dict)
+        config = PStoreConfig.from_dict(config_dict)
+        run_cell = _resolve_cell_runner(spec.experiment)
+        bundle = Telemetry() if record_events else None
+        with telemetry_scope(bundle):
+            payload = run_cell(spec, config)
+        payload = jsonify(payload)
+        if not isinstance(payload, dict):
+            raise SweepError(
+                f"cell {spec.label} returned {type(payload).__name__}, "
+                "expected a JSON-serialisable mapping"
+            )
+        events = bundle.events.snapshot() if bundle is not None else []
+        elapsed = time.perf_counter() - start
+        return index, payload, jsonify(events), elapsed, None
+    except Exception as exc:  # noqa: BLE001 - marshalled to the parent
+        detail = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+        return index, None, [], time.perf_counter() - start, detail
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One executed (or cache-hit) cell of a sweep."""
+
+    spec: RunSpec
+    key: str
+    payload: Dict[str, Any]
+    elapsed_seconds: float
+    cached: bool
+    worker: Optional[int] = None
+    events: Tuple[dict, ...] = field(default=())
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+
+@dataclass
+class SweepReport:
+    """All cells of a completed sweep, in submission order."""
+
+    cells: List[CellOutcome]
+    config_hash: str
+    jobs: int
+    elapsed_seconds: float
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for c in self.cells if c.cached)
+
+    @property
+    def executed(self) -> int:
+        return len(self.cells) - self.hits
+
+    @property
+    def result_hash(self) -> str:
+        """SHA-256 over ``{label: payload}`` — the bit-identity anchor.
+
+        Independent of jobs, cache state, timings, and worker placement;
+        two sweeps agree iff every cell produced identical results.
+        """
+        material = canonical_json(
+            {c.label: c.payload for c in self.cells}
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def manifest(self) -> dict:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "config_hash": self.config_hash,
+            "jobs": self.jobs,
+            "n_cells": len(self.cells),
+            "hits": self.hits,
+            "executed": self.executed,
+            "result_hash": self.result_hash,
+            "elapsed_seconds": self.elapsed_seconds,
+            "cells": [
+                {
+                    "label": c.label,
+                    "spec": c.spec.to_dict(),
+                    "key": c.key,
+                    "cached": c.cached,
+                    "elapsed_seconds": c.elapsed_seconds,
+                    "worker": c.worker,
+                    "payload": c.payload,
+                }
+                for c in self.cells
+            ],
+        }
+
+    def write_manifest(self, out_dir) -> Dict[str, str]:
+        """Write ``manifest.json`` plus the merged per-cell telemetry
+        (``events.jsonl``, one record per line tagged with its cell)
+        into ``out_dir``; returns ``{kind: path}``."""
+        import json
+        import pathlib
+
+        out = pathlib.Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        paths = {}
+        manifest_path = out / "manifest.json"
+        manifest_path.write_text(json.dumps(self.manifest(), indent=1))
+        paths["manifest"] = str(manifest_path)
+        events_path = out / "events.jsonl"
+        with events_path.open("w") as handle:
+            handle.write(
+                json.dumps({"schema": "pstore.events/v1", "merged": True})
+                + "\n"
+            )
+            for cell in self.cells:
+                for record in cell.events:
+                    tagged = {"cell": cell.label, **record}
+                    handle.write(json.dumps(tagged, sort_keys=True) + "\n")
+        paths["events"] = str(events_path)
+        return paths
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.cells)} cells: {self.hits} cached, "
+            f"{self.executed} executed in {self.elapsed_seconds:.1f}s "
+            f"(jobs={self.jobs}), result {self.result_hash[:12]}"
+        )
+
+
+class SweepExecutor:
+    """Executes a grid of :class:`RunSpec` cells, caching results.
+
+    Parameters
+    ----------
+    config:
+        base :class:`PStoreConfig` handed to every cell; its
+        :meth:`~repro.config.PStoreConfig.config_hash` is part of each
+        cache key.
+    cache:
+        a :class:`ResultCache`, a directory path, or None to disable
+        caching.
+    jobs:
+        worker processes; 1 executes inline in submission order.
+    record_events:
+        run each cell under a fresh telemetry bundle and return its
+        event log in the outcome (merged into the manifest).
+    """
+
+    def __init__(
+        self,
+        config: Optional[PStoreConfig] = None,
+        cache=None,
+        jobs: int = 1,
+        record_events: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise SweepError("jobs must be >= 1")
+        self.config = config if config is not None else default_config()
+        if cache is None or isinstance(cache, ResultCache):
+            self.cache: Optional[ResultCache] = cache
+        else:
+            self.cache = ResultCache(cache)
+        self.jobs = jobs
+        self.record_events = record_events
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        force: bool = False,
+        progress=None,
+    ) -> SweepReport:
+        """Execute every cell of ``specs``; returns a :class:`SweepReport`.
+
+        Cached cells are served from disk unless ``force``.  On a cell
+        failure a :class:`SweepError` is raised *after* every completed
+        cell has been persisted, so the next invocation resumes from the
+        survivors.  ``progress`` (optional) is called with each
+        :class:`CellOutcome` as it completes.
+        """
+        specs = list(specs)
+        if not specs:
+            raise SweepError("sweep grid is empty")
+        start = time.perf_counter()
+        config_hash = self.config.config_hash()
+        keys = [spec.cache_key(config_hash) for spec in specs]
+
+        outcomes: List[Optional[CellOutcome]] = [None] * len(specs)
+        pending: List[int] = []
+        seen: Dict[str, int] = {}
+        duplicates: List[Tuple[int, int]] = []
+        for i, (spec, key) in enumerate(zip(specs, keys)):
+            if key in seen:
+                duplicates.append((i, seen[key]))
+                continue
+            seen[key] = i
+            envelope = None if force else (
+                self.cache.load(key) if self.cache else None
+            )
+            if envelope is not None:
+                outcomes[i] = CellOutcome(
+                    spec=spec,
+                    key=key,
+                    payload=envelope["payload"],
+                    elapsed_seconds=float(
+                        envelope.get("elapsed_seconds", 0.0)
+                    ),
+                    cached=True,
+                )
+            else:
+                pending.append(i)
+
+        failures = self._execute_pending(
+            specs, keys, pending, outcomes, progress
+        )
+        for i, first in duplicates:
+            original = outcomes[first]
+            if original is not None:
+                outcomes[i] = CellOutcome(
+                    spec=specs[i],
+                    key=keys[i],
+                    payload=original.payload,
+                    elapsed_seconds=0.0,
+                    cached=True,
+                )
+        if failures:
+            label, detail = failures[0]
+            more = (
+                f" (+{len(failures) - 1} more)" if len(failures) > 1 else ""
+            )
+            raise SweepError(
+                f"cell {label} failed: {detail}{more}; completed cells "
+                "are cached, re-run to resume"
+            )
+
+        cells = [c for c in outcomes if c is not None]
+        elapsed = time.perf_counter() - start
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter("sweep.cells").inc(len(cells))
+            tel.metrics.counter("sweep.hits").inc(
+                sum(1 for c in cells if c.cached)
+            )
+        return SweepReport(
+            cells=cells,
+            config_hash=config_hash,
+            jobs=self.jobs,
+            elapsed_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _execute_pending(
+        self,
+        specs: Sequence[RunSpec],
+        keys: Sequence[str],
+        pending: List[int],
+        outcomes: List[Optional[CellOutcome]],
+        progress,
+    ) -> List[Tuple[str, str]]:
+        """Run the dirty cells (inline or pooled); returns failures."""
+        if not pending:
+            return []
+        config_dict = self.config.to_dict()
+        tasks = [
+            (i, specs[i].to_dict(), config_dict, self.record_events)
+            for i in pending
+        ]
+        failures: List[Tuple[str, str]] = []
+
+        def complete(result: tuple, worker: Optional[int]) -> None:
+            index, payload, events, elapsed, error = result
+            spec, key = specs[index], keys[index]
+            if error is not None:
+                failures.append((spec.label, error))
+                return
+            outcome = CellOutcome(
+                spec=spec,
+                key=key,
+                payload=payload,
+                elapsed_seconds=elapsed,
+                cached=False,
+                worker=worker,
+                events=tuple(events),
+            )
+            outcomes[index] = outcome
+            if self.cache is not None:
+                self.cache.store(key, self._envelope(outcome))
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.events.emit(
+                    "sweep.cell",
+                    label=spec.label,
+                    key=key,
+                    seconds=elapsed,
+                    worker=worker,
+                )
+            if progress is not None:
+                progress(outcome)
+
+        if self.jobs == 1 or len(tasks) == 1:
+            for task in tasks:
+                complete(_execute_cell(task), worker=None)
+            return failures
+
+        import multiprocessing as mp
+
+        ctx = mp.get_context("spawn")
+        self._export_import_path()
+        with ctx.Pool(processes=min(self.jobs, len(tasks))) as pool:
+            for result in pool.imap_unordered(_execute_cell, tasks):
+                complete(result, worker=None)
+        return failures
+
+    @staticmethod
+    def _export_import_path() -> None:
+        """Make sure spawned workers can import this package.
+
+        ``spawn`` children inherit the environment, not ``sys.path``;
+        when the package is importable only via a relative
+        ``PYTHONPATH=src`` (or an injected ``sys.path``), prepend its
+        absolute location so workers resolve the same code.
+        """
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        existing = os.environ.get("PYTHONPATH", "")
+        parts = existing.split(os.pathsep) if existing else []
+        absolute = [os.path.abspath(p) for p in parts if p]
+        if package_root not in absolute:
+            absolute.insert(0, package_root)
+        os.environ["PYTHONPATH"] = os.pathsep.join(absolute)
+        if package_root not in sys.path:
+            sys.path.insert(0, package_root)
+
+    def _envelope(self, outcome: CellOutcome) -> dict:
+        return {
+            "schema": ENVELOPE_SCHEMA,
+            "key": outcome.key,
+            "spec": outcome.spec.to_dict(),
+            "config_hash": self.config.config_hash(),
+            "elapsed_seconds": outcome.elapsed_seconds,
+            "payload": outcome.payload,
+        }
+
+
+def run_sweep(
+    specs: Sequence[RunSpec],
+    config: Optional[PStoreConfig] = None,
+    cache=None,
+    jobs: int = 1,
+    force: bool = False,
+    record_events: bool = False,
+    progress=None,
+) -> SweepReport:
+    """One-call convenience wrapper around :class:`SweepExecutor`."""
+    executor = SweepExecutor(
+        config=config, cache=cache, jobs=jobs, record_events=record_events
+    )
+    return executor.run(specs, force=force, progress=progress)

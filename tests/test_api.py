@@ -1,0 +1,150 @@
+"""Tests for the repro.api facade (run / sweep / load_trace /
+fit_predictor) and its top-level re-exports."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import PREDICTORS, RunResult, SweepResult
+from repro.errors import ConfigurationError, StrategySpecError
+
+
+class TestFacadeSurface:
+    def test_top_level_re_exports(self):
+        for name in ("run", "sweep", "load_trace", "fit_predictor",
+                     "RunResult", "SweepResult", "RunSpec", "StrategySpec"):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__
+
+    def test_version_bumped(self):
+        major, minor, _patch = repro.__version__.split(".")
+        assert (int(major), int(minor)) >= (1, 1)
+
+
+class TestRun:
+    def test_static_run_round_trip(self):
+        result = repro.run(strategy="static:6", days=2, seed=3)
+        assert isinstance(result, RunResult)
+        assert result.strategy == "static:machines=6"
+        assert result.strategy_name == "static-6"
+        assert result.days == 2
+        assert result.slots == 2 * 288
+        assert result.average_machines == pytest.approx(6.0)
+
+        decoded = json.loads(result.to_json())
+        assert decoded == result.to_dict()
+        assert "detail" not in decoded  # heavyweight series stay out
+        assert "static-6" in result.summary()
+
+    def test_detail_is_full_capacity_result(self):
+        result = repro.run(strategy="static:4", days=2, seed=3)
+        assert result.detail is not None
+        assert len(result.detail.machines) == result.slots
+
+    def test_deterministic_for_same_seed(self):
+        a = repro.run(strategy="simple:6/3", days=2, seed=5)
+        b = repro.run(strategy="simple:6/3", days=2, seed=5)
+        # detail is excluded from comparison, so dataclass equality is
+        # exactly "same headline numbers".
+        assert a == b
+
+    def test_reactive_gets_cli_default_patience(self):
+        result = repro.run(strategy="reactive", days=2, seed=3)
+        assert "patience=12" in result.strategy
+
+    def test_bad_strategy_raises_typed_error(self):
+        with pytest.raises(StrategySpecError):
+            repro.run(strategy="quantum", days=2)
+
+    def test_explicit_trace(self):
+        trace = repro.b2w_like_trace(
+            n_days=30, slot_seconds=300.0, seed=9,
+            base_level=1450.0 * 300.0,
+        )
+        result = repro.run(strategy="static:6", days=2, seed=9, trace=trace)
+        assert result.slots == 2 * 288
+
+
+class TestSweep:
+    def test_sweep_by_name_and_cache_round_trip(self, tmp_path):
+        grid_options = {
+            "strategies": ("static:4", "static:6"),
+            "seeds": (7,),
+            "n_days": 1,
+        }
+        cold = repro.sweep(
+            "smoke", cache_dir=tmp_path, grid_options=grid_options
+        )
+        assert isinstance(cold, SweepResult)
+        assert cold.experiment == "smoke"
+        assert len(cold) == 2
+        assert cold.executed == 2
+        assert cold.hits == 0
+
+        warm = repro.sweep(
+            "smoke", cache_dir=tmp_path, grid_options=grid_options
+        )
+        assert warm.hits == 2
+        assert warm.executed == 0
+        assert warm.result_hash == cold.result_hash
+
+        decoded = json.loads(warm.to_json())
+        assert decoded["payloads"] == dict(warm.payloads)
+        assert decoded["result_hash"] == warm.result_hash
+        assert "cells" in warm.summary()
+
+    def test_sweep_with_explicit_specs(self, tmp_path):
+        specs = repro.RunSpec(
+            experiment="smoke", cell="solo", strategy="static:4", seed=7,
+            overrides=(("n_days", 1),),
+        )
+        result = repro.sweep([specs], cache_dir=tmp_path)
+        assert result.experiment == "smoke"
+        assert list(result.payloads) == ["smoke/solo#7"]
+
+    def test_empty_grid_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            repro.sweep([], cache_dir=tmp_path)
+
+    def test_unknown_experiment_propagates(self, tmp_path):
+        from repro.errors import UnknownExperimentError
+
+        with pytest.raises(UnknownExperimentError):
+            repro.sweep("fig99", cache_dir=tmp_path)
+
+
+class TestLoadTrace:
+    def test_round_trip(self, tmp_path):
+        from repro.workload import write_trace_csv
+
+        trace = repro.b2w_like_trace(
+            n_days=2, slot_seconds=300.0, seed=3, base_level=1000.0
+        )
+        path = tmp_path / "t.csv"
+        write_trace_csv(trace, path)
+        loaded = repro.load_trace(path)
+        assert loaded.duration_days == pytest.approx(trace.duration_days)
+        # The CSV format rounds values; match its precision, not bits.
+        np.testing.assert_allclose(loaded.values, trace.values, rtol=1e-4)
+
+
+class TestFitPredictor:
+    @pytest.fixture(scope="class")
+    def series(self):
+        trace = repro.b2w_like_trace(
+            n_days=9, slot_seconds=300.0, seed=4, base_level=1000.0 * 300.0
+        )
+        return trace.as_rate_per_second()
+
+    @pytest.mark.parametrize("name", PREDICTORS)
+    def test_every_family_fits_and_predicts(self, name, series):
+        model = repro.fit_predictor(name, series, n_periods=7)
+        forecast = model.predict_horizon(series, 6)
+        assert len(forecast) == 6
+        assert np.all(np.isfinite(forecast))
+
+    def test_unknown_family_raises(self, series):
+        with pytest.raises(ConfigurationError):
+            repro.fit_predictor("prophet", series)

@@ -123,9 +123,22 @@ class TestExperiment:
         assert code == 0
         assert capsys.readouterr().out.strip()
 
-    def test_unknown_experiment_rejected_by_argparse(self):
-        with pytest.raises(SystemExit):
-            main(["experiment", "fig99"])
+    def test_unknown_experiment_rejected(self, capsys):
+        code = main(["experiment", "fig99"])
+        assert code == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_list_experiments(self, capsys):
+        code = main(["experiment", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("fig01", "fig09", "chaos", "smoke"):
+            assert name in out
+
+    def test_no_name_and_no_list_is_an_error(self, capsys):
+        code = main(["experiment"])
+        assert code == 2
+        assert "--list" in capsys.readouterr().err
 
 
 class TestPlanWithConfigFile:
