@@ -25,15 +25,21 @@ Subcommands
 ``check``
     run the correctness harness: the simulated-time lint, the runtime
     invariant tiers, and the cross-engine differential suites (see
-    docs/CORRECTNESS.md).
+    docs/CORRECTNESS.md);
+``explain``
+    render the causal post-mortem of a recorded run: walk the
+    ``chronicle.jsonl`` flight recorder and attribute every
+    SLA-violating interval to a fault, migration overhead, an
+    under-forecast, or thin planner headroom (see docs/OBSERVABILITY.md).
 
 Run ``pstore <subcommand> --help`` for options.
 
 Every subcommand accepts ``-v/--verbose`` and ``--quiet`` (wired to the
 root logging level; results go to stdout, diagnostics to stderr) and
-``--telemetry-out DIR``, which records the run's metrics, spans, and
-events and writes ``events.jsonl``, ``spans.jsonl``, and
-``metrics.json`` into DIR (see docs/OBSERVABILITY.md).
+``--telemetry-out DIR``, which records the run's metrics, spans,
+events, and causal chronicle and writes ``events.jsonl``,
+``spans.jsonl``, ``chronicle.jsonl``, ``metrics.json``, and
+``metrics.prom`` into DIR (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -77,7 +83,7 @@ def _common_options() -> argparse.ArgumentParser:
     common.add_argument(
         "--telemetry-out", metavar="DIR", default=None,
         help="record telemetry and write events.jsonl / spans.jsonl / "
-        "metrics.json into DIR",
+        "chronicle.jsonl / metrics.json / metrics.prom into DIR",
     )
     return common
 
@@ -176,7 +182,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     swp.add_argument(
         "--out", default=None, metavar="DIR",
-        help="write manifest.json and merged events.jsonl into DIR",
+        help="write manifest.json plus merged events.jsonl and "
+        "chronicle.jsonl into DIR",
     )
     swp.add_argument(
         "--force", action="store_true",
@@ -236,6 +243,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--inject", choices=("drop-bucket", "perturb-fast-path"), default=None,
         help="deliberately corrupt one path to verify the harness "
         "catches it (the command must then exit nonzero)",
+    )
+
+    explain = sub.add_parser(
+        "explain", parents=[common],
+        help="causal post-mortem of a recorded run's chronicle",
+    )
+    explain.add_argument(
+        "run_dir",
+        help="run directory written with --telemetry-out (or a sweep "
+        "--out manifest directory, or a chronicle.jsonl path)",
+    )
+    explain.add_argument(
+        "--window", default=None, metavar="T0:T1",
+        help="only explain violations/reconfigurations with simulated "
+        "time in [T0, T1] seconds (chains still render whole)",
+    )
+    explain.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable report instead of text",
     )
     return parser
 
@@ -526,6 +552,36 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _parse_window(spec: Optional[str]):
+    """``T0:T1`` -> (float, float); None passes through."""
+    if spec is None:
+        return None
+    parts = spec.split(":")
+    if len(parts) != 2:
+        raise PStoreError(
+            f"--window wants T0:T1 (seconds), got {spec!r}"
+        )
+    try:
+        return float(parts[0]), float(parts[1])
+    except ValueError:
+        raise PStoreError(
+            f"--window bounds must be numbers, got {spec!r}"
+        ) from None
+
+
+def _cmd_explain(args) -> int:
+    import json as json_mod
+
+    from .analysis import explain_run, render_explain
+
+    report = explain_run(args.run_dir, window=_parse_window(args.window))
+    if args.as_json:
+        print(json_mod.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(render_explain(report), end="")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "predict": _cmd_predict,
@@ -535,6 +591,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "chaos": _cmd_chaos,
     "check": _cmd_check,
+    "explain": _cmd_explain,
 }
 
 

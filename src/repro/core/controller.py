@@ -20,7 +20,7 @@ The controller runs the monitor -> predict -> plan -> migrate cycle:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 import numpy as np
@@ -48,6 +48,10 @@ class Decision:
     rate_multiplier: float = 1.0
     planned_schedule: Optional[MoveSchedule] = None
     reason: str = "no-op"
+    #: chronicle ID of the ``plan.decision`` record behind this decision
+    #: (None when telemetry is disabled), so downstream actors — the
+    #: migrator, the simulators — can parent their own records on it.
+    record_id: Optional[str] = None
 
     @property
     def acts(self) -> bool:
@@ -107,6 +111,7 @@ class PredictiveController:
         self._telemetry = telemetry if telemetry is not None else get_telemetry()
         self._scale_in_streak = 0
         self._last_schedule: Optional[MoveSchedule] = None
+        self._last_snapshot_id: Optional[str] = None
 
     @staticmethod
     def minimum_horizon_intervals(config: PStoreConfig) -> int:
@@ -155,6 +160,18 @@ class PredictiveController:
                 tel.metrics.gauge("controller.scale_in_streak").set(
                     self._scale_in_streak
                 )
+                rec = tel.chronicle.record(
+                    "plan.decision",
+                    time=float(len(history)) * self.config.interval_seconds,
+                    parent=self._last_snapshot_id,
+                    decision_kind=kind,
+                    reason=decision.reason,
+                    target_machines=decision.target_machines,
+                    emergency=decision.emergency,
+                    rate_multiplier=decision.rate_multiplier,
+                    machines=current_machines,
+                )
+                decision = replace(decision, record_id=rec.get("id"))
         return decision
 
     @staticmethod
@@ -202,6 +219,34 @@ class PredictiveController:
                 inflated_next=float(inflated[0]),
                 predicted_peak=float(inflated.max()),
                 horizon=self.horizon_intervals,
+            )
+            # Chronicle + accuracy: the forecast is made right after
+            # observing slot ``len(history) - 1``, so predicted[i]
+            # targets absolute slot ``len(history) + i`` (tau = i + 1).
+            # ``time`` is on the history timeline (includes any seeded
+            # training window).
+            sim_time = float(len(history)) * self.config.interval_seconds
+            origin_slot = len(history) - 1
+            predictor_name = type(self.predictor).__name__
+            snap = tel.chronicle.record(
+                "forecast.snapshot",
+                time=sim_time,
+                origin_slot=origin_slot,
+                horizon=self.horizon_intervals,
+                predictor=predictor_name,
+                measured_now=measured_now,
+                predicted_next=float(forecast[0]),
+                inflated_next=float(inflated[0]),
+                predicted_peak=float(inflated.max()),
+            )
+            self._last_snapshot_id = snap.get("id")
+            tel.accuracy.record_forecast(
+                origin_slot=origin_slot,
+                predicted=[float(v) for v in forecast],
+                inflated=[float(v) for v in inflated],
+                predictor=predictor_name,
+                snapshot_id=self._last_snapshot_id,
+                time=sim_time,
             )
 
         plan_span_cm = tel.tracer.span(

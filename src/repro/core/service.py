@@ -253,6 +253,16 @@ class PStoreService:
                 )
             summary = self.cluster.fail_node(victim)
             self._pending_recovery.append(record)
+            tel = self._telemetry
+            if tel.enabled:
+                tel.chronicle.record(
+                    "node.remove",
+                    time=self._now,
+                    parent=tel.chronicle.last("fault.injected"),
+                    node=victim,
+                    machines=summary["survivors"],
+                    reason="crash",
+                )
             self._record_event(
                 "node-down",
                 f"node {victim} crashed; {summary['buckets_moved']} buckets "
@@ -283,7 +293,9 @@ class PStoreService:
             return
         self.migrator.rate_multiplier = decision.rate_multiplier
         self.migrator.sim_time = self._now
-        self.migrator.start_move(target)
+        self.migrator.start_move(
+            target, cause_id=getattr(decision, "record_id", None)
+        )
         self._migration_target = target
         kind = (
             "emergency"

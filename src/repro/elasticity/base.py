@@ -30,6 +30,9 @@ class ScaleDecision:
     rate_multiplier: float = 1.0
     emergency: bool = False
     reason: str = ""
+    #: chronicle ID of the plan decision behind this action (None for
+    #: strategies that don't record one, or with telemetry disabled).
+    record_id: Optional[str] = None
 
     @property
     def acts(self) -> bool:

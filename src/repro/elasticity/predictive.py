@@ -78,6 +78,7 @@ class PStoreStrategy(ProvisioningStrategy):
             rate_multiplier=decision.rate_multiplier,
             emergency=decision.emergency,
             reason=decision.reason,
+            record_id=decision.record_id,
         )
 
     def notify_move_started(self, target_machines: int) -> None:

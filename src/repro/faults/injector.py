@@ -139,6 +139,9 @@ class FaultInjector:
         self._stalls: List[FaultRecord] = []
         self._drifts: List[FaultRecord] = []
         self._corruption_queue: List[FaultRecord] = []
+        #: fault_id -> flight-recorder ID of its fault.injected record,
+        #: so detected/retry/recovered records chain onto the injection.
+        self._fault_chronicle_ids: dict = {}
 
     # ------------------------------------------------------------------
     # Clock and triggers
@@ -293,6 +296,18 @@ class FaultInjector:
             mirrored = {k: v for k, v in entry.items() if k != "event"}
             mirrored["fault_kind"] = mirrored.pop("kind")
             tel.events.emit(event, **mirrored)
+            rec = tel.chronicle.record(
+                event,
+                time=time,
+                parent=self._fault_chronicle_ids.get(record.fault_id),
+                fault_id=record.fault_id,
+                fault_kind=record.kind,
+                node=record.node,
+                label=record.spec.label,
+                **fields,
+            )
+            if event == "fault.injected":
+                self._fault_chronicle_ids[record.fault_id] = rec.get("id")
 
     # ------------------------------------------------------------------
     # Live-effect queries (side-effect free unless named ``take_*``)

@@ -117,6 +117,7 @@ class LoadMonitor:
                 )
                 tel.events.emit("interval", time=end, slot=slot, tps=rate)
                 tel.metrics.gauge("monitor.load_tps").set(rate)
+                tel.accuracy.observe(slot, rate, time=end)
             # ...then batch the run of empty intervals behind it.
             gap = closed - 1
             if gap:
@@ -134,6 +135,11 @@ class LoadMonitor:
                         first_slot=first_empty, intervals=gap, tps=0.0,
                     )
                     tel.metrics.gauge("monitor.load_tps").set(0.0)
+                    for i in range(gap):
+                        tel.accuracy.observe(
+                            first_empty + i, 0.0,
+                            time=self._boundary(self._closed + 2 + i),
+                        )
             if tel.enabled:
                 tel.metrics.counter("monitor.intervals_closed").inc(closed)
             self._current_count = 0.0

@@ -12,11 +12,35 @@ forecast the next ``horizon`` slots.  All predictors in this package:
 from __future__ import annotations
 
 import abc
+import time
+from contextlib import contextmanager
 from typing import Optional, Sequence
 
 import numpy as np
 
 from ..errors import NotFittedError, PredictionError
+from ..telemetry import get_telemetry
+
+
+@contextmanager
+def forecast_instrumentation(model: str, horizon: int):
+    """Meter one ``predict_horizon`` call: bumps the
+    ``predictor.forecast{model}`` counter and feeds the wall-clock cost
+    into the ``predictor.latency_ms{model,tau}`` histogram.  Free (one
+    attribute check) when telemetry is disabled."""
+    tel = get_telemetry()
+    if not tel.enabled:
+        yield
+        return
+    start = time.perf_counter()  # lint: wall-clock-ok
+    try:
+        yield
+    finally:
+        elapsed_ms = (time.perf_counter() - start) * 1e3  # lint: wall-clock-ok
+        tel.metrics.counter("predictor.forecast", model=model).inc()
+        tel.metrics.histogram(
+            "predictor.latency_ms", model=model, tau=str(horizon)
+        ).observe(elapsed_ms)
 
 
 def as_series(values: Sequence[float]) -> np.ndarray:

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..errors import NotFittedError, PredictionError
+from ..telemetry import get_telemetry
 from .base import Predictor, as_series
 
 
@@ -83,6 +84,11 @@ class OnlinePredictor(Predictor):
             self._fitted = True
             self._since_fit = 0
             self.fit_count += 1
+            tel = get_telemetry()
+            if tel.enabled:
+                tel.metrics.counter(
+                    "predictor.refit", model=type(self.base).__name__
+                ).inc()
 
     def observe_many(self, values: Sequence[float]) -> None:
         for value in values:

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import PredictionError
-from .base import Predictor, as_series
+from .base import Predictor, as_series, forecast_instrumentation
 
 
 class SparPredictor(Predictor):
@@ -263,34 +263,36 @@ class SparPredictor(Predictor):
                 f"history of {arr.size} slots is shorter than the minimum "
                 f"context of {self.min_history}"
             )
-        t = arr.size - 1
-        n, m, period = self.n_periods, self.m_recent, self.period
-        # Recent offsets are shared by every tau: one strided gather per
-        # periodic lag instead of an m * n Python loop.
-        if m:
-            recent = t - np.arange(1, m + 1)
-            acc = np.zeros(m)
-            for k in range(1, n + 1):
-                acc += arr[recent - k * period]
-            offsets = arr[recent] - acc / n
-        else:
-            offsets = np.empty(0)
-        self.fit_horizon(horizon)
-        coeff_a, coeff_b_rows = self._stacked_coeffs(horizon)
-        lags = arr[
-            t + np.arange(1, horizon + 1)[:, None]
-            - np.arange(1, n + 1) * period
-        ]
-        out = np.zeros(horizon)
-        for k in range(n):
-            out += coeff_a[:, k] * lags[:, k]
-        if m:
-            # One BLAS dot per tau, matching the reference's `b @ offsets`
-            # accumulation exactly (a single gemv could round differently).
-            out += np.fromiter(
-                (b @ offsets for b in coeff_b_rows), float, horizon
-            )
-        return np.clip(out, 0.0, None)
+        with forecast_instrumentation("spar", horizon):
+            t = arr.size - 1
+            n, m, period = self.n_periods, self.m_recent, self.period
+            # Recent offsets are shared by every tau: one strided gather
+            # per periodic lag instead of an m * n Python loop.
+            if m:
+                recent = t - np.arange(1, m + 1)
+                acc = np.zeros(m)
+                for k in range(1, n + 1):
+                    acc += arr[recent - k * period]
+                offsets = arr[recent] - acc / n
+            else:
+                offsets = np.empty(0)
+            self.fit_horizon(horizon)
+            coeff_a, coeff_b_rows = self._stacked_coeffs(horizon)
+            lags = arr[
+                t + np.arange(1, horizon + 1)[:, None]
+                - np.arange(1, n + 1) * period
+            ]
+            out = np.zeros(horizon)
+            for k in range(n):
+                out += coeff_a[:, k] * lags[:, k]
+            if m:
+                # One BLAS dot per tau, matching the reference's
+                # `b @ offsets` accumulation exactly (a single gemv could
+                # round differently).
+                out += np.fromiter(
+                    (b @ offsets for b in coeff_b_rows), float, horizon
+                )
+            return np.clip(out, 0.0, None)
 
     def _stacked_coeffs(
         self, horizon: int
@@ -322,20 +324,26 @@ class SparPredictor(Predictor):
                 f"history of {arr.size} slots is shorter than the minimum "
                 f"context of {self.min_history}"
             )
-        t = arr.size - 1
-        n, m, period = self.n_periods, self.m_recent, self.period
-        offsets = np.empty(m)
-        for j in range(1, m + 1):
-            mean = sum(arr[t - j - k * period] for k in range(1, n + 1)) / n
-            offsets[j - 1] = arr[t - j] - mean
-        out = np.empty(horizon)
-        for tau in range(1, horizon + 1):
-            a, b = self._fit_tau(tau)
-            periodic = sum(
-                a[k - 1] * arr[t + tau - k * period] for k in range(1, n + 1)
-            )
-            out[tau - 1] = periodic + float(b @ offsets) if m else periodic
-        return np.clip(out, 0.0, None)
+        with forecast_instrumentation("spar-reference", horizon):
+            t = arr.size - 1
+            n, m, period = self.n_periods, self.m_recent, self.period
+            offsets = np.empty(m)
+            for j in range(1, m + 1):
+                mean = sum(
+                    arr[t - j - k * period] for k in range(1, n + 1)
+                ) / n
+                offsets[j - 1] = arr[t - j] - mean
+            out = np.empty(horizon)
+            for tau in range(1, horizon + 1):
+                a, b = self._fit_tau(tau)
+                periodic = sum(
+                    a[k - 1] * arr[t + tau - k * period]
+                    for k in range(1, n + 1)
+                )
+                out[tau - 1] = (
+                    periodic + float(b @ offsets) if m else periodic
+                )
+            return np.clip(out, 0.0, None)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -47,10 +47,10 @@ def _execute_cell(task: tuple) -> tuple:
     """Worker entry: run one cell hermetically, return its result.
 
     ``task`` is ``(index, spec_dict, config_dict, record_events)``; the
-    return value is ``(index, payload, events, elapsed, error)`` where
-    exactly one of ``payload``/``error`` is set.  Runs in a pool worker
-    (or inline for ``jobs=1``); everything crossing the boundary is
-    plain picklable data.
+    return value is ``(index, payload, events, chronicle, elapsed,
+    error)`` where exactly one of ``payload``/``error`` is set.  Runs in
+    a pool worker (or inline for ``jobs=1``); everything crossing the
+    boundary is plain picklable data.
     """
     index, spec_dict, config_dict, record_events = task
     start = time.perf_counter()
@@ -68,13 +68,17 @@ def _execute_cell(task: tuple) -> tuple:
                 "expected a JSON-serialisable mapping"
             )
         events = bundle.events.snapshot() if bundle is not None else []
+        chronicle = bundle.chronicle.snapshot() if bundle is not None else []
         elapsed = time.perf_counter() - start
-        return index, payload, jsonify(events), elapsed, None
+        return (
+            index, payload, jsonify(events), jsonify(chronicle), elapsed,
+            None,
+        )
     except Exception as exc:  # noqa: BLE001 - marshalled to the parent
         detail = "".join(
             traceback.format_exception_only(type(exc), exc)
         ).strip()
-        return index, None, [], time.perf_counter() - start, detail
+        return index, None, [], [], time.perf_counter() - start, detail
 
 
 @dataclass(frozen=True)
@@ -88,6 +92,7 @@ class CellOutcome:
     cached: bool
     worker: Optional[int] = None
     events: Tuple[dict, ...] = field(default=())
+    chronicle: Tuple[dict, ...] = field(default=())
 
     @property
     def label(self) -> str:
@@ -149,10 +154,16 @@ class SweepReport:
 
     def write_manifest(self, out_dir) -> Dict[str, str]:
         """Write ``manifest.json`` plus the merged per-cell telemetry
-        (``events.jsonl``, one record per line tagged with its cell)
-        into ``out_dir``; returns ``{kind: path}``."""
+        (``events.jsonl`` and ``chronicle.jsonl``, one record per line
+        tagged with its cell) into ``out_dir``; returns ``{kind: path}``.
+
+        The chronicle rides alongside the manifest, never inside the
+        cell payloads, so enabling it cannot move ``result_hash``.
+        """
         import json
         import pathlib
+
+        from ..telemetry.causal import CHRONICLE_SCHEMA
 
         out = pathlib.Path(out_dir)
         out.mkdir(parents=True, exist_ok=True)
@@ -171,6 +182,17 @@ class SweepReport:
                     tagged = {"cell": cell.label, **record}
                     handle.write(json.dumps(tagged, sort_keys=True) + "\n")
         paths["events"] = str(events_path)
+        chronicle_path = out / "chronicle.jsonl"
+        with chronicle_path.open("w") as handle:
+            handle.write(
+                json.dumps({"schema": CHRONICLE_SCHEMA, "merged": True})
+                + "\n"
+            )
+            for cell in self.cells:
+                for record in cell.chronicle:
+                    tagged = {"cell": cell.label, **record}
+                    handle.write(json.dumps(tagged, sort_keys=True) + "\n")
+        paths["chronicle"] = str(chronicle_path)
         return paths
 
     def summary(self) -> str:
@@ -197,7 +219,8 @@ class SweepExecutor:
         worker processes; 1 executes inline in submission order.
     record_events:
         run each cell under a fresh telemetry bundle and return its
-        event log in the outcome (merged into the manifest).
+        event log and chronicle in the outcome (merged into the
+        manifest directory as ``events.jsonl`` / ``chronicle.jsonl``).
     """
 
     def __init__(
@@ -324,7 +347,7 @@ class SweepExecutor:
         failures: List[Tuple[str, str]] = []
 
         def complete(result: tuple, worker: Optional[int]) -> None:
-            index, payload, events, elapsed, error = result
+            index, payload, events, chronicle, elapsed, error = result
             spec, key = specs[index], keys[index]
             if error is not None:
                 failures.append((spec.label, error))
@@ -337,6 +360,7 @@ class SweepExecutor:
                 cached=False,
                 worker=worker,
                 events=tuple(events),
+                chronicle=tuple(chronicle),
             )
             outcomes[index] = outcome
             if self.cache is not None:

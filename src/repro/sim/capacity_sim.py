@@ -152,6 +152,9 @@ class CapacitySimulator:
         history = self.history
         tel = self._telemetry
         recording = tel.enabled
+        chron = tel.chronicle
+        move_rec_id: Optional[str] = None
+        expected: Optional[dict] = None
 
         for slot in range(n_slots):
             history.append(float(load_tps[slot]))
@@ -164,6 +167,11 @@ class CapacitySimulator:
                     slot=len(history) - 1,
                     tps=float(load_tps[slot]),
                 )
+                harvest = tel.accuracy.observe(
+                    len(history) - 1, float(load_tps[slot]),
+                    time=(slot + 1) * slot_seconds,
+                )
+                expected = harvest[0] if harvest else None
 
             if migration is None:
                 decision = strategy.decide(slot, history, machines)
@@ -197,6 +205,20 @@ class CapacitySimulator:
                             * decision.rate_multiplier,
                             est_seconds=migration.total_seconds,
                         )
+                        rec = chron.record(
+                            "migration.start",
+                            time=migration_started,
+                            parent=getattr(decision, "record_id", None),
+                            before=migration_before,
+                            after=migration_target,
+                            emergency=decision.emergency,
+                            reason=decision.reason,
+                            rate_kbps=config.migration_rate_kbps
+                            * decision.rate_multiplier,
+                            est_seconds=migration.total_seconds,
+                            slot=slot,
+                        )
+                        move_rec_id = rec.get("id")
                     strategy.notify_move_started(decision.target_machines)
 
             if migration is not None:
@@ -224,6 +246,16 @@ class CapacitySimulator:
                             "migrate.duration_seconds",
                             bounds=tuple(float(2 ** i) for i in range(24)),
                         ).observe(now - migration_started)
+                        chron.record(
+                            "migration.complete",
+                            time=now,
+                            parent=move_rec_id,
+                            before=migration_before,
+                            after=migration_target,
+                            seconds=now - migration_started,
+                            emergency=migration_emergency,
+                        )
+                        move_rec_id = None
                     machines = migration_target
                     migration = None
                     strategy.notify_move_finished(machines)
@@ -240,6 +272,32 @@ class CapacitySimulator:
                     float(out_eff_qhat[slot]),
                     bool(out_migrating[slot]),
                 )
+                if peak_load[slot] > out_eff_qhat[slot] + 1e-9:
+                    # Fig. 12's y-axis, chronicled: whom do we blame for
+                    # this slot running out of capacity?
+                    if out_migrating[slot] and move_rec_id:
+                        parent = move_rec_id
+                    elif expected is not None:
+                        parent = expected.get("snapshot_id")
+                    else:
+                        parent = chron.last("forecast.snapshot")
+                    chron.record(
+                        "capacity.insufficient",
+                        time=(slot + 1) * slot_seconds,
+                        parent=parent,
+                        slot=slot,
+                        peak_tps=float(peak_load[slot]),
+                        load_tps=float(load_tps[slot]),
+                        eff_cap=float(out_eff_qhat[slot]),
+                        machines=int(out_machines[slot]),
+                        migrating=bool(out_migrating[slot]),
+                        predicted_tps=(
+                            expected.get("predicted") if expected else None
+                        ),
+                        inflated_tps=(
+                            expected.get("inflated") if expected else None
+                        ),
+                    )
 
         if recording:
             tel.metrics.gauge("sim.slots").set(n_slots)

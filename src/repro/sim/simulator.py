@@ -202,9 +202,18 @@ class ElasticDbSimulator:
         moves_started = 0
         tel = self._telemetry
         recording = tel.enabled
+        chron = tel.chronicle
         migration_before = machines
         migration_emergency = False
         migration_started = 0.0
+        move_rec_id: Optional[str] = None
+        # Per-interval accounting feeding the chronicle's sla.violation
+        # records: seconds above the SLA, worst p99, and how many of the
+        # interval's seconds were spent migrating / under fault activity.
+        iv_viol = 0
+        iv_viol_p99 = 0.0
+        iv_migr = 0
+        iv_fault = 0
 
         # Fault-injection state (inert on fault-free runs).
         injector = self._injector
@@ -248,6 +257,15 @@ class ElasticDbSimulator:
                                 after=migration_target,
                                 reason="node crash",
                             )
+                            chron.record(
+                                "migration.aborted",
+                                time=float(t),
+                                parent=move_rec_id,
+                                before=migration_before,
+                                after=migration_target,
+                                reason="node crash",
+                            )
+                            move_rec_id = None
                         strategy.notify_move_finished(machines)
                     victim = injector.resolve_crash_node(record, active)
                     injector.mark_detected(record, float(t))
@@ -261,6 +279,14 @@ class ElasticDbSimulator:
                             time=float(t),
                             node=victim,
                             machines=machines,
+                        )
+                        chron.record(
+                            "node.remove",
+                            time=float(t),
+                            parent=chron.last("fault.injected"),
+                            node=victim,
+                            machines=machines,
+                            reason="crash",
                         )
             # ---------------- vectorized quiescent fast path -----------
             # A stretch with no migration, no upcoming fault activity,
@@ -300,6 +326,10 @@ class ElasticDbSimulator:
                             )
                             if p99[i] > config.sla_latency_ms:
                                 metrics.counter("sim.sla_violation_seconds").inc()
+                                iv_viol += 1
+                                iv_viol_p99 = max(iv_viol_p99, float(p99[i]))
+                        if pending_recovery:
+                            iv_fault += block_end - t
                     t = block_end
                     continue
 
@@ -319,6 +349,46 @@ class ElasticDbSimulator:
                         slot=len(history) - 1, machines=int(machines),
                         migrating=migration is not None,
                     )
+                    # Close the forecast-accuracy loop for this slot and,
+                    # if the interval had SLA violations, chronicle them
+                    # with the most plausible causal parent: an active
+                    # fault beats migration overhead beats the forecast
+                    # that sized the cluster.
+                    harvest = tel.accuracy.observe(
+                        len(history) - 1, mean_tps, time=float(t + 1)
+                    )
+                    expected = harvest[0] if harvest else None
+                    if iv_viol:
+                        if iv_fault and chron.last("fault.injected"):
+                            parent = chron.last("fault.injected")
+                        elif iv_migr and move_rec_id:
+                            parent = move_rec_id
+                        elif expected is not None:
+                            parent = expected.get("snapshot_id")
+                        else:
+                            parent = chron.last("forecast.snapshot")
+                        chron.record(
+                            "sla.violation",
+                            time=float(t + 1),
+                            parent=parent,
+                            slot=len(history) - 1,
+                            seconds=iv_viol,
+                            p99_max_ms=iv_viol_p99,
+                            measured_tps=mean_tps,
+                            machines=int(machines),
+                            migrating_seconds=iv_migr,
+                            fault_seconds=iv_fault,
+                            predicted_tps=(
+                                expected.get("predicted") if expected else None
+                            ),
+                            inflated_tps=(
+                                expected.get("inflated") if expected else None
+                            ),
+                        )
+                    iv_viol = 0
+                    iv_viol_p99 = 0.0
+                    iv_migr = 0
+                    iv_fault = 0
                 if migration is None:
                     slot = len(history) - 1
                     decision = strategy.decide(slot, history, machines)
@@ -356,6 +426,31 @@ class ElasticDbSimulator:
                                 rate_kbps=migration_rate,
                                 est_seconds=migration.total_seconds,
                             )
+                            rec = chron.record(
+                                "migration.start",
+                                time=migration_started,
+                                parent=getattr(decision, "record_id", None),
+                                before=migration_before,
+                                after=migration_target,
+                                emergency=decision.emergency,
+                                reason=decision.reason,
+                                rate_kbps=migration_rate,
+                                est_seconds=migration.total_seconds,
+                                slot=len(history) - 1,
+                            )
+                            move_rec_id = rec.get("id")
+                            if migration_target > migration_before:
+                                chron.record(
+                                    "node.add",
+                                    time=migration_started,
+                                    parent=move_rec_id,
+                                    nodes=list(
+                                        active[
+                                            -(migration_target
+                                              - migration_before):
+                                        ]
+                                    ),
+                                )
                         strategy.notify_move_started(target)
                         if injector is not None:
                             injector.notify_migration_started(float(t + 1))
@@ -414,6 +509,17 @@ class ElasticDbSimulator:
                 metrics.histogram("sim.latency_p99_ms").observe(stats.p99_ms)
                 if stats.p99_ms > config.sla_latency_ms:
                     metrics.counter("sim.sla_violation_seconds").inc()
+                    iv_viol += 1
+                    iv_viol_p99 = max(iv_viol_p99, float(stats.p99_ms))
+                if migration is not None:
+                    iv_migr += 1
+                if (
+                    pending_recovery
+                    or stall_watch is not None
+                    or resend_seconds > 1e-9
+                    or (injector is not None and injector.any_slowdown_active)
+                ):
+                    iv_fault += 1
 
             # ---------------- migration progress -----------------------
             if migration is not None:
@@ -467,6 +573,7 @@ class ElasticDbSimulator:
                             resend_seconds += migration.round_seconds + backoff
                             resend_records.append(corruption)
                 if migration.done and resend_seconds <= 1e-9:
+                    retired = list(retiring)
                     if retiring:
                         for machine in retiring:
                             active.remove(machine)
@@ -485,6 +592,24 @@ class ElasticDbSimulator:
                             "migrate.duration_seconds",
                             bounds=tuple(float(2 ** i) for i in range(24)),
                         ).observe(now - migration_started)
+                        if retired:
+                            chron.record(
+                                "node.remove",
+                                time=now,
+                                parent=move_rec_id,
+                                nodes=retired,
+                                reason="scale-in",
+                            )
+                        chron.record(
+                            "migration.complete",
+                            time=now,
+                            parent=move_rec_id,
+                            before=migration_before,
+                            after=migration_target,
+                            seconds=now - migration_started,
+                            emergency=migration_emergency,
+                        )
+                        move_rec_id = None
                     machines = migration_target
                     migration = None
                     strategy.notify_move_finished(machines)

@@ -302,6 +302,7 @@ class ClusterMigrator:
         self._move_after = 0
         self._round_started_at = 0.0
         self._rounds_committed = 0
+        self._move_chronicle_id: Optional[str] = None
         # Failure-recovery state.
         self._stall_watch = None
         self._stall_attempts = 0
@@ -329,8 +330,15 @@ class ClusterMigrator:
     def migrating(self) -> bool:
         return self._active is not None
 
-    def start_move(self, target_nodes: int) -> ActiveMigration:
-        """Begin reconfiguring the cluster to ``target_nodes`` machines."""
+    def start_move(
+        self, target_nodes: int, cause_id: Optional[str] = None
+    ) -> ActiveMigration:
+        """Begin reconfiguring the cluster to ``target_nodes`` machines.
+
+        ``cause_id`` is the chronicle ID of the plan decision that asked
+        for this move; it becomes the parent of the ``migration.start``
+        record so ``pstore explain`` can walk forecast -> plan -> move.
+        """
         if self.migrating:
             raise MigrationError("a migration is already in progress")
         before = self.cluster.n_nodes
@@ -340,8 +348,10 @@ class ClusterMigrator:
         if after == before:
             raise MigrationError("target equals current size; nothing to do")
 
+        added_nodes: List[int] = []
         if after > before:
             new_nodes = self.cluster.add_nodes(after - before)
+            added_nodes = [n.node_id for n in new_nodes]
             ordered_nodes = [n.node_id for n in self.cluster.nodes]
             # Logical: originals 0..B-1 then new machines B..A-1.
             originals = [nid for nid in ordered_nodes if nid not in
@@ -401,6 +411,24 @@ class ClusterMigrator:
                 est_seconds=self._active.total_seconds,
             )
             tel.metrics.counter("migrate.moves_started").inc()
+            rec = tel.chronicle.record(
+                "migration.start",
+                time=self._sim_time,
+                parent=cause_id,
+                before=before,
+                after=after,
+                rate_kbps=rate_kbps,
+                rounds=schedule.n_rounds,
+                est_seconds=self._active.total_seconds,
+            )
+            self._move_chronicle_id = rec.get("id")
+            if added_nodes:
+                tel.chronicle.record(
+                    "node.add",
+                    time=self._sim_time,
+                    parent=self._move_chronicle_id,
+                    nodes=added_nodes,
+                )
         if self._injector is not None:
             self._injector.notify_migration_started(self._sim_time)
         return self._active
@@ -448,6 +476,16 @@ class ClusterMigrator:
                 elapsed=self._sim_time - self._move_started_at,
             )
             tel.metrics.counter("migrate.moves_aborted").inc()
+            tel.chronicle.record(
+                "migration.aborted",
+                time=self._sim_time,
+                parent=self._move_chronicle_id,
+                before=self._move_before,
+                after=self._move_after,
+                reason=reason,
+                elapsed=self._sim_time - self._move_started_at,
+            )
+            self._move_chronicle_id = None
         self._pair_buckets = {}
         self._retiring_nodes = []
         self._active = None
@@ -497,6 +535,13 @@ class ClusterMigrator:
                 "migrate.round",
                 self._round_started_at,
                 end,
+                round=self._rounds_committed,
+                transfers=len(round_),
+            )
+            tel.chronicle.record(
+                "migration.round",
+                time=end,
+                parent=self._move_chronicle_id,
                 round=self._rounds_committed,
                 transfers=len(round_),
             )
@@ -607,6 +652,25 @@ class ClusterMigrator:
             "migrate.duration_seconds",
             bounds=tuple(float(2 ** i) for i in range(24)),
         ).observe(seconds)
+        if self._retiring_nodes:
+            # _finish() decommissions these right after; chronicle them
+            # while the list is still known.
+            tel.chronicle.record(
+                "node.remove",
+                time=self._sim_time,
+                parent=self._move_chronicle_id,
+                nodes=list(self._retiring_nodes),
+                reason="scale-in",
+            )
+        tel.chronicle.record(
+            "migration.complete",
+            time=self._sim_time,
+            parent=self._move_chronicle_id,
+            before=self._move_before,
+            after=self._move_after,
+            seconds=seconds,
+        )
+        self._move_chronicle_id = None
 
     def _commit_transfer(self, transfer: Transfer) -> None:
         assert self._active is not None and self._active.node_map is not None

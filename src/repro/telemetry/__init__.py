@@ -18,11 +18,25 @@ See docs/OBSERVABILITY.md for metric names, the span hierarchy, and the
 artifact file formats.
 """
 
+from .accuracy import (
+    DEFAULT_WINDOW,
+    NULL_ACCURACY,
+    AccuracyTracker,
+    NullAccuracyTracker,
+)
+from .causal import (
+    CHRONICLE_SCHEMA,
+    NULL_CHRONICLE,
+    FlightRecorder,
+    NullFlightRecorder,
+    make_record_id,
+)
 from .events import NULL_EVENTS, EventLog, NullEventLog
 from .export import (
     EVENTS_SCHEMA,
     METRICS_SCHEMA,
     SPANS_SCHEMA,
+    accuracy_summary,
     export_run,
     forecast_mape,
     forecast_vs_actual,
@@ -31,9 +45,11 @@ from .export import (
     metrics_document,
     migration_summary,
     render_dashboard,
+    write_chronicle_jsonl,
     write_events_jsonl,
     write_metrics_csv,
     write_metrics_json,
+    write_metrics_prom,
     write_spans_jsonl,
 )
 from .metrics import (
@@ -59,18 +75,26 @@ from .runtime import (
 from .tracing import NULL_RECORDER, NullRecorder, Span, SpanRecorder
 
 __all__ = [
+    "AccuracyTracker",
+    "CHRONICLE_SCHEMA",
     "Counter",
+    "DEFAULT_WINDOW",
     "EVENTS_SCHEMA",
     "EventLog",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "METRICS_SCHEMA",
     "MetricsRegistry",
+    "NULL_ACCURACY",
+    "NULL_CHRONICLE",
     "NULL_EVENTS",
     "NULL_RECORDER",
     "NULL_REGISTRY",
     "NULL_TELEMETRY",
+    "NullAccuracyTracker",
     "NullEventLog",
+    "NullFlightRecorder",
     "NullRecorder",
     "NullRegistry",
     "NullTelemetry",
@@ -78,6 +102,7 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "Telemetry",
+    "accuracy_summary",
     "default_buckets",
     "disable_telemetry",
     "enable_telemetry",
@@ -87,14 +112,17 @@ __all__ = [
     "get_telemetry",
     "latency_quantiles",
     "machines_series",
+    "make_record_id",
     "metrics_document",
     "migration_summary",
     "render_dashboard",
     "set_telemetry",
     "telemetry_from_config",
     "telemetry_scope",
+    "write_chronicle_jsonl",
     "write_events_jsonl",
     "write_metrics_csv",
     "write_metrics_json",
+    "write_metrics_prom",
     "write_spans_jsonl",
 ]

@@ -1,0 +1,147 @@
+"""The reconfiguration flight recorder: a causal chronicle of decisions.
+
+Metrics say *what* happened; the chronicle says *why*.  Every forecast
+snapshot, plan decision, migration round, node add/remove, fault event,
+and SLA violation becomes one :class:`FlightRecorder` record with a
+stable ID and a ``parent`` link, forming walkable causal chains::
+
+    forecast.snapshot -> plan.decision -> migration.start -> migration.round*
+                                                          -> migration.complete
+    fault.injected    -> fault.detected -> fault.retry* -> fault.recovered
+    sla.violation     -> (its dominant cause: fault / move / forecast)
+
+Records persist as ``chronicle.jsonl`` next to ``events.jsonl``
+(:func:`repro.telemetry.export.write_chronicle_jsonl`) and are rendered
+by ``pstore explain`` (:mod:`repro.analysis.explain`).
+
+IDs are derived from the record kind, the *simulated* timestamp, and a
+per-recorder sequence counter — never from wall clocks or ``uuid`` — so
+a run's chronicle is bit-identical across machines and repeat runs,
+which keeps parallel sweeps cacheable (the PR-4 sim-time lint enforces
+this file stays wall-clock free).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+#: Version tag written as the first row of every ``chronicle.jsonl``.
+CHRONICLE_SCHEMA = "pstore.chronicle/v1"
+
+#: Short ID prefixes for well-known record kinds (unknown kinds fall
+#: back to the initials of their dotted segments).
+_KIND_PREFIXES = {
+    "forecast.snapshot": "fc",
+    "plan.decision": "pd",
+    "migration.start": "mg",
+    "migration.round": "mr",
+    "migration.complete": "mc",
+    "migration.aborted": "mx",
+    "node.add": "na",
+    "node.remove": "nr",
+    "fault.injected": "fi",
+    "fault.detected": "fd",
+    "fault.retry": "fy",
+    "fault.recovered": "fv",
+    "sla.violation": "sv",
+    "capacity.insufficient": "ci",
+}
+
+
+def _stamp(time: Optional[float]) -> str:
+    """Deterministic, compact rendering of a simulated timestamp."""
+    if time is None:
+        return "x"
+    value = float(time)
+    if value == int(value):
+        return str(int(value))
+    return format(value, "g")
+
+
+def make_record_id(kind: str, time: Optional[float], seq: int) -> str:
+    """``<prefix>-<sim time>-<sequence>`` — stable given the run inputs."""
+    prefix = _KIND_PREFIXES.get(kind)
+    if prefix is None:
+        prefix = "".join(part[0] for part in kind.split(".") if part) or "r"
+    return f"{prefix}-{_stamp(time)}-{seq:05d}"
+
+
+class FlightRecorder:
+    """In-memory append-only chronicle with parent/child linkage."""
+
+    def __init__(self) -> None:
+        self.records: List[dict] = []
+        self._seq = 0
+        self._last: Dict[str, str] = {}
+
+    def record(
+        self,
+        kind: str,
+        time: Optional[float] = None,
+        parent: Optional[Union[str, dict]] = None,
+        **fields,
+    ) -> dict:
+        """Append one record; returns the stored dict (with its ``id``).
+
+        ``parent`` may be another record's id string or the record dict
+        itself.  ``time`` is a *simulated* timestamp (seconds).
+        """
+        parent_id = parent.get("id") if isinstance(parent, dict) else parent
+        self._seq += 1
+        rec = {
+            "id": make_record_id(kind, time, self._seq),
+            "kind": kind,
+            "time": time,
+            "parent": parent_id,
+        }
+        # Reserved keys win: a payload field named e.g. ``kind`` must not
+        # clobber the record's identity.
+        for key, value in fields.items():
+            if key not in rec:
+                rec[key] = value
+        self.records.append(rec)
+        self._last[kind] = rec["id"]
+        return rec
+
+    def last(self, kind: str) -> Optional[str]:
+        """ID of the most recent record of ``kind`` (None if never seen)."""
+        return self._last.get(kind)
+
+    def by_kind(self, kind: str) -> List[dict]:
+        return [r for r in self.records if r["kind"] == kind]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def snapshot(self) -> List[dict]:
+        return list(self.records)
+
+
+class NullFlightRecorder:
+    """Chronicle that drops everything; shared by disabled telemetry."""
+
+    records: Tuple[dict, ...] = ()
+
+    def record(
+        self,
+        kind: str,
+        time: Optional[float] = None,
+        parent: Optional[Union[str, dict]] = None,
+        **fields,
+    ) -> dict:
+        return {}
+
+    def last(self, kind: str) -> Optional[str]:
+        return None
+
+    def by_kind(self, kind: str) -> List[dict]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> List[dict]:
+        return []
+
+
+NULL_CHRONICLE = NullFlightRecorder()

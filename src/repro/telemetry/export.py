@@ -24,7 +24,10 @@ from __future__ import annotations
 import json
 import math
 import pathlib
+import re
 from typing import Dict, List, Optional
+
+from .causal import CHRONICLE_SCHEMA
 
 #: Version tags written into every artifact so later PRs can evolve the
 #: schemas without breaking old readers.
@@ -148,6 +151,13 @@ def latency_quantiles(telemetry) -> Dict[str, dict]:
 # ----------------------------------------------------------------------
 
 
+def accuracy_summary(telemetry) -> List[dict]:
+    """Per (predictor, tau) rolling error stats from the accuracy
+    tracker (empty for bundles without one)."""
+    tracker = getattr(telemetry, "accuracy", None)
+    return tracker.snapshot() if tracker is not None else []
+
+
 def metrics_document(telemetry) -> dict:
     """The full ``metrics.json`` document (snapshot + derived series)."""
     pairs = forecast_vs_actual(telemetry)
@@ -160,6 +170,7 @@ def metrics_document(telemetry) -> dict:
                 "mape_pct": forecast_mape(pairs),
                 "series": pairs,
             },
+            "accuracy": accuracy_summary(telemetry),
             "migrations": migration_summary(telemetry),
             "latency_quantiles": latency_quantiles(telemetry),
         },
@@ -180,6 +191,86 @@ def write_metrics_json(telemetry, path) -> pathlib.Path:
     path = pathlib.Path(path)
     path.write_text(json.dumps(_clean(metrics_document(telemetry)), indent=2,
                                sort_keys=True))
+    return path
+
+
+def write_chronicle_jsonl(telemetry, path) -> pathlib.Path:
+    """The causal chronicle (flight-recorder records) as JSONL."""
+    chronicle = getattr(telemetry, "chronicle", None)
+    rows = [{"schema": CHRONICLE_SCHEMA}]
+    if chronicle is not None:
+        rows += chronicle.snapshot()
+    return write_jsonl(rows, path)
+
+
+def _prom_name(name: str) -> str:
+    return "pstore_" + re.sub(r"[^A-Za-z0-9_]", "_", name)
+
+
+def _prom_labels(labels: Dict[str, object]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{re.sub(r"[^A-Za-z0-9_]", "_", k)}="{v}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + rendered + "}"
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return format(value, ".10g")
+
+
+def write_metrics_prom(telemetry, path) -> pathlib.Path:
+    """OpenMetrics-style text exposition of the metrics registry.
+
+    Counters get a ``_total`` suffix, histograms expand into cumulative
+    ``_bucket{le=...}`` series plus ``_sum``/``_count``, and every family
+    carries a ``# TYPE`` line, so the file drops straight into any
+    Prometheus-compatible scraper or ``promtool check metrics``.
+    """
+    lines: List[str] = []
+    typed: set = set()
+    for snap in telemetry.metrics.snapshot():
+        name = _prom_name(snap["name"])
+        labels = _prom_labels(snap.get("labels") or {})
+        kind = snap["kind"]
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+        if kind == "counter":
+            lines.append(f"{name}_total{labels} {_prom_value(snap['value'])}")
+        elif kind == "gauge":
+            lines.append(f"{name}{labels} {_prom_value(snap['value'])}")
+        else:  # histogram
+            base_labels = dict(snap.get("labels") or {})
+            cumulative = 0
+            for bucket in snap.get("buckets", []):
+                cumulative += bucket["count"]
+                le = (
+                    "+Inf"
+                    if bucket["le"] is None
+                    else _prom_value(bucket["le"])
+                )
+                bucket_labels = _prom_labels(dict(base_labels, le=le))
+                lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+            if not snap.get("buckets") or snap["buckets"][-1]["le"] is not None:
+                inf_labels = _prom_labels(dict(base_labels, le="+Inf"))
+                lines.append(f"{name}_bucket{inf_labels} {snap['count']}")
+            lines.append(f"{name}_sum{labels} {_prom_value(snap['sum'])}")
+            lines.append(f"{name}_count{labels} {snap['count']}")
+    lines.append("# EOF")
+    path = pathlib.Path(path)
+    path.write_text("\n".join(lines) + "\n")
     return path
 
 
@@ -210,6 +301,8 @@ def export_run(telemetry, out_dir) -> Dict[str, pathlib.Path]:
         "events": write_events_jsonl(telemetry, out / "events.jsonl"),
         "spans": write_spans_jsonl(telemetry, out / "spans.jsonl"),
         "metrics": write_metrics_json(telemetry, out / "metrics.json"),
+        "chronicle": write_chronicle_jsonl(telemetry, out / "chronicle.jsonl"),
+        "prom": write_metrics_prom(telemetry, out / "metrics.prom"),
     }
 
 
@@ -242,6 +335,33 @@ def render_dashboard(telemetry, title: str = "run summary") -> str:
         sections.append(
             f"forecast MAPE {mape:.1f}% over {len(pairs)} intervals"
         )
+
+    accuracy = accuracy_summary(telemetry)
+    if accuracy:
+        def fmt(value, suffix="%"):
+            return "-" if value is None else f"{value:.1f}{suffix}"
+
+        shown = accuracy[:12]
+        rows = [
+            (
+                row["predictor"],
+                row["tau"],
+                row["pairs_window"],
+                fmt(row["mape_pct"]),
+                fmt(row["smape_pct"]),
+                fmt(row["bias_pct"]),
+                fmt(row["coverage_pct"]),
+            )
+            for row in shown
+        ]
+        table = ascii_table(
+            ["predictor", "tau", "n", "MAPE", "sMAPE", "bias", "coverage"],
+            rows,
+            title="forecast accuracy (rolling window)",
+        )
+        if len(accuracy) > len(shown):
+            table += f"\n(+{len(accuracy) - len(shown)} more taus)"
+        sections.append(table)
 
     migrations = migration_summary(telemetry)
     if migrations:

@@ -22,13 +22,16 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Optional
 
+from .accuracy import NULL_ACCURACY, AccuracyTracker, NullAccuracyTracker
+from .causal import NULL_CHRONICLE, FlightRecorder, NullFlightRecorder
 from .events import NULL_EVENTS, EventLog, NullEventLog
 from .metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
 from .tracing import NULL_RECORDER, NullRecorder, SpanRecorder
 
 
 class Telemetry:
-    """A live telemetry bundle (metrics + spans + events)."""
+    """A live telemetry bundle (metrics + spans + events + chronicle +
+    forecast accuracy)."""
 
     enabled = True
 
@@ -37,16 +40,26 @@ class Telemetry:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanRecorder] = None,
         events: Optional[EventLog] = None,
+        chronicle: Optional[FlightRecorder] = None,
+        accuracy: Optional[AccuracyTracker] = None,
     ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else SpanRecorder()
         self.events = events if events is not None else EventLog()
+        self.chronicle = chronicle if chronicle is not None else FlightRecorder()
+        self.accuracy = (
+            accuracy
+            if accuracy is not None
+            else AccuracyTracker(metrics=self.metrics)
+        )
 
     def reset(self) -> None:
         """Drop all recorded data (start of a new run)."""
         self.metrics = MetricsRegistry()
         self.tracer = SpanRecorder()
         self.events = EventLog()
+        self.chronicle = FlightRecorder()
+        self.accuracy = AccuracyTracker(metrics=self.metrics)
 
 
 class NullTelemetry:
@@ -56,6 +69,8 @@ class NullTelemetry:
     metrics: NullRegistry = NULL_REGISTRY
     tracer: NullRecorder = NULL_RECORDER
     events: NullEventLog = NULL_EVENTS
+    chronicle: NullFlightRecorder = NULL_CHRONICLE
+    accuracy: NullAccuracyTracker = NULL_ACCURACY
 
     def reset(self) -> None:
         pass

@@ -93,6 +93,12 @@ class SpanRecorder:
         self._stack.append(span)
         try:
             yield span
+        except BaseException:
+            # The run is unwinding through this span (fault-triggered
+            # exception, KeyboardInterrupt, ...): flush it flagged rather
+            # than indistinguishable from a clean completion.
+            span.set("aborted", True)
+            raise
         finally:
             span.end = wall_start + (time.perf_counter() - perf_start)
             self._stack.pop()
@@ -116,7 +122,15 @@ class SpanRecorder:
         return [s for s in self.spans if s.name == name]
 
     def snapshot(self) -> List[dict]:
-        return [s.to_dict() for s in self.spans]
+        """Every span as a dict — including any still open on the stack
+        (a run that aborted mid-span), flushed with ``aborted: True`` and
+        ``end: None`` instead of being silently dropped."""
+        rows = [s.to_dict() for s in self.spans]
+        for span in self._stack:
+            row = span.to_dict()
+            row["attrs"] = dict(span.attrs, aborted=True)
+            rows.append(row)
+        return rows
 
 
 class _NullSpan:

@@ -1,0 +1,172 @@
+"""Tests for the live prediction-error tracker
+(:mod:`repro.telemetry.accuracy`)."""
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_WINDOW,
+    NULL_ACCURACY,
+    AccuracyTracker,
+    MetricsRegistry,
+    Telemetry,
+)
+
+
+class TestPairing:
+    def test_forecast_targets_future_slots(self):
+        tracker = AccuracyTracker()
+        # Forecast made after observing slot 4: predicted[i] targets
+        # slot 5 + i with tau = i + 1.
+        tracker.record_forecast(4, [100.0, 200.0, 300.0], predictor="spar")
+        assert tracker.pending_count == 3
+        harvest = tracker.observe(5, 110.0)
+        assert len(harvest) == 1
+        assert harvest[0]["tau"] == 1
+        assert harvest[0]["predicted"] == 100.0
+        assert harvest[0]["actual"] == 110.0
+        harvest = tracker.observe(7, 290.0)
+        # slot 6's pending forecast (tau=2) was skipped -> dropped.
+        assert len(harvest) == 1
+        assert harvest[0]["tau"] == 3
+        assert tracker.pairs_dropped == 1
+        assert tracker.pending_count == 0
+
+    def test_overlapping_horizons_harvest_smallest_tau_first(self):
+        tracker = AccuracyTracker()
+        tracker.record_forecast(0, [10.0, 20.0, 30.0])
+        tracker.record_forecast(1, [21.0, 31.0])
+        tracker.record_forecast(2, [32.0])
+        harvest = tracker.observe(3, 33.0)
+        assert [entry["tau"] for entry in harvest] == [1, 2, 3]
+        assert [entry["predicted"] for entry in harvest] == [32.0, 31.0, 30.0]
+        assert all(entry["actual"] == 33.0 for entry in harvest)
+
+    def test_snapshot_id_rides_through(self):
+        tracker = AccuracyTracker()
+        tracker.record_forecast(0, [10.0], snapshot_id="fc-300-00001")
+        harvest = tracker.observe(1, 12.0)
+        assert harvest[0]["snapshot_id"] == "fc-300-00001"
+
+
+class TestWindowEviction:
+    def test_window_evicts_oldest_pairs(self):
+        tracker = AccuracyTracker(window=3)
+        # Five pairs with 100% error, then three exact pairs: the
+        # window only remembers the last three.
+        for slot in range(5):
+            tracker.record_forecast(slot, [200.0])
+            tracker.observe(slot + 1, 100.0)
+        stats = tracker.errors("predictor", 1)
+        assert stats["pairs_window"] == 3
+        assert stats["pairs_total"] == 5
+        assert stats["mape_pct"] == pytest.approx(100.0)
+        for slot in range(5, 8):
+            tracker.record_forecast(slot, [100.0])
+            tracker.observe(slot + 1, 100.0)
+        stats = tracker.errors("predictor", 1)
+        assert stats["pairs_window"] == 3
+        assert stats["pairs_total"] == 8
+        assert stats["mape_pct"] == pytest.approx(0.0)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AccuracyTracker(window=0)
+
+    def test_default_window_is_one_day_of_intervals(self):
+        assert AccuracyTracker().window == DEFAULT_WINDOW == 288
+
+
+class TestStatistics:
+    def test_signed_bias_and_smape(self):
+        tracker = AccuracyTracker()
+        tracker.record_forecast(0, [150.0])  # +50% overshoot
+        tracker.observe(1, 100.0)
+        tracker.record_forecast(1, [50.0])  # -50% undershoot
+        tracker.observe(2, 100.0)
+        stats = tracker.errors("predictor", 1)
+        assert stats["mape_pct"] == pytest.approx(50.0)
+        assert stats["bias_pct"] == pytest.approx(0.0)
+        # sMAPE: 2*50/250 = 0.4 and 2*50/150 = 2/3 -> mean ~53.33%.
+        assert stats["smape_pct"] == pytest.approx(
+            100.0 * (0.4 + 2.0 / 3.0) / 2.0
+        )
+
+    def test_coverage_tracks_the_inflated_forecast(self):
+        tracker = AccuracyTracker()
+        tracker.record_forecast(0, [100.0], inflated=[115.0])
+        tracker.observe(1, 110.0)  # covered
+        tracker.record_forecast(1, [100.0], inflated=[115.0])
+        tracker.observe(2, 130.0)  # not covered
+        stats = tracker.errors("predictor", 1)
+        assert stats["coverage_pct"] == pytest.approx(50.0)
+
+    def test_machine_interval_costs_require_q(self):
+        metrics = MetricsRegistry()
+        tracker = AccuracyTracker(metrics=metrics)
+        tracker.configure(q=100.0)
+        # Provisioned ceil(300/100)=3, needed ceil(150/100)=2: one
+        # machine-interval over.
+        tracker.record_forecast(0, [280.0], inflated=[300.0])
+        tracker.observe(1, 150.0)
+        # Provisioned 2, needed 4: two machine-intervals under.
+        tracker.record_forecast(1, [190.0], inflated=[200.0])
+        tracker.observe(2, 350.0)
+        rows = tracker.snapshot()
+        assert rows[0]["over_machine_intervals"] == 1
+        assert rows[0]["under_machine_intervals"] == 2
+        gauges = {
+            m["name"]: m["value"]
+            for m in metrics.snapshot()
+            if m["name"].endswith("machine_intervals")
+        }
+        assert gauges["forecast.over_machine_intervals"] == 1
+        assert gauges["forecast.under_machine_intervals"] == 2
+
+    def test_configure_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            AccuracyTracker().configure(q=0.0)
+
+
+class TestMetricsPublication:
+    def test_counters_and_gauges_flow_to_the_registry(self):
+        metrics = MetricsRegistry()
+        tracker = AccuracyTracker(metrics=metrics)
+        tracker.record_forecast(0, [100.0, 120.0], predictor="spar")
+        tracker.observe(1, 110.0)
+        names = {m["name"] for m in metrics.snapshot()}
+        assert "forecast.pairs" in names
+        assert "forecast.mape_pct" in names
+        assert "forecast.abs_pct_error" in names
+        pair_counters = [
+            m for m in metrics.snapshot() if m["name"] == "forecast.pairs"
+        ]
+        assert pair_counters[0]["labels"]["predictor"] == "spar"
+        assert pair_counters[0]["labels"]["tau"] == "1"
+
+    def test_dropped_counter_counts_entries_not_slots(self):
+        metrics = MetricsRegistry()
+        tracker = AccuracyTracker(metrics=metrics)
+        tracker.record_forecast(0, [1.0, 2.0])  # slots 1 and 2
+        tracker.observe(5, 9.0)  # both stale
+        assert tracker.pairs_dropped == 2
+        dropped = [
+            m for m in metrics.snapshot()
+            if m["name"] == "forecast.pairs_dropped"
+        ]
+        assert dropped[0]["value"] == 2
+
+
+class TestBundleIntegration:
+    def test_telemetry_bundle_builds_a_live_tracker(self):
+        tel = Telemetry()
+        assert tel.accuracy.enabled
+        tel.accuracy.record_forecast(0, [10.0])
+        assert tel.accuracy.pending_count == 1
+        tel.reset()
+        assert tel.accuracy.pending_count == 0
+
+    def test_null_tracker_is_inert(self):
+        NULL_ACCURACY.record_forecast(0, [10.0])
+        assert NULL_ACCURACY.observe(1, 5.0) == []
+        assert NULL_ACCURACY.pending_count == 0
+        assert NULL_ACCURACY.snapshot() == []

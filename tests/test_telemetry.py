@@ -18,6 +18,7 @@ from repro.hstore import (
     TransactionExecutor,
 )
 from repro.telemetry import (
+    CHRONICLE_SCHEMA,
     EVENTS_SCHEMA,
     METRICS_SCHEMA,
     NULL_TELEMETRY,
@@ -163,6 +164,43 @@ class TestSpans:
         assert dumped[0]["name"] == "cycle"
         assert dumped[0]["clock"] == "wall"
 
+    def test_exception_flags_span_aborted(self):
+        tracer = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with tracer.span("controller.cycle"):
+                with tracer.span("plan.dp"):
+                    raise RuntimeError("boom")
+        # Both spans flushed, both flagged, both closed.
+        assert [s.name for s in tracer.spans] == [
+            "plan.dp", "controller.cycle",
+        ]
+        assert all(s.attrs["aborted"] is True for s in tracer.spans)
+        assert all(s.end is not None for s in tracer.spans)
+        assert tracer.current is None
+
+    def test_clean_spans_carry_no_aborted_flag(self):
+        tracer = SpanRecorder()
+        with tracer.span("cycle"):
+            pass
+        assert "aborted" not in tracer.spans[0].attrs
+
+    def test_snapshot_flushes_open_spans_as_aborted(self):
+        tracer = SpanRecorder()
+        cm = tracer.span("controller.cycle", machines=4)
+        cm.__enter__()
+        rows = tracer.snapshot()
+        # The span is still on the stack (a hard abort mid-run), yet the
+        # export shows it, flagged, with no end time.
+        assert len(rows) == 1
+        assert rows[0]["name"] == "controller.cycle"
+        assert rows[0]["attrs"]["aborted"] is True
+        assert rows[0]["attrs"]["machines"] == 4
+        assert rows[0]["end"] is None
+        # The live span itself is not mutated by snapshotting.
+        assert "aborted" not in tracer.current.attrs
+        cm.__exit__(None, None, None)
+        assert "aborted" not in tracer.snapshot()[0]["attrs"]
+
 
 class TestEvents:
     def test_emit_is_sequenced(self):
@@ -248,7 +286,9 @@ class TestExport:
 
     def test_export_run_writes_all_artifacts(self, tmp_path):
         paths = export_run(_synthetic_run(), tmp_path)
-        assert sorted(paths) == ["events", "metrics", "spans"]
+        assert sorted(paths) == [
+            "chronicle", "events", "metrics", "prom", "spans",
+        ]
         events = [json.loads(l) for l in
                   paths["events"].read_text().splitlines()]
         assert events[0] == {"schema": EVENTS_SCHEMA}
@@ -258,6 +298,12 @@ class TestExport:
         assert doc["schema"] == METRICS_SCHEMA
         assert doc["derived"]["forecast"]["n_pairs"] == 2
         assert doc["derived"]["migrations"][0]["seconds"] == 420.0
+        chronicle = [json.loads(l) for l in
+                     paths["chronicle"].read_text().splitlines()]
+        assert chronicle[0] == {"schema": CHRONICLE_SCHEMA}
+        prom = paths["prom"].read_text()
+        assert prom.rstrip().endswith("# EOF")
+        assert "pstore_engine_latency_ms_bucket" in prom
 
     def test_dashboard_renders(self):
         text = render_dashboard(_synthetic_run())
