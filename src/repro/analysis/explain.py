@@ -253,6 +253,24 @@ def _describe(record: dict) -> str:
             f"peak {_fmt_tps(record.get('predicted_peak'))}) "
             f"from slot {record.get('origin_slot')}"
         )
+    if kind == "forecast.accuracy":
+        action = record.get("action", "?")
+        if action == "recovered":
+            return (
+                f"{time} forecast accuracy recovered "
+                f"({record.get('predictor', '?')} tau={record.get('tau')})"
+            )
+        value = record.get("value_pct")
+        threshold = record.get("threshold_pct")
+        detail = ""
+        if value is not None and threshold is not None:
+            detail = f" {float(value):.1f}% > {float(threshold):.1f}%"
+        return (
+            f"{time} forecast accuracy breach: "
+            f"{record.get('metric', '?')}{detail} "
+            f"({record.get('predictor', '?')} tau={record.get('tau')}, "
+            f"{record.get('pairs')} pairs) -> {action}"
+        )
     if kind == "plan.decision":
         target = record.get("target_machines")
         action = (

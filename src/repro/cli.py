@@ -30,7 +30,16 @@ Subcommands
     render the causal post-mortem of a recorded run: walk the
     ``chronicle.jsonl`` flight recorder and attribute every
     SLA-violating interval to a fault, migration overhead, an
-    under-forecast, or thin planner headroom (see docs/OBSERVABILITY.md).
+    under-forecast, or thin planner headroom (see docs/OBSERVABILITY.md);
+``serve``
+    run the always-on control plane: ingest a live load-report stream
+    (trace replay, newline-JSON stdin/file, or TCP), refit and re-plan
+    online with accuracy-triggered fallback, optionally serve
+    ``/status`` + ``/metrics`` over HTTP, and flush a full run directory
+    on SIGINT (see docs/SERVICE.md);
+``cache``
+    manage the sweep result cache (``cache gc`` evicts by age/size and
+    reports reclaimed bytes).
 
 Run ``pstore <subcommand> --help`` for options.
 
@@ -262,6 +271,94 @@ def _build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit the machine-readable report instead of text",
+    )
+
+    srv = sub.add_parser(
+        "serve", parents=[common],
+        help="run the always-on predictive provisioning control plane",
+    )
+    srv.add_argument(
+        "--source", default="replay:b2w",
+        help="load-report source: replay:b2w | replay:<trace.csv> | "
+        "file:<reports.jsonl> | stdin | tcp:<port> (default: replay:b2w)",
+    )
+    srv.add_argument(
+        "--speed", type=float, default=60.0,
+        help="replay acceleration: simulated seconds per wall second "
+        "(0 = no pacing, run flat out; default: 60)",
+    )
+    srv.add_argument("--days", type=int, default=2,
+                     help="synthetic replay length after training")
+    srv.add_argument(
+        "--train-days", type=int, default=1,
+        help="trace prefix for the offline predictor fit "
+        "(0 = learn fully online)",
+    )
+    srv.add_argument("--seed", type=int, default=7)
+    srv.add_argument("--peak-tps", type=float, default=1450.0)
+    srv.add_argument(
+        "--slot-seconds", type=float, default=300.0,
+        help="planner interval for non-replay sources",
+    )
+    srv.add_argument(
+        "--predictor", choices=("spar", "ar", "naive"), default="ar",
+        help="forecast model (spar needs --train-days >= 2; ar is the "
+        "responsive default for short replays)",
+    )
+    srv.add_argument(
+        "--error-trigger", default="mape:0.35", metavar="SPEC",
+        help="unscheduled-replan trigger over rolling forecast error, "
+        "e.g. mape:0.3 or mape:0.3,bias:0.25; 'off' disables "
+        "(default: mape:0.35)",
+    )
+    srv.add_argument(
+        "--trigger-min-pairs", type=int, default=12,
+        help="scored forecast/actual pairs required before the trigger "
+        "may fire",
+    )
+    srv.add_argument(
+        "--http-port", type=int, default=None, metavar="PORT",
+        help="serve /status /metrics /chronicle/tail /plan on PORT "
+        "(default: no HTTP)",
+    )
+    srv.add_argument("--machines", type=int, default=2,
+                     help="initial cluster size")
+    srv.add_argument("--max-machines", type=int, default=None)
+    srv.add_argument(
+        "--out", default="serve-out", metavar="DIR",
+        help="run directory flushed on drain/SIGINT "
+        "(events/spans/chronicle/metrics; 'none' disables)",
+    )
+    srv.add_argument(
+        "--status-every", type=int, default=12,
+        help="print a dashboard line every N closed intervals "
+        "(0 = never)",
+    )
+
+    cache = sub.add_parser(
+        "cache", parents=[common],
+        help="manage the sweep result cache",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    gc = cache_sub.add_parser(
+        "gc", parents=[common],
+        help="evict cache entries by age and/or total size",
+    )
+    gc.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache root (default: .pstore-cache, or $PSTORE_CACHE_DIR)",
+    )
+    gc.add_argument(
+        "--max-bytes", default=None, metavar="SIZE",
+        help="keep the cache under SIZE (suffixes K/M/G, e.g. 500M)",
+    )
+    gc.add_argument(
+        "--max-age", default=None, metavar="AGE",
+        help="evict entries older than AGE (suffixes s/m/h/d, e.g. 7d)",
+    )
+    gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be evicted without deleting",
     )
     return parser
 
@@ -582,6 +679,182 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _parse_size(text: Optional[str]) -> Optional[int]:
+    """``500M`` / ``2G`` / ``1048576`` -> bytes."""
+    if text is None:
+        return None
+    spec = text.strip().upper()
+    factor = 1
+    for suffix, mult in (("K", 1024), ("M", 1024 ** 2), ("G", 1024 ** 3)):
+        if spec.endswith(suffix):
+            factor, spec = mult, spec[:-1]
+            break
+    try:
+        return int(float(spec) * factor)
+    except ValueError:
+        raise PStoreError(f"bad size {text!r} (want e.g. 500M, 2G)") from None
+
+
+def _parse_age(text: Optional[str]) -> Optional[float]:
+    """``7d`` / ``12h`` / ``30m`` / ``90s`` -> seconds."""
+    if text is None:
+        return None
+    spec = text.strip().lower()
+    factor = 1.0
+    for suffix, mult in (("s", 1.0), ("m", 60.0), ("h", 3600.0), ("d", 86400.0)):
+        if spec.endswith(suffix):
+            factor, spec = mult, spec[:-1]
+            break
+    try:
+        return float(spec) * factor
+    except ValueError:
+        raise PStoreError(f"bad age {text!r} (want e.g. 7d, 12h)") from None
+
+
+def _cmd_cache(args) -> int:
+    from .runner.cache import ResultCache, default_cache_root
+
+    root = args.cache_dir or default_cache_root()
+    cache = ResultCache(root)
+    stats = cache.gc(
+        max_bytes=_parse_size(args.max_bytes),
+        max_age_seconds=_parse_age(args.max_age),
+        dry_run=args.dry_run,
+    )
+    verb = "would reclaim" if args.dry_run else "reclaimed"
+    print(
+        f"{verb} {stats['reclaimed_bytes']:,} bytes "
+        f"({stats['removed']} of {stats['scanned']} entries) from {root}; "
+        f"{stats['kept']} entries / {stats['kept_bytes']:,} bytes kept"
+    )
+    return 0
+
+
+def _serve_predictor(args, trace, period: int):
+    """Build the (Online-wrapped) forecast model for ``pstore serve``."""
+    from .prediction.online import OnlinePredictor
+
+    train_slots = 0
+    if trace is not None and args.train_days > 0:
+        train_slots = int(args.train_days * trace.slots_per_day)
+        if train_slots >= len(trace):
+            raise PStoreError(
+                f"trace has {len(trace)} slots; cannot train on "
+                f"{args.train_days} days"
+            )
+    if args.predictor == "spar" and args.train_days > 0 and args.train_days < 2:
+        raise PStoreError(
+            "spar needs --train-days >= 2 (one period of history plus one "
+            "of targets); use --predictor ar for short replays"
+        )
+    kwargs = {"period": period}
+    if args.predictor == "spar":
+        kwargs["n_periods"] = max(1, min(7, args.train_days - 1))
+        kwargs["m_recent"] = min(30, period // 2)
+    if train_slots:
+        values = trace.as_rate_per_second()[:train_slots]
+        base = api.fit_predictor(args.predictor, values, **kwargs)
+        online = OnlinePredictor(
+            base, refit_every=7 * period, max_history=21 * period
+        )
+        online.fit(values)
+        return online, train_slots
+    # Fully-online bootstrap: build an unfitted base and let the
+    # controller's warmup mode carry until the first fit.
+    from .prediction.naive import LastValuePredictor
+    from .prediction.spar import ArPredictor, SparPredictor
+
+    if args.predictor == "spar":
+        base = SparPredictor(period=period, n_periods=2,
+                             m_recent=min(30, period // 2))
+    elif args.predictor == "ar":
+        base = ArPredictor(order=min(30, max(2, period // 8)))
+    else:
+        base = LastValuePredictor()
+    return (
+        OnlinePredictor(base, refit_every=7 * period,
+                        max_history=21 * period),
+        0,
+    )
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import (
+        ControlPlane,
+        ServeOptions,
+        parse_error_trigger,
+        source_from_spec,
+    )
+    from .serve.controller import ErrorTrigger
+
+    kind, _, arg = args.source.partition(":")
+    trace = None
+    if kind == "replay":
+        if arg in ("", "b2w"):
+            total_days = args.train_days + args.days
+            trace = b2w_like_trace(
+                n_days=total_days,
+                slot_seconds=args.slot_seconds,
+                seed=args.seed,
+                base_level=args.peak_tps * args.slot_seconds,
+            )
+        else:
+            trace = read_trace_csv(arg)
+    slot_seconds = trace.slot_seconds if trace is not None else args.slot_seconds
+    config = default_config().with_interval(slot_seconds)
+    period = (
+        trace.slots_per_day
+        if trace is not None
+        else max(1, int(round(86_400.0 / slot_seconds)))
+    )
+
+    predictor, train_slots = _serve_predictor(args, trace, period)
+    if trace is not None and train_slots:
+        trace = trace[train_slots:]
+
+    trigger = parse_error_trigger(args.error_trigger)
+    if trigger is not None:
+        trigger = ErrorTrigger(
+            trigger.clauses, tau=1, min_pairs=args.trigger_min_pairs
+        )
+
+    source = source_from_spec(args.source, trace=trace, speed=args.speed)
+    out = None if args.out in (None, "", "none") else args.out
+    options = ServeOptions(
+        speed=args.speed,
+        http_port=args.http_port,
+        out=out,
+        initial_machines=args.machines,
+        max_machines=args.max_machines,
+        status_every=args.status_every,
+        quiet=args.quiet,
+    )
+    plane = ControlPlane(
+        config, predictor, source, trigger=trigger, options=options
+    )
+    logger.info(
+        "serving source=%s speed=%gx trigger=%s http=%s out=%s",
+        args.source, args.speed,
+        trigger.describe() if trigger else "off",
+        args.http_port, out,
+    )
+    summary = asyncio.run(plane.run())
+    print(
+        f"served {summary['intervals']} intervals "
+        f"({summary['sim_time']:,.0f}s simulated): "
+        f"machines={summary['machines']} mode={summary['mode']} "
+        f"violations={summary['violations']} moves={summary['moves_started']} "
+        f"trigger_fires={summary['trigger_fires']}"
+    )
+    for name, path in sorted(summary.get("artifacts", {}).items()):
+        logger.info("wrote %s -> %s", name, path)
+    if summary.get("artifacts"):
+        print(f"run directory flushed to {out}/ (pstore explain {out}/)")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "predict": _cmd_predict,
@@ -592,6 +865,8 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "check": _cmd_check,
     "explain": _cmd_explain,
+    "serve": _cmd_serve,
+    "cache": _cmd_cache,
 }
 
 
@@ -600,10 +875,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     _setup_logging(args)
     recording = bool(args.telemetry_out)
-    if recording:
+    # `serve` is always a telemetry producer: its accuracy trigger and
+    # chronicle need the live registry, and it flushes its own run
+    # directory (--out) on drain.
+    needs_telemetry = recording or args.command == "serve"
+    if needs_telemetry:
         enable_telemetry()
-        logger.info("telemetry enabled, artifacts will go to %s",
-                    args.telemetry_out)
+        if recording:
+            logger.info("telemetry enabled, artifacts will go to %s",
+                        args.telemetry_out)
     try:
         try:
             code = _COMMANDS[args.command](args)
@@ -612,6 +892,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             # configs) exit nonzero with one line, not a traceback.
             print(f"error: {error}", file=sys.stderr)
             code = 1
+        except KeyboardInterrupt:
+            # Graceful-shutdown path for batch commands: a Ctrl-C must
+            # still flush whatever telemetry was recorded (open spans are
+            # exported with ``aborted: true``) instead of dropping the
+            # run on the floor.  `serve` normally intercepts the signal
+            # itself; this is the fallback for everything else.
+            print("interrupted", file=sys.stderr)
+            code = 130
         if recording:
             tel = get_telemetry()
             try:
@@ -630,7 +918,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 code = code or 1
         return code
     finally:
-        if recording:
+        if needs_telemetry:
             disable_telemetry()
 
 

@@ -112,6 +112,11 @@ class PredictiveController:
         self._scale_in_streak = 0
         self._last_schedule: Optional[MoveSchedule] = None
         self._last_snapshot_id: Optional[str] = None
+        #: When set, the next ``plan.decision`` chronicle record parents on
+        #: this ID instead of the forecast snapshot — the error-triggered
+        #: re-plan path (``repro.serve``) points it at the
+        #: ``forecast.accuracy`` record that forced the cycle.  One-shot.
+        self.replan_parent: Optional[str] = None
 
     @staticmethod
     def minimum_horizon_intervals(config: PStoreConfig) -> int:
@@ -142,6 +147,8 @@ class PredictiveController:
         """
         if current_machines < 1:
             raise PlanningError("current_machines must be >= 1")
+        replan_parent = self.replan_parent
+        self.replan_parent = None
         tel = self._telemetry
         with tel.tracer.span(
             "controller.cycle",
@@ -163,7 +170,8 @@ class PredictiveController:
                 rec = tel.chronicle.record(
                     "plan.decision",
                     time=float(len(history)) * self.config.interval_seconds,
-                    parent=self._last_snapshot_id,
+                    parent=(replan_parent if replan_parent is not None
+                            else self._last_snapshot_id),
                     decision_kind=kind,
                     reason=decision.reason,
                     target_machines=decision.target_machines,

@@ -46,12 +46,16 @@ class ServiceEvent:
     The structured telemetry event log
     (:class:`repro.telemetry.events.EventLog`) subsumes this record —
     every ServiceEvent is mirrored there as a ``service.<kind>`` event
-    with the same fields — but the plain list is kept as the stable
-    in-process API."""
+    with the same fields and as a ``service.<kind>`` chronicle record
+    with a causal parent — the plain list is kept as a thin
+    backwards-compatible view.  ``record_id`` is the chronicle ID the
+    event was filed under (None when telemetry is disabled), so audit
+    entries can be joined against ``pstore explain`` chains."""
 
     time: float
     kind: str          # "scale-out" | "scale-in" | "emergency" | "rebalance"
     detail: str
+    record_id: Optional[str] = None
 
 
 class PStoreService:
@@ -133,14 +137,26 @@ class PStoreService:
                 injector=self._injector,
             )
 
-    def _record_event(self, kind: str, detail: str, **fields) -> None:
-        """Append to the audit list and mirror into the telemetry log."""
-        self.events.append(ServiceEvent(time=self._now, kind=kind, detail=detail))
+    def _record_event(
+        self, kind: str, detail: str, parent: Optional[str] = None, **fields
+    ) -> None:
+        """File the action in the chronicle and mirror it into the
+        telemetry event log; the ``events`` list keeps a thin view."""
         tel = self._telemetry
+        record_id: Optional[str] = None
         if tel.enabled:
+            rec = tel.chronicle.record(
+                f"service.{kind}", time=self._now, parent=parent,
+                detail=detail, **fields,
+            )
+            record_id = rec.get("id")
             tel.events.emit(f"service.{kind}", time=self._now, detail=detail,
                             **fields)
             tel.metrics.counter("service.events", kind=kind).inc()
+        self.events.append(
+            ServiceEvent(time=self._now, kind=kind, detail=detail,
+                         record_id=record_id)
+        )
 
     # ------------------------------------------------------------------
     # Transaction path
@@ -190,6 +206,7 @@ class PStoreService:
                 self._record_event(
                     "move-complete",
                     f"now at {self.cluster.n_nodes} machines",
+                    parent=self._telemetry.chronicle.last("migration.complete"),
                     machines=self.cluster.n_nodes,
                 )
                 self._migration_target = None
@@ -249,6 +266,7 @@ class PStoreService:
                 self._record_event(
                     "migration-aborted",
                     f"node {victim} crashed mid-move",
+                    parent=self._telemetry.chronicle.last("migration.aborted"),
                     node=victim,
                 )
             summary = self.cluster.fail_node(victim)
@@ -267,6 +285,7 @@ class PStoreService:
                 "node-down",
                 f"node {victim} crashed; {summary['buckets_moved']} buckets "
                 f"re-homed onto {summary['survivors']} survivors",
+                parent=self._telemetry.chronicle.last("node.remove"),
                 node=victim,
                 buckets_moved=summary["buckets_moved"],
                 kb_recovered=summary["kb_recovered"],
@@ -305,6 +324,7 @@ class PStoreService:
         self._record_event(
             kind,
             f"{decision.reason} -> {target} machines",
+            parent=getattr(decision, "record_id", None),
             reason=decision.reason,
             before=before,
             target=target,

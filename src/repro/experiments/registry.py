@@ -203,6 +203,11 @@ for _defn in (
         run_cell="run_cell", summarize="summarize", heavy=True,
     ),
     ExperimentDef(
+        "serve", "Serve smoke — online control plane on a drifting replay",
+        f"{_P}.serve", runner="run_serve_smoke", grid="grid",
+        run_cell="run_cell", summarize="summarize",
+    ),
+    ExperimentDef(
         "smoke", "Fast capacity-sim grid (sweep smoke/CI)", f"{_P}.smoke",
         runner="run_smoke", grid="grid", run_cell="run_cell",
         summarize="summarize",

@@ -57,7 +57,9 @@ class OnlinePredictor(Predictor):
         if min_training is None:
             base_min = getattr(base, "min_history", 1)
             period = getattr(base, "period", 0)
-            min_training = base_min + max(period, 1)
+            # At least two extra points past min_history: a bare AR(p)
+            # least-squares fit needs p + 2 samples to be determined.
+            min_training = base_min + max(period, 2)
         self.min_training = min_training
         self.max_history = max_history
         self._history: List[float] = []
@@ -93,6 +95,28 @@ class OnlinePredictor(Predictor):
     def observe_many(self, values: Sequence[float]) -> None:
         for value in values:
             self.observe(value)
+
+    def refit_now(self) -> bool:
+        """Force an immediate refit on the accumulated history.
+
+        The error-triggered re-plan path (``repro.serve``) calls this when
+        the accuracy tracker reports the model has gone stale, instead of
+        waiting out the weekly cadence.  Returns ``True`` if a fit
+        happened (enough history), ``False`` otherwise.
+        """
+        if len(self._history) < self.min_training:
+            return False
+        self.base.fit(self._history)
+        self._fitted = True
+        self._since_fit = 0
+        self.fit_count += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.metrics.counter(
+                "predictor.refit", model=type(self.base).__name__
+            ).inc()
+            tel.metrics.counter("predictor.refit_forced").inc()
+        return True
 
     @property
     def history(self) -> np.ndarray:

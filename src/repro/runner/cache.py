@@ -15,6 +15,7 @@ import json
 import os
 import pathlib
 import tempfile
+import time
 from typing import Iterator, Optional
 
 #: Envelope schema identifier written into every cached entry.
@@ -85,3 +86,66 @@ class ResultCache:
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).is_file()
+
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+        now: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> dict:
+        """Evict entries so long-lived hosts don't grow the cache forever.
+
+        Entries older than ``max_age_seconds`` (by file mtime) go first;
+        if the survivors still exceed ``max_bytes``, the oldest are then
+        evicted until the total fits.  ``now`` pins the reference clock
+        for tests; ``dry_run`` reports without deleting.  Returns a stats
+        dict with ``scanned``/``removed``/``kept`` entry counts and the
+        matching byte totals (``reclaimed_bytes`` is what got deleted).
+        """
+        if now is None:
+            now = time.time()  # lint: wall-clock-ok
+        entries = []
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # racing writer/collector; skip
+            entries.append((stat.st_mtime, stat.st_size, path))
+        scanned_bytes = sum(size for _, size, _ in entries)
+        doomed = []
+        if max_age_seconds is not None:
+            cutoff = now - max_age_seconds
+            doomed = [e for e in entries if e[0] < cutoff]
+            entries = [e for e in entries if e[0] >= cutoff]
+        if max_bytes is not None:
+            kept_bytes = sum(size for _, size, _ in entries)
+            entries.sort()  # oldest first
+            while entries and kept_bytes > max_bytes:
+                entry = entries.pop(0)
+                doomed.append(entry)
+                kept_bytes -= entry[1]
+        reclaimed = 0
+        for _, size, path in doomed:
+            reclaimed += size
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    reclaimed -= size
+        if not dry_run:
+            for shard in self.root.glob("*"):
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()  # only succeeds when empty
+                    except OSError:
+                        pass
+        return {
+            "scanned": len(doomed) + len(entries),
+            "scanned_bytes": scanned_bytes,
+            "removed": len(doomed),
+            "reclaimed_bytes": reclaimed,
+            "kept": len(entries),
+            "kept_bytes": scanned_bytes - reclaimed,
+            "dry_run": dry_run,
+        }

@@ -1,0 +1,101 @@
+"""The central depository: per-node reports -> closed planner intervals.
+
+Monitor surrogates on each node report their observed load
+asynchronously; the depository buckets the counts into planner slots and
+only releases a slot to the :class:`~repro.hstore.monitor.LoadMonitor`
+once the *cluster-wide watermark* — the slowest node's clock — has moved
+past it.  That gives the controller the same clean, ordered interval
+stream the batch simulators produce, while tolerating out-of-order and
+straggling reports.
+
+Reports that arrive for a slot already released are counted as late and
+dropped (the alternative, revising closed intervals, would re-open
+forecasts the accuracy tracker has already scored).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..hstore.monitor import LoadMonitor
+from ..telemetry import get_telemetry
+from .ingest import LoadReport
+
+
+class Depository:
+    """Aggregates :class:`LoadReport` streams into monitor intervals."""
+
+    def __init__(
+        self,
+        interval_seconds: float,
+        monitor: Optional[LoadMonitor] = None,
+        telemetry=None,
+    ) -> None:
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
+        self.monitor = (
+            monitor
+            if monitor is not None
+            else LoadMonitor(interval_seconds, telemetry=self._telemetry)
+        )
+        self._interval = float(interval_seconds)
+        self._buffer: Dict[int, float] = {}
+        self._clocks: Dict[str, float] = {}
+        self._released = 0          # slots already fed to the monitor
+        self.reports_ingested = 0
+        self.late_reports = 0
+
+    @property
+    def watermark(self) -> float:
+        """The slowest reporting node's clock (0 before any report)."""
+        return min(self._clocks.values()) if self._clocks else 0.0
+
+    @property
+    def nodes(self) -> int:
+        return len(self._clocks)
+
+    def add(self, report: LoadReport) -> None:
+        """Buffer one report; intervals close later, at :meth:`flush`."""
+        slot = int(report.time // self._interval)
+        if slot < self._released:
+            self.late_reports += 1
+            tel = self._telemetry
+            if tel.enabled:
+                tel.metrics.counter("serve.reports_late").inc()
+            return
+        self._buffer[slot] = self._buffer.get(slot, 0.0) + report.count
+        previous = self._clocks.get(report.node, 0.0)
+        self._clocks[report.node] = max(previous, float(report.time))
+        self.reports_ingested += 1
+
+    def flush(self) -> int:
+        """Release every slot the watermark has passed; returns how many
+        intervals the monitor closed."""
+        wm_slot = int(self.watermark // self._interval)
+        if wm_slot <= self._released:
+            return 0
+        closed = 0
+        for slot in sorted(s for s in self._buffer if s < wm_slot):
+            count = self._buffer.pop(slot)
+            # Mid-slot timestamp: attributes the count to exactly this
+            # interval without touching the next boundary.
+            closed += self.monitor.record((slot + 0.5) * self._interval, count)
+        # Zero-count record at the watermark boundary closes any empty
+        # slots up to it (the monitor batches the gap internally).
+        closed += self.monitor.record(wm_slot * self._interval, 0.0)
+        self._released = wm_slot
+        return closed
+
+    def finish(self) -> int:
+        """Drain everything buffered at stream end (no more watermarks)."""
+        if not self._buffer:
+            return 0
+        last = max(self._buffer)
+        closed = 0
+        for slot in sorted(self._buffer):
+            closed += self.monitor.record(
+                (slot + 0.5) * self._interval, self._buffer[slot]
+            )
+        self._buffer.clear()
+        closed += self.monitor.record((last + 1) * self._interval, 0.0)
+        self._released = last + 1
+        return closed

@@ -1,0 +1,242 @@
+"""Load-report sources for the control plane.
+
+A *load report* is one monitor surrogate's measurement: "node N observed
+``count`` transactions around simulated time ``time``".  Sources are
+async iterators of :class:`LoadReport`; the plane feeds them into the
+:class:`~repro.serve.depository.Depository`, which decides when an
+interval is complete.
+
+Three source families:
+
+* :class:`ReplaySource` — drives a :class:`~repro.workload.trace.LoadTrace`
+  in lockstep with the simulator's slotting.  ``speed`` maps simulated
+  seconds onto wall seconds (``--speed 60`` replays a day per 24
+  minutes); ``speed=0`` disables pacing entirely, which is the
+  deterministic mode tests and sweep cells use.
+* :class:`JsonLinesSource` — newline-delimited JSON reports from any
+  async text stream (stdin, a file, a socket), e.g.::
+
+      {"time": 1500.0, "node": "n3", "count": 412}
+
+* :func:`tcp_source` — listens on a port and merges every connection's
+  newline-JSON stream into one report sequence.
+
+``source_from_spec`` maps the CLI's ``--source`` grammar onto these.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import AsyncIterator, Optional
+
+from ..errors import SimulationError
+from ..telemetry import get_telemetry
+from ..workload.trace import LoadTrace
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """One interval-load measurement from one node's monitor surrogate."""
+
+    time: float          # simulated seconds; also advances the node's clock
+    count: float         # transactions observed in the report's span
+    node: str = "n0"     # reporting node (the depository keys clocks on it)
+
+
+def parse_report_line(line: str) -> Optional[LoadReport]:
+    """Parse one newline-JSON report; None for blanks/malformed lines.
+
+    Malformed input from an external feed must not take the control
+    plane down — the caller counts rejects and keeps going.
+    """
+    text = line.strip()
+    if not text:
+        return None
+    try:
+        doc = json.loads(text)
+        return LoadReport(
+            time=float(doc["time"]),
+            count=float(doc.get("count", 1.0)),
+            node=str(doc.get("node", "n0")),
+        )
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+        return None
+
+
+class ReplaySource:
+    """Replays a load trace as a live report stream.
+
+    Each slot becomes one report timestamped mid-slot (the instant the
+    measurement covers), so the depository's watermark closes slot ``k``
+    when slot ``k+1``'s report arrives — exactly the one-interval lag a
+    real monitor pipeline has.
+    """
+
+    def __init__(
+        self,
+        trace: LoadTrace,
+        speed: float = 0.0,
+        node: str = "replay",
+    ) -> None:
+        if speed < 0:
+            raise SimulationError("replay speed must be >= 0")
+        self.trace = trace
+        self.speed = speed
+        self.node = node
+
+    async def reports(self) -> AsyncIterator[LoadReport]:
+        slot_seconds = self.trace.slot_seconds
+        for slot, count in enumerate(self.trace.values):
+            if self.speed > 0:
+                await asyncio.sleep(slot_seconds / self.speed)
+            yield LoadReport(
+                time=(slot + 0.5) * slot_seconds,
+                count=float(count),
+                node=self.node,
+            )
+
+
+class JsonLinesSource:
+    """Reports from an async line stream (stdin, file, or socket)."""
+
+    def __init__(self, reader: "asyncio.StreamReader") -> None:
+        self.reader = reader
+        self.rejected = 0
+
+    async def reports(self) -> AsyncIterator[LoadReport]:
+        tel = get_telemetry()
+        while True:
+            line = await self.reader.readline()
+            if not line:
+                return
+            report = parse_report_line(line.decode("utf-8", "replace"))
+            if report is None:
+                self.rejected += 1
+                if tel.enabled:
+                    tel.metrics.counter("serve.reports_rejected").inc()
+                continue
+            yield report
+
+
+class FileLinesSource:
+    """Reports from a newline-JSON file (read eagerly; no pacing).
+
+    Unlike :class:`JsonLinesSource` this needs no event-loop plumbing,
+    so it also serves as the deterministic external-feed fixture in
+    tests.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+        self.rejected = 0
+
+    async def reports(self) -> AsyncIterator[LoadReport]:
+        tel = get_telemetry()
+        for line in self.path.read_text().splitlines():
+            report = parse_report_line(line)
+            if report is None:
+                if line.strip():
+                    self.rejected += 1
+                    if tel.enabled:
+                        tel.metrics.counter("serve.reports_rejected").inc()
+                continue
+            yield report
+
+
+async def stdin_source() -> JsonLinesSource:
+    """A :class:`JsonLinesSource` over this process's stdin."""
+    import sys
+
+    loop = asyncio.get_event_loop()
+    reader = asyncio.StreamReader()
+    protocol = asyncio.StreamReaderProtocol(reader)
+    await loop.connect_read_pipe(lambda: protocol, sys.stdin)
+    return JsonLinesSource(reader)
+
+
+class TcpSource:
+    """Accepts newline-JSON report connections and merges their streams."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1") -> None:
+        self.port = port
+        self.host = host
+        self._queue: "asyncio.Queue[Optional[LoadReport]]" = asyncio.Queue()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.rejected = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader, writer) -> None:
+        tel = get_telemetry()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                report = parse_report_line(line.decode("utf-8", "replace"))
+                if report is None:
+                    self.rejected += 1
+                    if tel.enabled:
+                        tel.metrics.counter("serve.reports_rejected").inc()
+                    continue
+                await self._queue.put(report)
+        finally:
+            writer.close()
+
+    async def reports(self) -> AsyncIterator[LoadReport]:
+        if self._server is None:
+            await self.start()
+        while True:
+            report = await self._queue.get()
+            if report is None:
+                return
+            yield report
+
+
+def source_from_spec(
+    spec: str,
+    trace: Optional[LoadTrace] = None,
+    speed: float = 0.0,
+):
+    """Build a source from the CLI ``--source`` grammar.
+
+    * ``replay:<path.csv>`` / ``replay:b2w`` — trace replay (the trace
+      for symbolic names is resolved by the caller and passed in);
+    * ``file:<path.jsonl>`` — newline-JSON report file;
+    * ``stdin`` — newline-JSON on standard input;
+    * ``tcp:<port>`` — listen for newline-JSON connections.
+    """
+    kind, _, arg = spec.partition(":")
+    if kind == "replay":
+        if trace is None:
+            raise SimulationError(
+                f"source {spec!r} needs a resolved trace (caller bug)"
+            )
+        return ReplaySource(trace, speed=speed)
+    if kind == "file":
+        if not arg:
+            raise SimulationError("file source needs a path: file:<reports.jsonl>")
+        return FileLinesSource(arg)
+    if kind == "stdin":
+        return "stdin"  # resolved lazily inside the running loop
+    if kind == "tcp":
+        try:
+            port = int(arg)
+        except ValueError:
+            raise SimulationError(f"bad tcp source port {arg!r}") from None
+        return TcpSource(port)
+    raise SimulationError(
+        f"unknown source {spec!r} (want replay:<trace>|file:<path>|stdin|tcp:<port>)"
+    )

@@ -1,0 +1,255 @@
+"""The event loop that turns batch machinery into a service.
+
+``ControlPlane.run()`` is the whole lifecycle::
+
+    source --reports--> Depository --closed intervals--> OnlineController
+                            |                                  |
+                        LoadMonitor                    plan / migrate /
+                            |                          error-trigger
+                    AccuracyTracker harvest
+                            |
+         ControlPlaneServer (/status /metrics /chronicle/tail /plan)
+
+The plane owns nothing clever: it races the report stream against a
+stop event (set by SIGINT/SIGTERM), feeds the depository, dispatches
+every newly closed interval to the controller, and streams one-line
+dashboard updates.  On shutdown it *drains*: the controller rolls back
+any partially-applied migration round, the telemetry scope flushes
+open spans, and the full 5-artifact ``export_run`` is written — so a
+killed service still yields a run directory ``pstore explain`` can walk
+end-to-end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import PStoreConfig
+from ..telemetry import export_run, get_telemetry
+from .controller import ErrorTrigger, OnlineController
+from .depository import Depository
+from .ingest import stdin_source
+from .server import ControlPlaneServer
+
+
+@dataclass
+class ServeOptions:
+    """Knobs the CLI exposes (see ``pstore serve --help``)."""
+
+    speed: float = 60.0
+    http_port: Optional[int] = None
+    out: Optional[str] = "serve-out"
+    initial_machines: int = 2
+    max_machines: Optional[int] = None
+    status_every: int = 12           # dashboard line cadence, in intervals
+    quiet: bool = False
+    extra: dict = field(default_factory=dict)
+
+
+class ControlPlane:
+    """Wires a report source to the online controller and runs forever
+    (or until the source drains / a signal arrives)."""
+
+    def __init__(
+        self,
+        config: PStoreConfig,
+        predictor,
+        source,
+        trigger: Optional[ErrorTrigger] = None,
+        options: Optional[ServeOptions] = None,
+        telemetry=None,
+    ) -> None:
+        self.config = config
+        self.options = options if options is not None else ServeOptions()
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
+        self.source = source
+        self.depository = Depository(
+            config.interval_seconds, telemetry=self._telemetry
+        )
+        self.controller = OnlineController(
+            config,
+            predictor,
+            initial_machines=self.options.initial_machines,
+            max_machines=self.options.max_machines,
+            trigger=trigger,
+            telemetry=self._telemetry,
+        )
+        self.server: Optional[ControlPlaneServer] = None
+        if self.options.http_port is not None:
+            self.server = ControlPlaneServer(
+                self.status,
+                self.plan_view,
+                port=self.options.http_port,
+                telemetry=self._telemetry,
+            )
+        self._stop: Optional[asyncio.Event] = None
+        self._processed = 0
+        self.stopped_by_signal = False
+
+    # ------------------------------------------------------------------
+    # Introspection (shared with the HTTP server)
+    # ------------------------------------------------------------------
+
+    @property
+    def sim_time(self) -> float:
+        return self._processed * self.config.interval_seconds
+
+    def status(self) -> dict:
+        doc = self.controller.status()
+        doc.update(
+            sim_time=self.sim_time,
+            watermark=self.depository.watermark,
+            reports=self.depository.reports_ingested,
+            late_reports=self.depository.late_reports,
+            reporting_nodes=self.depository.nodes,
+            interval_seconds=self.config.interval_seconds,
+        )
+        return doc
+
+    def plan_view(self) -> dict:
+        strategy = self.controller._strategy
+        doc = {
+            "mode": self.controller.mode,
+            "machines": self.controller.machines,
+            "last_decision": self.controller.last_decision_reason,
+            "migrating": self.controller.migrating,
+        }
+        if strategy is not None:
+            schedule = strategy.controller.last_schedule
+            if schedule is not None:
+                doc["schedule"] = [
+                    {
+                        "start": move.start,
+                        "end": move.end,
+                        "before": move.before,
+                        "after": move.after,
+                    }
+                    for move in schedule.moves
+                ]
+        return doc
+
+    def status_line(self) -> str:
+        doc = self.status()
+        stats = doc.get("error_stats") or {}
+        mape = stats.get("mape_pct")
+        mape_text = f"{mape:.1f}%" if mape is not None else "-"
+        return (
+            f"t={doc['sim_time']:>9,.0f}s slots={doc['intervals']:>5} "
+            f"machines={doc['machines']} mode={doc['mode']:<10} "
+            f"mape[{'t' + str(self.controller.trigger.tau) if self.controller.trigger else 't1'}]={mape_text:<7} "
+            f"viol={doc['violations']} moves={doc['moves_started']} "
+            f"trigger={doc['trigger_fires']}"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Idempotent; safe to call from signal handlers."""
+        self.stopped_by_signal = True
+        if self._stop is not None:
+            self._stop.set()
+
+    def _install_signals(self, loop) -> list:
+        installed = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, self.request_stop)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread / unsupported platform
+        return installed
+
+    async def run(self) -> dict:
+        """Serve until the source drains or a signal arrives; returns a
+        summary dict (also the sweep-cell payload)."""
+        loop = asyncio.get_event_loop()
+        self._stop = asyncio.Event()
+        installed = self._install_signals(loop)
+        if self.server is not None:
+            await self.server.start()
+        source = self.source
+        if source == "stdin":
+            source = await stdin_source()
+        drained = False
+        try:
+            reports = source.reports()
+            stop_task = asyncio.ensure_future(self._stop.wait())
+            try:
+                while not self._stop.is_set():
+                    next_task = asyncio.ensure_future(reports.__anext__())
+                    done, _ = await asyncio.wait(
+                        {next_task, stop_task},
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+                    if next_task not in done:
+                        next_task.cancel()
+                        break
+                    try:
+                        report = next_task.result()
+                    except StopAsyncIteration:
+                        drained = True
+                        break
+                    self.depository.add(report)
+                    if self.depository.flush():
+                        self._dispatch()
+            finally:
+                stop_task.cancel()
+            if drained:
+                # End of a finite stream: close the final interval too.
+                if self.depository.finish():
+                    self._dispatch()
+        finally:
+            summary = await self._drain(drained, installed, loop)
+        return summary
+
+    def _dispatch(self) -> None:
+        """Feed every newly closed interval to the controller, in order."""
+        monitor = self.depository.monitor
+        history = monitor.history_tps()
+        completed = monitor.completed_intervals
+        interval = self.config.interval_seconds
+        for slot in range(self._processed, completed):
+            self._processed = slot + 1
+            self.controller.on_interval(
+                slot, history[: slot + 1], (slot + 1) * interval
+            )
+            every = self.options.status_every
+            if every and not self.options.quiet and (slot + 1) % every == 0:
+                print(self.status_line(), file=sys.stderr, flush=True)
+
+    async def _drain(self, drained: bool, installed, loop) -> dict:
+        """Graceful shutdown: roll back partial work, flush artifacts."""
+        self.controller.shutdown(
+            self.sim_time,
+            reason="source drained" if drained else "signal",
+        )
+        for sig in installed:
+            try:
+                loop.remove_signal_handler(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+        if self.server is not None:
+            server, self.server = self.server, None
+            await server.close()
+        tel = self._telemetry
+        artifacts = {}
+        if self.options.out and tel.enabled:
+            artifacts = {
+                name: str(path)
+                for name, path in export_run(tel, self.options.out).items()
+            }
+        doc = self.status()
+        doc.update(
+            drained=drained,
+            stopped_by_signal=self.stopped_by_signal,
+            artifacts=artifacts,
+        )
+        if not self.options.quiet:
+            print(self.status_line(), file=sys.stderr, flush=True)
+        return doc

@@ -1,0 +1,136 @@
+"""Zero-dependency HTTP endpoint for live control-plane inspection.
+
+A deliberately tiny HTTP/1.0 server on ``asyncio.start_server`` (the
+container bakes in no web framework, and none is needed for four GET
+routes):
+
+* ``GET /status``          — JSON control-plane state (mode, machines,
+  watermark, error stats, migration);
+* ``GET /metrics``         — the OpenMetrics exposition
+  (:func:`repro.telemetry.export.render_metrics_prom`), scrapeable by
+  Prometheus while the service runs;
+* ``GET /chronicle/tail``  — last ``n`` flight-recorder records
+  (``?n=20``), newest last;
+* ``GET /plan``            — the active decision/plan view.
+
+Everything is read-only; mutation stays with the controller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Optional
+from urllib.parse import parse_qs, urlparse
+
+from ..telemetry import get_telemetry, render_metrics_prom
+
+
+class ControlPlaneServer:
+    """Serves the four inspection routes for a running control plane.
+
+    ``status_fn`` and ``plan_fn`` are thunks returning JSON-serialisable
+    dicts; the server never reaches into the controller directly so it
+    can outlive controller restarts.
+    """
+
+    def __init__(
+        self,
+        status_fn: Callable[[], dict],
+        plan_fn: Callable[[], dict],
+        port: int,
+        host: str = "127.0.0.1",
+        telemetry=None,
+    ) -> None:
+        self.status_fn = status_fn
+        self.plan_fn = plan_fn
+        self.port = port
+        self.host = host
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.requests_served = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request_line = await reader.readline()
+            # Drain headers; we need none of them.
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            status, content_type, body = self._route(
+                request_line.decode("latin-1", "replace").strip()
+            )
+            payload = body.encode("utf-8")
+            head = (
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+            self.requests_served += 1
+            tel = self._telemetry
+            if tel.enabled:
+                tel.metrics.counter("serve.http_requests").inc()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    def _route(self, request_line: str):
+        parts = request_line.split()
+        if len(parts) < 2 or parts[0] != "GET":
+            return "405 Method Not Allowed", "text/plain", "GET only\n"
+        url = urlparse(parts[1])
+        path = url.path.rstrip("/") or "/"
+        if path == "/status":
+            return self._json_response(self.status_fn())
+        if path == "/plan":
+            return self._json_response(self.plan_fn())
+        if path == "/metrics":
+            return (
+                "200 OK",
+                "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                render_metrics_prom(self._telemetry),
+            )
+        if path == "/chronicle/tail":
+            query = parse_qs(url.query)
+            try:
+                n = int(query.get("n", ["20"])[0])
+            except ValueError:
+                return "400 Bad Request", "text/plain", "bad n\n"
+            records = self._telemetry.chronicle.snapshot()[-max(0, n):]
+            return self._json_response({"records": records, "n": len(records)})
+        if path == "/":
+            return self._json_response(
+                {"routes": ["/status", "/metrics", "/chronicle/tail", "/plan"]}
+            )
+        return "404 Not Found", "text/plain", f"no route {path}\n"
+
+    @staticmethod
+    def _json_response(doc: dict):
+        return (
+            "200 OK",
+            "application/json",
+            json.dumps(doc, indent=1, sort_keys=True, default=str) + "\n",
+        )

@@ -212,6 +212,21 @@ class ActiveMigration:
             self._fractions[transfer.sender] -= delta
             self._fractions[transfer.receiver] += delta
 
+    def rollback_partial_round(self) -> float:
+        """Discard partial progress inside the current round.
+
+        Transfers commit at round granularity; an abort mid-round must
+        not leave the fluid fractions between two committed states.
+        Restores the round-entry snapshot and returns the fraction of the
+        round that was rolled back (0.0 when already at a round boundary).
+        """
+        rolled = self._progress_applied
+        if rolled > 0.0:
+            np.copyto(self._fractions, self._round_base)
+            self._elapsed_in_round = 0.0
+            self._progress_applied = 0.0
+        return rolled
+
     # ------------------------------------------------------------------
     # State exposed to engines and accounting
     # ------------------------------------------------------------------
@@ -454,6 +469,26 @@ class ClusterMigrator:
             return True
         return False
 
+    def step_to(self, sim_time: float) -> bool:
+        """Event-driven advance to an absolute simulated timestamp.
+
+        The batch loop calls :meth:`advance` with fixed ``dt`` slices; a
+        service advanced *by events* (``repro.serve``) instead tells the
+        migrator what time it is now.  Idempotent for repeated timestamps
+        and a clock-only update when no move is in flight.  Returns True
+        when the active migration completed within the step.
+        """
+        dt = float(sim_time) - self._sim_time
+        if dt < -1e-9:
+            raise MigrationError(
+                f"step_to moved backwards: {sim_time} < {self._sim_time}"
+            )
+        dt = max(0.0, dt)
+        if self._active is None:
+            self._sim_time = float(sim_time)
+            return False
+        return self.advance(dt)
+
     def abort(self, reason: str = "node failure") -> None:
         """Cancel the in-flight migration without completing it.
 
@@ -464,6 +499,10 @@ class ClusterMigrator:
         """
         if self._active is None:
             return
+        # A partially-applied round is neither committed nor absent; roll
+        # the fluid fractions back to the last round boundary so the
+        # post-abort topology matches what the row store actually holds.
+        rolled_back = self._active.rollback_partial_round()
         self.aborted_moves += 1
         tel = self._telemetry
         if tel.enabled:
@@ -474,6 +513,7 @@ class ClusterMigrator:
                 after=self._move_after,
                 reason=reason,
                 elapsed=self._sim_time - self._move_started_at,
+                rolled_back_fraction=rolled_back,
             )
             tel.metrics.counter("migrate.moves_aborted").inc()
             tel.chronicle.record(
@@ -484,6 +524,7 @@ class ClusterMigrator:
                 after=self._move_after,
                 reason=reason,
                 elapsed=self._sim_time - self._move_started_at,
+                rolled_back_fraction=rolled_back,
             )
             self._move_chronicle_id = None
         self._pair_buckets = {}

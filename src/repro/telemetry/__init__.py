@@ -45,6 +45,7 @@ from .export import (
     metrics_document,
     migration_summary,
     render_dashboard,
+    render_metrics_prom,
     write_chronicle_jsonl,
     write_events_jsonl,
     write_metrics_csv,
@@ -116,6 +117,7 @@ __all__ = [
     "metrics_document",
     "migration_summary",
     "render_dashboard",
+    "render_metrics_prom",
     "set_telemetry",
     "telemetry_from_config",
     "telemetry_scope",

@@ -32,6 +32,7 @@ CHRONICLE_SCHEMA = "pstore.chronicle/v1"
 #: back to the initials of their dotted segments).
 _KIND_PREFIXES = {
     "forecast.snapshot": "fc",
+    "forecast.accuracy": "fa",
     "plan.decision": "pd",
     "migration.start": "mg",
     "migration.round": "mr",

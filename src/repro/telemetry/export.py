@@ -230,13 +230,16 @@ def _prom_value(value) -> str:
     return format(value, ".10g")
 
 
-def write_metrics_prom(telemetry, path) -> pathlib.Path:
+def render_metrics_prom(telemetry) -> str:
     """OpenMetrics-style text exposition of the metrics registry.
 
     Counters get a ``_total`` suffix, histograms expand into cumulative
     ``_bucket{le=...}`` series plus ``_sum``/``_count``, and every family
-    carries a ``# TYPE`` line, so the file drops straight into any
-    Prometheus-compatible scraper or ``promtool check metrics``.
+    carries a ``# TYPE`` line, so the text drops straight into any
+    Prometheus-compatible scraper or ``promtool check metrics``.  The
+    live control plane (``pstore serve``) serves exactly this text from
+    its ``/metrics`` endpoint; :func:`write_metrics_prom` persists it as
+    the ``metrics.prom`` run artifact.
     """
     lines: List[str] = []
     typed: set = set()
@@ -269,8 +272,13 @@ def write_metrics_prom(telemetry, path) -> pathlib.Path:
             lines.append(f"{name}_sum{labels} {_prom_value(snap['sum'])}")
             lines.append(f"{name}_count{labels} {snap['count']}")
     lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_prom(telemetry, path) -> pathlib.Path:
+    """Persist :func:`render_metrics_prom` output as ``metrics.prom``."""
     path = pathlib.Path(path)
-    path.write_text("\n".join(lines) + "\n")
+    path.write_text(render_metrics_prom(telemetry))
     return path
 
 

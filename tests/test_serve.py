@@ -1,0 +1,604 @@
+"""Tests for ``repro.serve`` — the online predictive control plane.
+
+Covers the report sources, the watermark depository, the error trigger's
+threshold/hysteresis logic, the drift scenario end-to-end (the trigger
+must fire, chain its re-plan in the chronicle, and beat the blind run on
+SLA violations), the HTTP inspection server, graceful-drain export, the
+cache garbage collector, and the chronicle unification of service
+events.
+"""
+
+import asyncio
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.errors import SimulationError
+from repro.experiments import serve as serve_scenario
+from repro.runner.cache import ResultCache
+from repro.serve import (
+    ControlPlane,
+    Depository,
+    ErrorTrigger,
+    ReplaySource,
+    ServeOptions,
+    parse_error_trigger,
+    parse_report_line,
+    source_from_spec,
+)
+from repro.serve.ingest import FileLinesSource, LoadReport, TcpSource
+from repro.serve.server import ControlPlaneServer
+from repro.squall.migrator import ActiveMigration
+from repro.squall.schedule import build_migration_schedule
+from repro.telemetry.runtime import telemetry_scope
+from repro.workload import LoadTrace
+
+
+# ----------------------------------------------------------------------
+# Report parsing and sources
+# ----------------------------------------------------------------------
+
+
+class TestParseReportLine:
+    def test_full_report(self):
+        report = parse_report_line(
+            '{"time": 1500.0, "count": 412, "node": "n3"}'
+        )
+        assert report == LoadReport(time=1500.0, count=412.0, node="n3")
+
+    def test_defaults(self):
+        report = parse_report_line('{"time": 30}')
+        assert report.count == 1.0
+        assert report.node == "n0"
+
+    def test_blank_and_malformed_lines_are_none(self):
+        assert parse_report_line("") is None
+        assert parse_report_line("   \n") is None
+        assert parse_report_line("{not json") is None
+        assert parse_report_line('{"count": 4}') is None  # no time
+        assert parse_report_line('{"time": "noon?"}') is None
+
+    def test_source_from_spec_grammar(self):
+        trace = LoadTrace(values=np.ones(4), slot_seconds=60.0)
+        assert isinstance(
+            source_from_spec("replay:b2w", trace=trace), ReplaySource
+        )
+        assert isinstance(
+            source_from_spec("file:reports.jsonl"), FileLinesSource
+        )
+        assert source_from_spec("stdin") == "stdin"
+        assert isinstance(source_from_spec("tcp:0"), TcpSource)
+        with pytest.raises(SimulationError):
+            source_from_spec("carrier-pigeon:9")
+        with pytest.raises(SimulationError):
+            source_from_spec("replay:b2w")  # no trace resolved
+        with pytest.raises(SimulationError):
+            source_from_spec("tcp:not-a-port")
+
+    def test_replay_source_timestamps_mid_slot(self):
+        trace = LoadTrace(values=np.array([10.0, 20.0]), slot_seconds=60.0)
+
+        async def collect():
+            return [r async for r in ReplaySource(trace).reports()]
+
+        reports = asyncio.run(collect())
+        assert [r.time for r in reports] == [30.0, 90.0]
+        assert [r.count for r in reports] == [10.0, 20.0]
+
+    def test_file_source_counts_rejects(self, tmp_path):
+        path = tmp_path / "reports.jsonl"
+        path.write_text(
+            '{"time": 30, "count": 5}\n'
+            "garbage\n"
+            "\n"
+            '{"time": 90, "count": 7}\n'
+        )
+        source = FileLinesSource(path)
+
+        async def collect():
+            return [r async for r in source.reports()]
+
+        reports = asyncio.run(collect())
+        assert [r.count for r in reports] == [5.0, 7.0]
+        assert source.rejected == 1  # the blank line is not a reject
+
+
+# ----------------------------------------------------------------------
+# Depository watermarks
+# ----------------------------------------------------------------------
+
+
+class TestDepository:
+    def test_slot_closes_only_past_watermark(self):
+        dep = Depository(60.0)
+        dep.add(LoadReport(time=30.0, count=100.0, node="a"))
+        # Slot 0 is buffered but the watermark (30 s) hasn't passed it.
+        assert dep.flush() == 0
+        assert dep.monitor.completed_intervals == 0
+        dep.add(LoadReport(time=90.0, count=50.0, node="a"))
+        assert dep.flush() == 1
+        assert dep.monitor.completed_intervals == 1
+        # Slot 0 carried 100 transactions over 60 s.
+        assert dep.monitor.history_tps()[0] == pytest.approx(100.0 / 60.0)
+
+    def test_watermark_is_slowest_node(self):
+        dep = Depository(60.0)
+        dep.add(LoadReport(time=90.0, count=10.0, node="fast"))
+        dep.add(LoadReport(time=30.0, count=10.0, node="slow"))
+        assert dep.watermark == 30.0
+        # The slow node gates the release of slot 0.
+        assert dep.flush() == 0
+        dep.add(LoadReport(time=95.0, count=10.0, node="slow"))
+        assert dep.flush() >= 1
+        assert dep.monitor.completed_intervals == 1
+
+    def test_late_report_dropped_and_counted(self):
+        dep = Depository(60.0)
+        dep.add(LoadReport(time=30.0, count=10.0, node="a"))
+        dep.add(LoadReport(time=130.0, count=10.0, node="a"))
+        dep.flush()
+        before = dep.monitor.history_tps()[0]
+        dep.add(LoadReport(time=31.0, count=999.0, node="b"))  # slot 0: gone
+        assert dep.late_reports == 1
+        dep.flush()
+        assert dep.monitor.history_tps()[0] == before
+
+    def test_finish_drains_buffer(self):
+        dep = Depository(60.0)
+        dep.add(LoadReport(time=30.0, count=60.0, node="a"))
+        dep.add(LoadReport(time=90.0, count=120.0, node="a"))
+        assert dep.finish() == 2
+        history = dep.monitor.history_tps()
+        assert list(history[:2]) == [pytest.approx(1.0), pytest.approx(2.0)]
+        assert dep.finish() == 0  # idempotent
+
+
+# ----------------------------------------------------------------------
+# Error trigger parsing, thresholds, hysteresis
+# ----------------------------------------------------------------------
+
+
+class TestErrorTrigger:
+    def test_parse_off(self):
+        assert parse_error_trigger("off") is None
+        assert parse_error_trigger("none") is None
+        assert parse_error_trigger("") is None
+
+    def test_parse_clauses(self):
+        trig = parse_error_trigger("mape:0.3,bias:0.25")
+        assert trig.describe() == "mape:0.3,bias:0.25"
+        assert [c.metric for c in trig.clauses] == ["mape", "bias"]
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(SimulationError):
+            parse_error_trigger("rmse:0.3")
+        with pytest.raises(SimulationError):
+            parse_error_trigger("mape:very-bad")
+        with pytest.raises(SimulationError):
+            parse_error_trigger("mape:-0.1")
+
+    def test_breach_gates_on_min_pairs(self):
+        trig = ErrorTrigger(
+            parse_error_trigger("mape:0.3").clauses, min_pairs=10
+        )
+        hot = {"mape_pct": 55.0, "pairs_window": 5}
+        assert trig.breach(hot) is None  # too few pairs
+        hot["pairs_window"] = 10
+        breach = trig.breach(hot)
+        assert breach["metric"] == "mape"
+        assert breach["value_pct"] == 55.0
+        assert breach["threshold_pct"] == pytest.approx(30.0)
+
+    def test_breach_none_below_threshold(self):
+        trig = ErrorTrigger(
+            parse_error_trigger("mape:0.3").clauses, min_pairs=1
+        )
+        assert trig.breach({"mape_pct": 12.0, "pairs_window": 50}) is None
+        assert trig.breach(None) is None
+
+    def test_recovery_hysteresis(self):
+        trig = ErrorTrigger(
+            parse_error_trigger("mape:0.3").clauses, min_pairs=1
+        )
+        # Below threshold but above 0.8x threshold: NOT recovered yet.
+        assert not trig.recovered({"mape_pct": 27.0, "pairs_window": 9})
+        assert trig.recovered({"mape_pct": 20.0, "pairs_window": 9})
+
+    def test_bias_uses_absolute_value(self):
+        trig = ErrorTrigger(
+            parse_error_trigger("bias:0.2").clauses, min_pairs=1
+        )
+        breach = trig.breach({"bias_pct": -35.0, "pairs_window": 4})
+        assert breach["metric"] == "bias"
+
+
+# ----------------------------------------------------------------------
+# The drift scenario end-to-end (the tentpole's acceptance test)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def drift_runs():
+    """One armed and one blind run over the same drifting replay."""
+    armed = serve_scenario.run_scenario(
+        serve_scenario.SERVE_SEED, serve_scenario.SERVE_TRIGGER
+    )
+    blind = serve_scenario.run_scenario(serve_scenario.SERVE_SEED, None)
+    return armed, blind
+
+
+class TestDriftScenario:
+    def test_trigger_fires_on_drift(self, drift_runs):
+        (summary, _), _ = drift_runs
+        assert summary["trigger_fires"] >= 1
+        assert summary["trigger_recoveries"] >= 1
+        assert summary["drained"] is True
+
+    def test_replan_chains_to_accuracy_breach(self, drift_runs):
+        """plan.decision -> forecast.accuracy -> forecast.snapshot."""
+        (_, chronicle), _ = drift_runs
+        by_id = {r["id"]: r for r in chronicle}
+        breaches = [
+            r
+            for r in chronicle
+            if r["kind"] == "forecast.accuracy"
+            and r.get("action") != "recovered"
+        ]
+        assert breaches
+        breach = breaches[0]
+        # The breach is evidence against a concrete forecast.
+        assert by_id[breach["parent"]]["kind"] == "forecast.snapshot"
+        # And some decision was taken *because of* the breach.
+        children = [r for r in chronicle if r.get("parent") == breach["id"]]
+        assert any(r["kind"] == "plan.decision" for r in children)
+
+    def test_trigger_reduces_sla_violations(self, drift_runs):
+        (armed, _), (blind, _) = drift_runs
+        assert armed["violations"] < blind["violations"]
+        # The blind run thrashes on its stale forecasts instead.
+        assert armed["emergencies"] < blind["emergencies"]
+
+    def test_recovery_is_chronicled(self, drift_runs):
+        (_, chronicle), _ = drift_runs
+        recoveries = [
+            r
+            for r in chronicle
+            if r["kind"] == "forecast.accuracy"
+            and r.get("action") == "recovered"
+        ]
+        assert recoveries
+        # Recovery is parented on the breach it clears.
+        by_id = {r["id"]: r for r in chronicle}
+        parent = by_id[recoveries[0]["parent"]]
+        assert parent["kind"] == "forecast.accuracy"
+
+
+# ----------------------------------------------------------------------
+# HTTP inspection server
+# ----------------------------------------------------------------------
+
+
+async def _http_get(port, target):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET {target} HTTP/1.0\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, body = raw.decode("utf-8").partition("\r\n\r\n")
+    return head.splitlines()[0], body
+
+
+class TestControlPlaneServer:
+    def run_server(self, coro_fn):
+        async def main():
+            server = ControlPlaneServer(
+                lambda: {"mode": "predictive", "machines": 3},
+                lambda: {"schedule": []},
+                port=0,
+            )
+            await server.start()
+            port = server._server.sockets[0].getsockname()[1]
+            try:
+                return await coro_fn(port)
+            finally:
+                await server.close()
+
+        return asyncio.run(main())
+
+    def test_status_roundtrip(self):
+        status, body = self.run_server(
+            lambda port: _http_get(port, "/status")
+        )
+        assert "200" in status
+        assert json.loads(body) == {"mode": "predictive", "machines": 3}
+
+    def test_metrics_is_openmetrics(self):
+        with telemetry_scope() as tel:
+            tel.metrics.counter("serve.http_requests").inc()
+            status, body = self.run_server(
+                lambda port: _http_get(port, "/metrics")
+            )
+        assert "200" in status
+        assert body.rstrip().endswith("# EOF")
+
+    def test_chronicle_tail_respects_n(self):
+        with telemetry_scope() as tel:
+            for i in range(5):
+                tel.chronicle.record("plan.decision", time=float(i))
+            status, body = self.run_server(
+                lambda port: _http_get(port, "/chronicle/tail?n=2")
+            )
+        doc = json.loads(body)
+        assert doc["n"] == 2
+        assert [r["time"] for r in doc["records"]] == [3.0, 4.0]
+
+    def test_unknown_route_404(self):
+        status, _ = self.run_server(lambda port: _http_get(port, "/nope"))
+        assert "404" in status
+
+
+# ----------------------------------------------------------------------
+# Graceful drain: stop mid-stream, flush an explainable run directory
+# ----------------------------------------------------------------------
+
+
+class StallingSource:
+    """Yields ``stop_after`` replay reports, requests a stop, then hangs
+    forever — exercising the plane's signal-race cancellation path."""
+
+    def __init__(self, trace, stop_after):
+        self.trace = trace
+        self.stop_after = stop_after
+        self.plane = None  # wired after construction
+
+    async def reports(self):
+        slot_seconds = self.trace.slot_seconds
+        for slot, count in enumerate(self.trace.values):
+            if slot == self.stop_after:
+                self.plane.request_stop()
+                await asyncio.Event().wait()  # never set; must be cancelled
+            yield LoadReport(
+                time=(slot + 0.5) * slot_seconds, count=float(count)
+            )
+
+
+class TestGracefulDrain:
+    def test_stop_flushes_explainable_run_dir(self, tmp_path):
+        out = tmp_path / "serve-out"
+        config = default_config().with_interval(3600.0)
+        trace = serve_scenario.drift_trace(n_days=2)
+        source = StallingSource(trace, stop_after=30)
+        with telemetry_scope():
+            plane = ControlPlane(
+                config,
+                # Unfitted online predictor: the run stays in warmup,
+                # which is fine — the drain path is what's under test.
+                serve_scenario_predictor(),
+                source,
+                options=ServeOptions(
+                    speed=0.0, out=str(out), quiet=True
+                ),
+            )
+            source.plane = plane
+            summary = asyncio.run(plane.run())
+        assert summary["stopped_by_signal"] is True
+        assert summary["drained"] is False
+        assert summary["intervals"] > 0
+        assert len(summary["artifacts"]) == 5
+        for path in summary["artifacts"].values():
+            assert os.path.exists(path)
+        # The flushed directory must be walkable end to end.
+        from repro.analysis import explain_run, render_explain
+
+        report = explain_run(out)
+        assert render_explain(report)
+
+    def test_shutdown_mid_migration_chronicles_abort(self):
+        """A stop mid-migration rolls back the partial round and files
+        ``migration.aborted`` parented on the move's start record."""
+        from repro.serve.controller import OnlineController
+
+        config = default_config().with_interval(3600.0)
+        with telemetry_scope() as tel:
+            controller = OnlineController(
+                config, serve_scenario_predictor(), initial_machines=2
+            )
+            # A load step far above 2-machine capacity forces the
+            # warmup-reactive path to start a scale-out move.
+            load = config.q_hat * 2 * 4.0
+            history = []
+            for slot in range(6):
+                history.append(load)
+                controller.on_interval(
+                    slot, history, (slot + 1) * 3600.0
+                )
+                if controller.migrating:
+                    break
+            assert controller.migrating
+            controller.shutdown(len(history) * 3600.0, reason="SIGINT")
+            assert not controller.migrating
+            records = tel.chronicle.snapshot()
+            aborts = [
+                r for r in records if r["kind"] == "migration.aborted"
+            ]
+            assert aborts
+            by_id = {r["id"]: r for r in records}
+            assert by_id[aborts[0]["parent"]]["kind"] == "migration.start"
+            assert aborts[0]["rolled_back_fraction"] >= 0.0
+
+
+def serve_scenario_predictor():
+    from repro.prediction import SeasonalNaivePredictor
+    from repro.prediction.online import OnlinePredictor
+
+    return OnlinePredictor(SeasonalNaivePredictor(24), refit_every=14 * 24)
+
+
+# ----------------------------------------------------------------------
+# Partial-round rollback (squall)
+# ----------------------------------------------------------------------
+
+
+class TestRollbackPartialRound:
+    def make_migration(self):
+        return ActiveMigration(
+            schedule=build_migration_schedule(2, 3),
+            database_kb=10_000.0,
+            rate_kbps=100.0,
+            partitions_per_node=3,
+        )
+
+    def test_rollback_restores_round_base(self):
+        migration = self.make_migration()
+        base = migration.data_fractions().copy()
+        migration.advance(migration.total_seconds / 10.0)
+        assert not np.allclose(migration.data_fractions(), base)
+        rolled = migration.rollback_partial_round()
+        assert rolled > 0
+        np.testing.assert_allclose(migration.data_fractions(), base)
+
+    def test_rollback_noop_at_round_boundary(self):
+        migration = self.make_migration()
+        assert migration.rollback_partial_round() == 0.0
+
+
+# ----------------------------------------------------------------------
+# Cache garbage collection
+# ----------------------------------------------------------------------
+
+
+def _fill_cache(cache, ages, now, payload_bytes=100):
+    """Store one entry per (key, age-seconds) pair, pinning mtimes."""
+    for key, age in ages:
+        envelope = {"payload": "x" * payload_bytes, "key": key}
+        path = cache.store(key, envelope)
+        os.utime(path, (now - age, now - age))
+
+
+class TestCacheGc:
+    def test_age_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        now = 1_000_000.0
+        _fill_cache(
+            cache, [("aaold", 5000.0), ("bbnew", 10.0)], now
+        )
+        stats = cache.gc(max_age_seconds=3600.0, now=now)
+        assert stats["removed"] == 1
+        assert stats["kept"] == 1
+        assert stats["reclaimed_bytes"] > 0
+        assert "bbnew" in cache
+        assert "aaold" not in cache
+
+    def test_size_eviction_drops_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        now = 1_000_000.0
+        _fill_cache(
+            cache,
+            [("aaold", 300.0), ("bbmid", 200.0), ("ccnew", 100.0)],
+            now,
+        )
+        total = stats_bytes = sum(
+            p.stat().st_size for p in (tmp_path / "cache").glob("*/*.json")
+        )
+        keep_two = total - 1  # forces exactly one eviction
+        stats = cache.gc(max_bytes=keep_two, now=now)
+        assert stats["removed"] == 1
+        assert "aaold" not in cache
+        assert "bbmid" in cache and "ccnew" in cache
+        assert stats["kept_bytes"] <= keep_two
+        assert stats["scanned_bytes"] == stats_bytes
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        now = 1_000_000.0
+        _fill_cache(cache, [("aaold", 5000.0)], now)
+        stats = cache.gc(max_age_seconds=60.0, now=now, dry_run=True)
+        assert stats["removed"] == 1
+        assert stats["dry_run"] is True
+        assert "aaold" in cache
+
+    def test_no_limits_keeps_everything(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        now = 1_000_000.0
+        _fill_cache(cache, [("aa1", 50.0), ("bb2", 60.0)], now)
+        stats = cache.gc(now=now)
+        assert stats["removed"] == 0
+        assert stats["kept"] == 2
+
+
+# ----------------------------------------------------------------------
+# Service event unification (events are thin views over the chronicle)
+# ----------------------------------------------------------------------
+
+
+class TestServiceChronicleUnification:
+    def test_service_events_carry_chronicle_ids(self):
+        from repro.benchmark import (
+            ALL_PROCEDURES,
+            b2w_schema,
+            cart_id,
+            load_b2w_data,
+        )
+        from repro.core import PStoreService
+        from repro.hstore import Cluster, Transaction
+        from repro.prediction.base import Predictor
+
+        class RampPredictor(Predictor):
+            def __init__(self, level):
+                super().__init__()
+                self.level = level
+                self._fitted = True
+
+            @property
+            def min_history(self):
+                return 1
+
+            def fit(self, series):
+                return self
+
+            def predict_horizon(self, history, horizon):
+                return np.full(horizon, self.level)
+
+        with telemetry_scope() as tel:
+            config = default_config().with_interval(60.0)
+            cluster = Cluster(
+                b2w_schema(), n_nodes=2, partitions_per_node=3, n_buckets=192
+            )
+            load_b2w_data(
+                cluster, n_stock=100, n_carts=200, n_checkouts=20, seed=1
+            )
+            service = PStoreService(
+                cluster, config, RampPredictor(config.q * 3.5), max_machines=6
+            )
+            rate = config.q * 0.8
+            for _ in range(3):
+                for k in range(int(rate * 60)):
+                    service.execute(
+                        Transaction(
+                            ALL_PROCEDURES["GetCart"],
+                            {"cart_id": cart_id(k % 200)},
+                        )
+                    )
+                service.advance_time(60.0)
+            events = [e for e in service.events if e.record_id]
+            assert events, "service events must carry chronicle record IDs"
+            by_id = {r["id"]: r for r in tel.chronicle.snapshot()}
+            for event in events:
+                record = by_id[event.record_id]
+                assert record["kind"] == f"service.{event.kind}"
+                assert record["detail"] == event.detail
+            # Scale actions chain back to the decision that caused them.
+            scaled = [
+                by_id[e.record_id]
+                for e in events
+                if e.kind in ("scale-out", "emergency")
+            ]
+            assert scaled
+            assert any(
+                s.get("parent")
+                and by_id[s["parent"]]["kind"] == "plan.decision"
+                for s in scaled
+            )
