@@ -181,6 +181,8 @@ class SweepResult:
     elapsed_seconds: float
     #: cell label -> JSON payload.
     payloads: Mapping[str, Any]
+    #: Backend the dirty cells ran under (serial/process/tensor).
+    backend: str = "serial"
     #: The full :class:`~repro.runner.SweepReport`.
     detail: Any = field(default=None, repr=False, compare=False)
 
@@ -193,6 +195,7 @@ class SweepResult:
             "config_hash": self.config_hash,
             "result_hash": self.result_hash,
             "jobs": self.jobs,
+            "backend": self.backend,
             "hits": self.hits,
             "executed": self.executed,
             "elapsed_seconds": self.elapsed_seconds,
@@ -203,12 +206,29 @@ class SweepResult:
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
 
     def summary(self) -> str:
-        return (
+        bits = [
             f"{self.experiment}: {len(self.payloads)} cells, {self.hits} "
             f"cached, {self.executed} executed in "
-            f"{self.elapsed_seconds:.1f}s (jobs={self.jobs}), "
-            f"result {self.result_hash[:12]}"
-        )
+            f"{self.elapsed_seconds:.1f}s (jobs={self.jobs}, "
+            f"backend={self.backend})"
+        ]
+        report = self.detail
+        cache = getattr(report, "cache_stats", None)
+        if cache:
+            bits.append(
+                f"cache {cache.get('hits', 0)}h/{cache.get('misses', 0)}m/"
+                f"{cache.get('corrupt', 0)}x"
+            )
+        trace = getattr(report, "trace_reuse", None) or {}
+        if trace.get("hits"):
+            bits.append(f"trace reuse {trace['hits']}")
+        tensor = getattr(report, "tensor", None) or {}
+        if tensor.get("tensorized"):
+            bits.append(
+                f"tensor {tensor['tensorized']} cells "
+                f"({tensor.get('evictions', 0)} evictions)"
+            )
+        return ", ".join(bits) + f", result {self.result_hash[:12]}"
 
 
 def sweep(
@@ -220,6 +240,7 @@ def sweep(
     force: bool = False,
     record_events: bool = False,
     grid_options: Optional[Dict[str, Any]] = None,
+    backend: str = "auto",
 ) -> SweepResult:
     """Execute an experiment's cell grid through the cached executor.
 
@@ -227,7 +248,9 @@ def sweep(
     parameterised by ``grid_options``) or an explicit list of
     :class:`~repro.runner.RunSpec` cells.  Cells already in the cache
     under the active config are served from disk; set ``force=True`` to
-    re-execute everything.
+    re-execute everything.  ``backend`` selects how dirty cells run
+    (``auto``/``serial``/``process``/``tensor``); ``auto`` batches the
+    whole grid through the tensor engine when every cell supports it.
     """
     from .experiments.registry import get_experiment
     from .runner import ResultCache, SweepExecutor
@@ -247,6 +270,7 @@ def sweep(
         cache,
         jobs=jobs,
         record_events=record_events,
+        backend=backend,
     )
     report = executor.run(specs, force=force)
     payloads = {cell.spec.label: cell.payload for cell in report.cells}
@@ -259,6 +283,7 @@ def sweep(
         executed=report.executed,
         elapsed_seconds=report.elapsed_seconds,
         payloads=payloads,
+        backend=report.backend,
         detail=report,
     )
 
@@ -269,10 +294,15 @@ def sweep(
 
 
 def load_trace(path) -> LoadTrace:
-    """Read a load trace from the CSV format ``pstore generate`` writes."""
-    from .workload.io import read_trace_csv
+    """Read a load trace from the CSV format ``pstore generate`` writes.
 
-    return read_trace_csv(path)
+    Served through the per-process trace memo (keyed on path + mtime +
+    size): traces are immutable, so repeat loads of the same unchanged
+    file share one parsed object.
+    """
+    from .workload.io import read_trace_csv_cached
+
+    return read_trace_csv_cached(path)
 
 
 #: Predictor families :func:`fit_predictor` knows how to build.

@@ -478,11 +478,75 @@ def diff_migration_accounting(
 
 
 # ----------------------------------------------------------------------
+# Tensor batch engine vs. serial cells
+# ----------------------------------------------------------------------
+
+
+def diff_tensor(perturb: bool = False) -> CheckReport:
+    """Run the tensmoke grid twice — serial per-cell and batched through
+    the :class:`~repro.sim.tensor.TensorBatchEngine` — and compare every
+    cell's canonical payload.
+
+    The tensor backend's contract is *bit-identical* payloads, so the
+    comparison is exact equality of the canonical JSON (the same
+    material ``result_hash`` pins).  The grid includes migrating
+    strategies, so the batch must evict and re-admit cells mid-run; a
+    final check asserts the eviction path was actually exercised.
+    ``perturb`` corrupts one tensor payload to prove the comparison has
+    teeth.
+    """
+    from ..config import canonical_json
+    from ..experiments import tensmoke
+    from ..runner.spec import jsonify
+    from ..sim.tensor import TensorBatchEngine
+
+    config = default_config()
+    specs = tensmoke.grid()
+    serial = {
+        spec.label: canonical_json(jsonify(tensmoke.run_cell(spec, config)))
+        for spec in specs
+    }
+    programs = [tensmoke.tensor_cell(spec, config) for spec in specs]
+    batch = TensorBatchEngine(programs).run()
+
+    checks: List[DiffCheck] = []
+    for spec, program, cell in zip(specs, programs, batch.outcomes):
+        if cell.error is not None:
+            checks.append(
+                DiffCheck(
+                    f"tensor.{spec.label}", float("inf"), 0.0, False,
+                    f"batch error: {cell.error.splitlines()[-1]}",
+                )
+            )
+            continue
+        payload = jsonify(program.finalize(cell.result))
+        if perturb and spec is specs[0]:
+            payload = dict(payload, __perturbed__=True)
+        delta = 0.0 if canonical_json(payload) == serial[spec.label] else 1.0
+        _record(
+            checks,
+            f"tensor.{spec.label}",
+            delta,
+            FAST_PATH_TOL,
+            f"{cell.batched_ticks} batched + {cell.scalar_ticks} scalar "
+            f"ticks, {cell.evictions} evictions",
+        )
+    _record(
+        checks,
+        "tensor.evictions-exercised",
+        0.0 if batch.evictions > 0 else 1.0,
+        0.0,
+        f"{batch.evictions} evictions over {batch.rounds} rounds",
+    )
+    return CheckReport(checks)
+
+
+# ----------------------------------------------------------------------
 # Suite
 # ----------------------------------------------------------------------
 
-SUITES = ("fast-path", "engines", "migration")
-INJECTIONS = ("drop-bucket", "perturb-fast-path")
+SUITES = ("fast-path", "engines", "migration", "tensor")
+INJECTIONS = ("drop-bucket", "perturb-fast-path", "perturb-tensor")
 
 
 def run_suite(
@@ -511,4 +575,6 @@ def run_suite(
         report.extend(
             diff_migration_accounting(drop_bucket=inject == "drop-bucket")
         )
+    if "tensor" in suites:
+        report.extend(diff_tensor(perturb=inject == "perturb-tensor"))
     return report

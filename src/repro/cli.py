@@ -185,6 +185,14 @@ def _build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="worker processes (1 = in-process serial)")
     swp.add_argument(
+        "--backend", choices=("auto", "serial", "process", "tensor"),
+        default="auto",
+        help="how dirty cells execute: serial (inline), process (worker "
+        "pool), tensor (batch the whole grid through the vectorised "
+        "engine; non-tensorizable cells fall back to inline).  auto "
+        "picks tensor when every cell supports it",
+    )
+    swp.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="result cache directory (default: .pstore-cache, or "
         "$PSTORE_CACHE_DIR)",
@@ -236,7 +244,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: expensive)",
     )
     check.add_argument(
-        "--suite", action="append", choices=("fast-path", "engines", "migration"),
+        "--suite", action="append",
+        choices=("fast-path", "engines", "migration", "tensor"),
         default=None, metavar="NAME",
         help="differential suite(s) to run (repeatable; default: all)",
     )
@@ -249,7 +258,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the AST lint over the repro package",
     )
     check.add_argument(
-        "--inject", choices=("drop-bucket", "perturb-fast-path"), default=None,
+        "--inject",
+        choices=("drop-bucket", "perturb-fast-path", "perturb-tensor"),
+        default=None,
         help="deliberately corrupt one path to verify the harness "
         "catches it (the command must then exit nonzero)",
     )
@@ -549,7 +560,10 @@ def _cmd_sweep(args) -> int:
         file=args.config,
         overrides=parse_set_overrides(args.overrides or []),
     )
-    logger.info("sweeping %s with %d job(s)", args.name, args.jobs)
+    logger.info(
+        "sweeping %s with %d job(s), backend=%s",
+        args.name, args.jobs, args.backend,
+    )
     result = api.sweep(
         args.name,
         config=config,
@@ -557,6 +571,7 @@ def _cmd_sweep(args) -> int:
         cache_dir=args.cache_dir,
         force=args.force,
         record_events=bool(args.out),
+        backend=args.backend,
     )
     for label in sorted(result.payloads):
         print(f"{label}: {_payload_line(result.payloads[label])}")

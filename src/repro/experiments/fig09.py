@@ -82,12 +82,17 @@ def run_figure9(
     return Figure9Result(runs=runs, setup=setup)
 
 
-def run_approach(
+def prepare_approach(
     spec: StrategySpec,
     setup: BenchmarkSetup,
     initial_machines: int = 4,
-) -> SimulationResult:
-    """One Fig. 9-style benchmark run for a declarative strategy spec."""
+):
+    """Build the (simulator, strategy, history) triple for one approach.
+
+    Shared by the serial runner and the tensor-backend cell builder so
+    both execute exactly the same construction — the precondition for
+    their results being bit-identical.
+    """
     config = setup.config
     strategy = spec.build(config, predictor=setup.spar)
     simulator = ElasticDbSimulator(
@@ -96,13 +101,22 @@ def run_approach(
         initial_machines=initial_machines,
         seed=ENGINE_SEED,
     )
-    if spec.kind == "p-store":
-        return simulator.run(
-            setup.offered_tps,
-            strategy,
-            history_seed_tps=setup.train_interval_tps,
-        )
-    return simulator.run(setup.offered_tps, strategy)
+    history = setup.train_interval_tps if spec.kind == "p-store" else ()
+    return simulator, strategy, history
+
+
+def run_approach(
+    spec: StrategySpec,
+    setup: BenchmarkSetup,
+    initial_machines: int = 4,
+) -> SimulationResult:
+    """One Fig. 9-style benchmark run for a declarative strategy spec."""
+    simulator, strategy, history = prepare_approach(
+        spec, setup, initial_machines
+    )
+    return simulator.run(
+        setup.offered_tps, strategy, history_seed_tps=history
+    )
 
 
 # ----------------------------------------------------------------------
@@ -146,6 +160,35 @@ def run_cell(spec, config) -> dict:
         initial_machines=initial_machines_for(spec.cell),
     )
     return sim_payload(result)
+
+
+def tensor_cell(spec, config):
+    """Build one approach as a :class:`~repro.sim.tensor.TensorProgram`.
+
+    Same construction as :func:`run_cell` (via :func:`prepare_approach`),
+    but returns the unstarted program so the tensor backend can batch it
+    with the other approaches of the grid.
+    """
+    from ..sim.tensor import TensorProgram
+
+    setup = benchmark_setup(
+        eval_days=int(spec.option("eval_days", 3)),
+        seed=spec.seed,
+        config=config,
+    )
+    simulator, strategy, history = prepare_approach(
+        StrategySpec.parse(spec.strategy),
+        setup,
+        initial_machines=initial_machines_for(spec.cell),
+    )
+    return TensorProgram(
+        simulator=simulator,
+        offered_tps=setup.offered_tps,
+        strategy=strategy,
+        history_seed_tps=history,
+        label=spec.label,
+        finalize=sim_payload,
+    )
 
 
 def summarize(result: Figure9Result) -> str:

@@ -123,9 +123,10 @@ def grid(eval_days: int = 1, seed: int = 33,
     ]
 
 
-def run_cell(spec, config) -> dict:
+def _prepare_cell(spec, config):
+    """(simulator, offered, strategy, history) for one sweep cell —
+    shared by the serial and tensor cell runners."""
     from ..elasticity import StrategySpec
-    from .common import sim_payload
 
     eval_days = int(spec.option("eval_days", 1))
     trace = _spike_trace(
@@ -143,12 +144,31 @@ def run_cell(spec, config) -> dict:
     simulator = ElasticDbSimulator(
         config, max_machines=10, initial_machines=4, seed=ENGINE_SEED
     )
-    result = simulator.run(
-        setup.offered_tps,
-        strategy,
-        history_seed_tps=setup.train_interval_tps,
-    )
+    return simulator, setup.offered_tps, strategy, setup.train_interval_tps
+
+
+def run_cell(spec, config) -> dict:
+    from .common import sim_payload
+
+    simulator, offered, strategy, history = _prepare_cell(spec, config)
+    result = simulator.run(offered, strategy, history_seed_tps=history)
     return sim_payload(result)
+
+
+def tensor_cell(spec, config):
+    """One spike-day cell as a :class:`~repro.sim.tensor.TensorProgram`."""
+    from ..sim.tensor import TensorProgram
+    from .common import sim_payload
+
+    simulator, offered, strategy, history = _prepare_cell(spec, config)
+    return TensorProgram(
+        simulator=simulator,
+        offered_tps=offered,
+        strategy=strategy,
+        history_seed_tps=history,
+        label=spec.label,
+        finalize=sim_payload,
+    )
 
 
 def summarize(result: Figure11Result) -> str:

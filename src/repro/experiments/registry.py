@@ -41,6 +41,10 @@ class ExperimentDef:
     summarize: str = ""
     #: Heavy experiments take minutes at default scale; the CLI warns.
     heavy: bool = False
+    #: Name of the module's ``tensor_cell(spec, config)`` builder, when
+    #: the experiment's cells can run on the cross-cell tensor backend
+    #: (returns a :class:`~repro.sim.tensor.TensorProgram`).
+    tensor_cell: str = ""
 
     def _attr(self, attr: str):
         return getattr(importlib.import_module(self.module), attr)
@@ -72,6 +76,17 @@ class ExperimentDef:
                 f"experiment {self.name!r} has no cell runner"
             )
         return self._attr(self.run_cell)
+
+    @property
+    def has_tensor_cell(self) -> bool:
+        """Whether cells can run on the cross-cell tensor backend."""
+        return bool(self.tensor_cell)
+
+    def tensor_cell_builder(self) -> "Callable | None":
+        """The ``tensor_cell(spec, config)`` builder, or None."""
+        if not self.tensor_cell:
+            return None
+        return self._attr(self.tensor_cell)
 
     def render(self, result) -> str:
         """Human-readable summary of the runner's result."""
@@ -157,6 +172,7 @@ for _defn in (
         "fig09", "Fig. 9 — elasticity approaches on the benchmark",
         f"{_P}.fig09", runner="run_figure9", grid="grid",
         run_cell="run_cell", summarize="summarize", heavy=True,
+        tensor_cell="tensor_cell",
     ),
     ExperimentDef(
         "fig10", "Fig. 10 — tail-latency CDFs (reuses fig09 cells)",
@@ -167,6 +183,7 @@ for _defn in (
         "fig11", "Fig. 11 — unexpected spike, rate R vs R x 8",
         f"{_P}.fig11", runner="run_figure11", grid="grid",
         run_cell="run_cell", summarize="summarize", heavy=True,
+        tensor_cell="tensor_cell",
     ),
     ExperimentDef(
         "fig12", "Fig. 12 — capacity-cost curves over the season",
@@ -211,6 +228,12 @@ for _defn in (
         "smoke", "Fast capacity-sim grid (sweep smoke/CI)", f"{_P}.smoke",
         runner="run_smoke", grid="grid", run_cell="run_cell",
         summarize="summarize",
+    ),
+    ExperimentDef(
+        "tensmoke", "Fast elastic-sim grid (tensor backend smoke/bench)",
+        f"{_P}.tensmoke", runner="run_tensmoke", grid="grid",
+        run_cell="run_cell", summarize="summarize",
+        tensor_cell="tensor_cell",
     ),
 ):
     register(_defn)

@@ -217,6 +217,32 @@ class BlockStats:
         return int(self.times.size)
 
 
+@dataclass
+class _BlockPrep:
+    """State of one :meth:`QueueingEngine.step_block` call after the
+    engine has advanced skew and backlog but before latency sampling.
+
+    Produced by :meth:`QueueingEngine._block_prep`; consumed by the
+    sampling and finish stages.  Exists so the cross-cell tensor driver
+    (:mod:`repro.sim.tensor`) can interleave the *pure* sampling math of
+    many engines while each engine's stateful stages run in exact scalar
+    order.
+    """
+
+    dt: float
+    offered: np.ndarray
+    arrivals: np.ndarray        # (ticks, n) per-partition arrival rates
+    mu_eff: np.ndarray          # (n,) effective service rates
+    completed: np.ndarray       # (ticks, n)
+    backlog_mid: np.ndarray     # (ticks, n)
+    backlog_end: np.ndarray     # (ticks, n)
+    total_completed: np.ndarray  # (ticks,)
+
+    @property
+    def ticks(self) -> int:
+        return int(self.offered.size)
+
+
 class QueueingEngine:
     """Per-partition analytic queueing model with transient skew.
 
@@ -454,6 +480,42 @@ class QueueingEngine:
         consumption, and latency percentiles all match exactly (enforced
         by test) — while replacing the per-second Python work with numpy
         batch operations.
+
+        The kernel is staged: :meth:`_block_prep` advances skew and
+        backlog (stateful), :meth:`_block_sample_draws` consumes the
+        sample RNG streams (stateful), :meth:`_block_sample_math` is pure
+        per-tick math, and :meth:`_block_finish` assembles stats and
+        telemetry.  The stages exist so the cross-cell tensor driver
+        (:mod:`repro.sim.tensor`) can fuse the pure math of many engines
+        into one array program while every engine's RNG and state
+        mutations keep their exact scalar order.
+        """
+        prep = self._block_prep(dt, offered_block, shares)
+        if np.all(prep.total_completed > 0.0):
+            uniforms, exponentials = self._block_sample_draws(prep.ticks)
+            p50, p95, p99 = self._block_sample_math(
+                prep.arrivals,
+                np.broadcast_to(prep.mu_eff, prep.arrivals.shape),
+                prep.backlog_mid,
+                prep.completed,
+                prep.total_completed,
+                uniforms,
+                exponentials,
+            )
+        else:
+            p50, p95, p99 = self._block_fallback_samples(prep)
+        return self._block_finish(prep, p50, p95, p99)
+
+    def _block_prep(
+        self,
+        dt: float,
+        offered_block: Sequence[float],
+        shares: np.ndarray,
+    ) -> _BlockPrep:
+        """Validate and advance skew + backlog for a quiescent block.
+
+        Consumes the episode/detail/wobble RNG streams and mutates the
+        backlog exactly as ``ticks`` scalar :meth:`step` calls would.
         """
         if dt <= 0:
             raise SimulationError("dt must be positive")
@@ -490,27 +552,101 @@ class QueueingEngine:
         completed, backlog_mid, backlog_end = self._backlog_block(
             arrivals, mu_eff, dt
         )
-        total_completed = completed.sum(axis=1)
+        return _BlockPrep(
+            dt=dt,
+            offered=offered,
+            arrivals=arrivals,
+            mu_eff=mu_eff,
+            completed=completed,
+            backlog_mid=backlog_mid,
+            backlog_end=backlog_end,
+            total_completed=completed.sum(axis=1),
+        )
 
-        if np.all(total_completed > 0.0):
-            p50, p95, p99 = self._sample_block(
-                arrivals, mu_eff, backlog_mid, completed, total_completed
+    def _block_sample_draws(self, ticks: int):
+        """Consume the sample RNG streams for ``ticks`` all-completed
+        ticks: one ``(T, 3, S)`` uniform batch and one ``(T, 2, S)``
+        exponential batch, read exactly as ``T`` scalar ticks would."""
+        n_samples = self.samples_per_tick
+        uniforms = self._sample_u_rng.random((ticks, 3, n_samples))
+        exponentials = self._sample_e_rng.standard_exponential(
+            (ticks, 2, n_samples)
+        )
+        return uniforms, exponentials
+
+    @classmethod
+    def _block_sample_math(
+        cls,
+        arrivals: np.ndarray,
+        mu_eff: np.ndarray,
+        backlog_mid: np.ndarray,
+        completed: np.ndarray,
+        total_completed: np.ndarray,
+        uniforms: np.ndarray,
+        exponentials: np.ndarray,
+    ):
+        """Pure latency-percentile math over pre-drawn samples.
+
+        Every operation is row (tick) independent — elementwise ops,
+        per-row ``cumsum``, exact searchsorted indices, exact gathers,
+        and per-row partition-based percentiles — so concatenating the
+        blocks of several engines along the tick axis yields bit-identical
+        per-row results.  ``mu_eff`` arrives broadcast to ``(ticks, n)``;
+        ``np.take_along_axis`` reproduces the scalar path's fancy-index
+        gathers exactly.
+        """
+        n = completed.shape[1]
+        weights = completed / total_completed[:, None]
+        cdf = np.cumsum(weights, axis=1)
+        keys = uniforms[:, 0, :] * cdf[:, -1][:, None]
+        partitions = cls._batched_searchsorted_right(cdf, keys)
+        np.minimum(partitions, n - 1, out=partitions)
+        # One shared row index replaces three take_along_axis calls; the
+        # gather itself is identical (same fancy index, bit-identical).
+        rows = np.arange(partitions.shape[0])[:, None]
+        mu = mu_eff[rows, partitions]
+        lam = arrivals[rows, partitions]
+        backlog = backlog_mid[rows, partitions]
+        headroom = np.maximum(mu - lam, 0.02 * mu)
+        stationary = exponentials[:, 0, :] / headroom
+        overloaded = backlog / mu + exponentials[:, 1, :] / mu
+        latency = np.where(backlog > 0.5, overloaded, stationary)
+        ms = latency * 1000.0
+        quantiles = cls._percentiles_50_95_99(ms)
+        return quantiles[0], quantiles[1], quantiles[2]
+
+    def _block_fallback_samples(self, prep: _BlockPrep):
+        """Per-tick sample replay for blocks with zero-completed ticks.
+
+        A tick with nothing completed consumes no sample draws, so the
+        batched layout does not apply; replay tick by tick.
+        """
+        ticks = prep.ticks
+        interference = MigrationInterference.none(self.n_partitions)
+        p50 = np.empty(ticks)
+        p95 = np.empty(ticks)
+        p99 = np.empty(ticks)
+        for i in range(ticks):
+            p50[i], p95[i], p99[i] = self._sample_latencies(
+                prep.arrivals[i], prep.mu_eff, prep.backlog_mid[i],
+                prep.completed[i], interference,
             )
-        else:
-            # A tick with nothing completed consumes no sample draws, so
-            # the batched layout does not apply; replay tick by tick.
-            p50 = np.empty(ticks)
-            p95 = np.empty(ticks)
-            p99 = np.empty(ticks)
-            for i in range(ticks):
-                p50[i], p95[i], p99[i] = self._sample_latencies(
-                    arrivals[i], mu_eff, backlog_mid[i], completed[i],
-                    interference,
-                )
+        return p50, p95, p99
 
-        utilization = np.max(arrivals / mu_eff, axis=1)
-        backlog_sums = backlog_end.sum(axis=1)
-        completed_tps = total_completed / dt
+    def _block_finish(
+        self,
+        prep: _BlockPrep,
+        p50: np.ndarray,
+        p95: np.ndarray,
+        p99: np.ndarray,
+    ) -> BlockStats:
+        """Advance simulated time, check invariants, emit telemetry, and
+        assemble the :class:`BlockStats` for a prepared block."""
+        dt = prep.dt
+        ticks = prep.ticks
+        utilization = np.max(prep.arrivals / prep.mu_eff, axis=1)
+        backlog_sums = prep.backlog_end.sum(axis=1)
+        completed_tps = prep.total_completed / dt
         times = self._time + dt * np.arange(1, ticks + 1)
         self._time += dt * ticks
         if invariants.enabled(invariants.CHEAP):
@@ -538,7 +674,7 @@ class QueueingEngine:
             p95_ms=p95,
             p99_ms=p99,
             completed_tps=completed_tps,
-            offered_tps=offered.copy(),
+            offered_tps=prep.offered.copy(),
             max_utilization=utilization,
             backlog=backlog_sums,
         )
@@ -686,44 +822,6 @@ class QueueingEngine:
         out[..., high] = (b - diff * (1.0 - gamma))[..., high]
         return np.moveaxis(out, -1, 0)
 
-    def _sample_block(
-        self,
-        arrivals: np.ndarray,
-        mu_eff: np.ndarray,
-        backlog_mid: np.ndarray,
-        completed: np.ndarray,
-        total_completed: np.ndarray,
-    ):
-        """Batched :meth:`_sample_latencies` (no migration interference).
-
-        One ``(T, 3, S)`` uniform batch and one ``(T, 2, S)`` exponential
-        batch consume the sample streams exactly as ``T`` scalar ticks
-        would.  The stall term is identically ``+0.0`` without
-        interference, so it is skipped (its draws are still consumed).
-        """
-        ticks = arrivals.shape[0]
-        n_samples = self.samples_per_tick
-        uniforms = self._sample_u_rng.random((ticks, 3, n_samples))
-        exponentials = self._sample_e_rng.standard_exponential(
-            (ticks, 2, n_samples)
-        )
-        weights = completed / total_completed[:, None]
-        cdf = np.cumsum(weights, axis=1)
-        keys = uniforms[:, 0, :] * cdf[:, -1][:, None]
-        partitions = self._batched_searchsorted_right(cdf, keys)
-        np.minimum(partitions, self.n_partitions - 1, out=partitions)
-        flat_base = np.arange(ticks)[:, None] * self.n_partitions
-        mu = mu_eff[partitions]
-        lam = arrivals.ravel()[flat_base + partitions]
-        backlog = backlog_mid.ravel()[flat_base + partitions]
-        headroom = np.maximum(mu - lam, 0.02 * mu)
-        stationary = exponentials[:, 0, :] / headroom
-        overloaded = backlog / mu + exponentials[:, 1, :] / mu
-        latency = np.where(backlog > 0.5, overloaded, stationary)
-        ms = latency * 1000.0
-        quantiles = self._percentiles_50_95_99(ms)
-        return quantiles[0], quantiles[1], quantiles[2]
-
     def _sample_latencies(
         self,
         arrivals: np.ndarray,
@@ -771,8 +869,7 @@ class QueueingEngine:
         latency = latency + hit * uniforms[2] * stall
 
         ms = latency * 1000.0
+        quantiles = self._percentiles_50_95_99(ms)
         return (
-            float(np.percentile(ms, 50)),
-            float(np.percentile(ms, 95)),
-            float(np.percentile(ms, 99)),
+            float(quantiles[0]), float(quantiles[1]), float(quantiles[2])
         )

@@ -9,6 +9,7 @@ resume for free.  See ``docs/API.md``.
 
 from .cache import ResultCache, default_cache_root
 from .executor import (
+    BACKENDS,
     CellOutcome,
     SweepExecutor,
     SweepReport,
@@ -17,6 +18,7 @@ from .executor import (
 from .spec import CACHE_SCHEMA_VERSION, RunSpec, jsonify
 
 __all__ = [
+    "BACKENDS",
     "CACHE_SCHEMA_VERSION",
     "CellOutcome",
     "ResultCache",

@@ -37,6 +37,12 @@ class ResultCache:
     def __init__(self, root) -> None:
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Lifetime counters for this cache object.  ``corrupt`` counts
+        #: entries that existed on disk but failed to parse or validate
+        #: (they read as misses and are overwritten on the next store).
+        #: The sweep executor snapshots these around a run and surfaces
+        #: the delta in its summary line and ``manifest.json``.
+        self.stats = {"hits": 0, "misses": 0, "corrupt": 0, "stores": 0}
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
@@ -45,8 +51,17 @@ class ResultCache:
         """The cached envelope for ``key``, or None on miss/corruption."""
         path = self.path_for(key)
         try:
-            envelope = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text()
+        except FileNotFoundError:
+            self.stats["misses"] += 1
+            return None
+        except OSError:
+            self.stats["corrupt"] += 1
+            return None
+        try:
+            envelope = json.loads(text)
+        except json.JSONDecodeError:
+            self.stats["corrupt"] += 1
             return None
         if (
             not isinstance(envelope, dict)
@@ -54,11 +69,14 @@ class ResultCache:
             or envelope.get("key") != key
             or "payload" not in envelope
         ):
+            self.stats["corrupt"] += 1
             return None
+        self.stats["hits"] += 1
         return envelope
 
     def store(self, key: str, envelope: dict) -> pathlib.Path:
         """Atomically persist ``envelope`` under ``key``."""
+        self.stats["stores"] += 1
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         text = json.dumps(envelope, sort_keys=True, indent=1)

@@ -29,11 +29,17 @@ from ..config import PStoreConfig, canonical_json, default_config
 from ..errors import SweepError
 from ..telemetry import get_telemetry
 from ..telemetry.runtime import Telemetry, telemetry_scope
+from ..workload import memo as trace_memo
 from .cache import ENVELOPE_SCHEMA, ResultCache
 from .spec import RunSpec, jsonify
 
 #: Manifest schema identifier.
 MANIFEST_SCHEMA = "pstore.sweep/v1"
+
+#: Execution backends a sweep can run under.  ``auto`` picks ``tensor``
+#: when every pending cell's experiment declares a tensor program
+#: builder, else the historical inline/pool choice.
+BACKENDS: Tuple[str, ...] = ("auto", "serial", "process", "tensor")
 
 
 def _resolve_cell_runner(experiment: str):
@@ -48,12 +54,15 @@ def _execute_cell(task: tuple) -> tuple:
 
     ``task`` is ``(index, spec_dict, config_dict, record_events)``; the
     return value is ``(index, payload, events, chronicle, elapsed,
-    error)`` where exactly one of ``payload``/``error`` is set.  Runs in
-    a pool worker (or inline for ``jobs=1``); everything crossing the
-    boundary is plain picklable data.
+    trace_stats, error)`` where exactly one of ``payload``/``error`` is
+    set and ``trace_stats`` is this cell's delta against the worker's
+    trace-memo counters.  Runs in a pool worker (or inline for
+    ``jobs=1``); everything crossing the boundary is plain picklable
+    data.
     """
     index, spec_dict, config_dict, record_events = task
     start = time.perf_counter()
+    memo_before = trace_memo.stats()
     try:
         spec = RunSpec.from_dict(spec_dict)
         config = PStoreConfig.from_dict(config_dict)
@@ -72,13 +81,16 @@ def _execute_cell(task: tuple) -> tuple:
         elapsed = time.perf_counter() - start
         return (
             index, payload, jsonify(events), jsonify(chronicle), elapsed,
-            None,
+            trace_memo.delta(memo_before), None,
         )
     except Exception as exc:  # noqa: BLE001 - marshalled to the parent
         detail = "".join(
             traceback.format_exception_only(type(exc), exc)
         ).strip()
-        return index, None, [], [], time.perf_counter() - start, detail
+        return (
+            index, None, [], [], time.perf_counter() - start,
+            trace_memo.delta(memo_before), detail,
+        )
 
 
 @dataclass(frozen=True)
@@ -107,6 +119,17 @@ class SweepReport:
     config_hash: str
     jobs: int
     elapsed_seconds: float
+    #: Backend the dirty cells actually ran under ("serial", "process",
+    #: or "tensor"; "serial" when everything was a cache hit).
+    backend: str = "serial"
+    #: ResultCache hit/miss/corrupt/store deltas for this run.
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: Trace-memo hit/miss totals summed over this run's executed cells.
+    trace_reuse: Dict[str, int] = field(default_factory=dict)
+    #: Tensor-backend stats (tensorized/fallback cell counts plus the
+    #: :class:`~repro.sim.tensor.TensorBatchReport` counters).  Empty
+    #: unless the tensor backend ran.
+    tensor: Dict[str, int] = field(default_factory=dict)
 
     @property
     def hits(self) -> int:
@@ -133,11 +156,15 @@ class SweepReport:
             "schema": MANIFEST_SCHEMA,
             "config_hash": self.config_hash,
             "jobs": self.jobs,
+            "backend": self.backend,
             "n_cells": len(self.cells),
             "hits": self.hits,
             "executed": self.executed,
             "result_hash": self.result_hash,
             "elapsed_seconds": self.elapsed_seconds,
+            "cache": dict(self.cache_stats),
+            "trace_reuse": dict(self.trace_reuse),
+            "tensor": dict(self.tensor),
             "cells": [
                 {
                     "label": c.label,
@@ -196,11 +223,25 @@ class SweepReport:
         return paths
 
     def summary(self) -> str:
-        return (
+        bits = [
             f"{len(self.cells)} cells: {self.hits} cached, "
             f"{self.executed} executed in {self.elapsed_seconds:.1f}s "
-            f"(jobs={self.jobs}), result {self.result_hash[:12]}"
-        )
+            f"(jobs={self.jobs}, backend={self.backend})"
+        ]
+        if self.cache_stats:
+            c = self.cache_stats
+            bits.append(
+                f"cache {c.get('hits', 0)}h/{c.get('misses', 0)}m/"
+                f"{c.get('corrupt', 0)}x"
+            )
+        if self.trace_reuse.get("hits"):
+            bits.append(f"trace reuse {self.trace_reuse['hits']}")
+        if self.tensor.get("tensorized"):
+            bits.append(
+                f"tensor {self.tensor['tensorized']} cells "
+                f"({self.tensor.get('evictions', 0)} evictions)"
+            )
+        return ", ".join(bits) + f", result {self.result_hash[:12]}"
 
 
 class SweepExecutor:
@@ -221,6 +262,15 @@ class SweepExecutor:
         run each cell under a fresh telemetry bundle and return its
         event log and chronicle in the outcome (merged into the
         manifest directory as ``events.jsonl`` / ``chronicle.jsonl``).
+    backend:
+        one of :data:`BACKENDS`.  ``serial`` runs cells inline,
+        ``process`` always uses the spawn pool, ``tensor`` batches every
+        tensorizable cell through
+        :class:`~repro.sim.tensor.TensorBatchEngine` (cells whose
+        experiment declares no tensor program fall back to inline
+        execution).  ``auto`` (default) picks ``tensor`` when every
+        pending cell is tensorizable, else the historical inline/pool
+        choice based on ``jobs``.
     """
 
     def __init__(
@@ -229,9 +279,14 @@ class SweepExecutor:
         cache=None,
         jobs: int = 1,
         record_events: bool = False,
+        backend: str = "auto",
     ) -> None:
         if jobs < 1:
             raise SweepError("jobs must be >= 1")
+        if backend not in BACKENDS:
+            raise SweepError(
+                f"unknown backend {backend!r} (expected one of {BACKENDS})"
+            )
         self.config = config if config is not None else default_config()
         if cache is None or isinstance(cache, ResultCache):
             self.cache: Optional[ResultCache] = cache
@@ -239,6 +294,7 @@ class SweepExecutor:
             self.cache = ResultCache(cache)
         self.jobs = jobs
         self.record_events = record_events
+        self.backend = backend
 
     # ------------------------------------------------------------------
 
@@ -260,6 +316,11 @@ class SweepExecutor:
         if not specs:
             raise SweepError("sweep grid is empty")
         start = time.perf_counter()
+        cache_before = (
+            dict(self.cache.stats) if self.cache is not None else None
+        )
+        self._trace_reuse: Dict[str, int] = {"hits": 0, "misses": 0}
+        self._tensor_stats: Dict[str, int] = {}
         config_hash = self.config.config_hash()
         keys = [spec.cache_key(config_hash) for spec in specs]
 
@@ -273,7 +334,7 @@ class SweepExecutor:
                 continue
             seen[key] = i
             envelope = None if force else (
-                self.cache.load(key) if self.cache else None
+                self.cache.load(key) if self.cache is not None else None
             )
             if envelope is not None:
                 outcomes[i] = CellOutcome(
@@ -288,8 +349,9 @@ class SweepExecutor:
             else:
                 pending.append(i)
 
+        backend = self._resolve_backend(specs, pending)
         failures = self._execute_pending(
-            specs, keys, pending, outcomes, progress
+            specs, keys, pending, outcomes, progress, backend
         )
         for i, first in duplicates:
             original = outcomes[first]
@@ -319,14 +381,59 @@ class SweepExecutor:
             tel.metrics.counter("sweep.hits").inc(
                 sum(1 for c in cells if c.cached)
             )
+        cache_delta = {}
+        if cache_before is not None and self.cache is not None:
+            cache_delta = {
+                k: self.cache.stats.get(k, 0) - cache_before.get(k, 0)
+                for k in self.cache.stats
+            }
         return SweepReport(
             cells=cells,
             config_hash=config_hash,
             jobs=self.jobs,
             elapsed_seconds=elapsed,
+            backend=backend,
+            cache_stats=cache_delta,
+            trace_reuse=dict(self._trace_reuse),
+            tensor=dict(self._tensor_stats),
         )
 
     # ------------------------------------------------------------------
+
+    def _resolve_backend(
+        self, specs: Sequence[RunSpec], pending: Sequence[int]
+    ) -> str:
+        """The backend the dirty cells will run under.
+
+        Explicit choices win; ``auto`` upgrades to ``tensor`` when every
+        pending cell's experiment declares a tensor program builder (all
+        cells then share trace/config shape by construction) — unless
+        the caller asked for worker processes: the tensor batch runs in
+        one process, so an explicit ``jobs > 1`` on a pool-sized grid
+        (heavyweight cells, minutes each) must keep the pool.  Pass
+        ``backend="tensor"`` to force batching regardless.
+        """
+        if self.backend != "auto":
+            return self.backend
+        if self.jobs > 1 and len(pending) > 1:
+            return "process"
+        if pending and self._all_tensorizable(specs, pending):
+            return "tensor"
+        return "serial"
+
+    @staticmethod
+    def _all_tensorizable(
+        specs: Sequence[RunSpec], pending: Sequence[int]
+    ) -> bool:
+        from ..experiments.registry import get_experiment
+
+        try:
+            return all(
+                get_experiment(specs[i].experiment).has_tensor_cell
+                for i in pending
+            )
+        except Exception:  # noqa: BLE001 - unknown experiments fail later
+            return False
 
     def _execute_pending(
         self,
@@ -335,8 +442,9 @@ class SweepExecutor:
         pending: List[int],
         outcomes: List[Optional[CellOutcome]],
         progress,
+        backend: str,
     ) -> List[Tuple[str, str]]:
-        """Run the dirty cells (inline or pooled); returns failures."""
+        """Run the dirty cells (inline, pooled, or tensor-batched)."""
         if not pending:
             return []
         config_dict = self.config.to_dict()
@@ -347,8 +455,12 @@ class SweepExecutor:
         failures: List[Tuple[str, str]] = []
 
         def complete(result: tuple, worker: Optional[int]) -> None:
-            index, payload, events, chronicle, elapsed, error = result
+            index, payload, events, chronicle, elapsed, trace, error = result
             spec, key = specs[index], keys[index]
+            for bucket in ("hits", "misses"):
+                self._trace_reuse[bucket] += int(
+                    (trace or {}).get(bucket, 0)
+                )
             if error is not None:
                 failures.append((spec.label, error))
                 return
@@ -377,7 +489,11 @@ class SweepExecutor:
             if progress is not None:
                 progress(outcome)
 
-        if self.jobs == 1 or len(tasks) == 1:
+        if backend == "tensor":
+            self._execute_tensor(specs, pending, config_dict, complete)
+            return failures
+
+        if backend == "serial" or len(tasks) == 1:
             for task in tasks:
                 complete(_execute_cell(task), worker=None)
             return failures
@@ -390,6 +506,120 @@ class SweepExecutor:
             for result in pool.imap_unordered(_execute_cell, tasks):
                 complete(result, worker=None)
         return failures
+
+    def _execute_tensor(
+        self,
+        specs: Sequence[RunSpec],
+        pending: Sequence[int],
+        config_dict: dict,
+        complete,
+    ) -> None:
+        """Run the dirty cells through the tensor batch engine.
+
+        Each tensorizable cell contributes a
+        :class:`~repro.sim.tensor.TensorProgram`; the batch engine
+        advances every quiescent cell with one fused array step and the
+        per-cell results flow through the same ``complete`` path as the
+        other backends (so payloads, caching, and ``result_hash`` are
+        produced exactly as today).  Cells whose experiment declares no
+        tensor program run inline via :func:`_execute_cell`.
+        """
+        from ..experiments.registry import get_experiment
+        from ..sim.tensor import TensorBatchEngine
+
+        entries = []  # (index, program, bundle, build_seconds, trace_delta)
+        fallback: List[int] = []
+        for i in pending:
+            spec = specs[i]
+            try:
+                builder = get_experiment(spec.experiment).tensor_cell_builder()
+            except Exception:  # noqa: BLE001 - let _execute_cell report it
+                builder = None
+            if builder is None:
+                fallback.append(i)
+                continue
+            bundle = Telemetry() if self.record_events else None
+            start = time.perf_counter()
+            memo_before = trace_memo.stats()
+            try:
+                with telemetry_scope(bundle):
+                    program = builder(spec, self.config)
+            except Exception as exc:  # noqa: BLE001 - marshalled like workers
+                detail = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+                complete(
+                    (
+                        i, None, [], [], time.perf_counter() - start,
+                        trace_memo.delta(memo_before), detail,
+                    ),
+                    None,
+                )
+                continue
+            if bundle is not None:
+                program.scope = lambda b=bundle: telemetry_scope(b)
+            entries.append(
+                (
+                    i, program, bundle, time.perf_counter() - start,
+                    trace_memo.delta(memo_before),
+                )
+            )
+
+        stats: Dict[str, int] = {
+            "tensorized": len(entries),
+            "fallback": len(fallback),
+        }
+        if entries:
+            engine = TensorBatchEngine(
+                [entry[1] for entry in entries], clock=time.perf_counter
+            )
+            report = engine.run()
+            batch_stats = report.stats()
+            batch_stats.pop("cells", None)
+            stats.update(batch_stats)
+            for (i, program, bundle, build_s, tdelta), cell in zip(
+                entries, report.outcomes
+            ):
+                elapsed = build_s + cell.elapsed_seconds
+                if cell.error is not None:
+                    complete((i, None, [], [], elapsed, tdelta, cell.error), None)
+                    continue
+                try:
+                    if program.finalize is None:
+                        raise SweepError(
+                            f"tensor program {cell.label} has no finalize"
+                        )
+                    payload = jsonify(program.finalize(cell.result))
+                    if not isinstance(payload, dict):
+                        raise SweepError(
+                            f"cell {cell.label} returned "
+                            f"{type(payload).__name__}, expected a "
+                            "JSON-serialisable mapping"
+                        )
+                except Exception as exc:  # noqa: BLE001
+                    detail = "".join(
+                        traceback.format_exception_only(type(exc), exc)
+                    ).strip()
+                    complete((i, None, [], [], elapsed, tdelta, detail), None)
+                    continue
+                events = (
+                    bundle.events.snapshot() if bundle is not None else []
+                )
+                chronicle = (
+                    bundle.chronicle.snapshot() if bundle is not None else []
+                )
+                complete(
+                    (
+                        i, payload, jsonify(events), jsonify(chronicle),
+                        elapsed, tdelta, None,
+                    ),
+                    None,
+                )
+        self._tensor_stats = stats
+
+        for i in fallback:
+            task = (i, specs[i].to_dict(), config_dict, self.record_events)
+            complete(_execute_cell(task), worker=None)
 
     @staticmethod
     def _export_import_path() -> None:
@@ -431,9 +661,14 @@ def run_sweep(
     force: bool = False,
     record_events: bool = False,
     progress=None,
+    backend: str = "auto",
 ) -> SweepReport:
     """One-call convenience wrapper around :class:`SweepExecutor`."""
     executor = SweepExecutor(
-        config=config, cache=cache, jobs=jobs, record_events=record_events
+        config=config,
+        cache=cache,
+        jobs=jobs,
+        record_events=record_events,
+        backend=backend,
     )
     return executor.run(specs, force=force, progress=progress)

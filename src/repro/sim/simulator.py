@@ -37,6 +37,26 @@ from ..telemetry import get_telemetry
 
 
 @dataclass
+class BlockRequest:
+    """One quiescent stretch the driver should advance in a batch.
+
+    Yielded by :meth:`ElasticDbSimulator.drive`; the driver answers with
+    the :class:`~repro.hstore.engine.BlockStats` of
+    ``engine.step_block(1.0, offered, shares)``.  ``start``/``end`` are
+    tick indices into the run's offered-load array (``end`` exclusive).
+    """
+
+    start: int
+    end: int
+    shares: np.ndarray
+    offered: np.ndarray
+
+    @property
+    def ticks(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
 class SimulationResult:
     """Per-second series plus summary statistics of one benchmark run."""
 
@@ -165,6 +185,41 @@ class ElasticDbSimulator:
         ``t``.  ``history_seed_tps`` pre-populates the strategy's
         per-interval load history (one value per planner interval) so
         predictive strategies start with enough context.
+
+        Implemented as a pump over :meth:`drive`: every
+        :class:`BlockRequest` the generator yields is answered with this
+        simulator's own engine — the serial execution the tensor driver
+        (:mod:`repro.sim.tensor`) must match bit-for-bit.
+        """
+        gen = self.drive(offered_tps, strategy, history_seed_tps)
+        block = None
+        while True:
+            try:
+                request = gen.send(block)
+            except StopIteration as stop:
+                return stop.value
+            block = self.engine.step_block(
+                1.0, request.offered, request.shares
+            )
+
+    def drive(
+        self,
+        offered_tps: Sequence[float],
+        strategy: ProvisioningStrategy,
+        history_seed_tps: Sequence[float] = (),
+    ):
+        """The simulation as a resumable block-request generator.
+
+        Yields a :class:`BlockRequest` for every quiescent stretch the
+        fast path would batch, and expects ``send(block_stats)`` with the
+        result of ``engine.step_block(1.0, request.offered,
+        request.shares)``.  All non-quiescent work — migration rounds,
+        fault windows, planner boundaries — runs *inside* the generator
+        on the scalar engine between yields, which is exactly the
+        eviction/re-admission semantic of the cross-cell tensor driver:
+        a cell is "evicted" while its generator advances scalar ticks
+        internally and "re-admitted" at its next yield.  Returns the
+        :class:`SimulationResult` via ``StopIteration.value``.
         """
         config = self.config
         offered = np.asarray(offered_tps, dtype=float)
@@ -303,8 +358,8 @@ class ElasticDbSimulator:
                         shares[machine * p : (machine + 1) * p] = 1.0 / (
                             machines * p
                         )
-                    block = self.engine.step_block(
-                        1.0, offered[t:block_end], shares
+                    block = yield BlockRequest(
+                        t, block_end, shares, offered[t:block_end]
                     )
                     out_machines[t:block_end] = machines
                     out_completed[t:block_end] = block.completed_tps

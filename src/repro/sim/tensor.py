@@ -1,0 +1,346 @@
+"""Cross-cell tensor simulation: run a whole sweep as one array program.
+
+:class:`TensorBatchEngine` advances many independent
+:class:`~repro.sim.simulator.ElasticDbSimulator` runs ("cells") at once.
+Each cell is driven through :meth:`ElasticDbSimulator.drive`, which
+yields a :class:`~repro.sim.simulator.BlockRequest` for every quiescent
+stretch (no migration, no fault activity, no planner boundary) and runs
+everything else — migration rounds, fault windows, emergency re-plans —
+on the scalar engine *inside* the generator.  The batch engine collects
+all currently-pending block requests, stacks their per-tick arrays along
+the tick axis, and executes the latency-sampling math of every cell in
+one fused numpy call.
+
+Eviction / re-admission
+-----------------------
+A cell that enters a migration round, fault window, or planner re-plan
+is *evicted*: its generator advances those ticks internally on the
+scalar/fast-path engine and the cell simply skips the batched rounds
+until its next yield, at which point it is *re-admitted*.  No state ever
+has to be copied in or out of the batch.
+
+Bit-identity
+------------
+Results are bit-identical to the serial engines because nothing about
+the numbers changes — only the batching of pure math:
+
+* every RNG draw happens on the owning engine's own streams, in exactly
+  the scalar order (:meth:`QueueingEngine._block_prep` and
+  :meth:`QueueingEngine._block_sample_draws` are called per engine);
+* the fused stage, :meth:`QueueingEngine._block_sample_math`, is
+  row-independent per tick — elementwise ops, per-row ``cumsum``, exact
+  searchsorted indices, exact gathers, per-row partition-based
+  percentiles — so concatenating blocks of different cells along the
+  tick axis produces the same floats each cell would produce alone;
+* cells are only fused when they share a ``(n_partitions,
+  samples_per_tick)`` shape signature, and blocks containing a
+  zero-completed tick fall back to the engine's own per-tick replay.
+
+The PR-4 differential harness pins this: ``pstore check --suite tensor``
+runs serial and tensor drivers side by side with zero tolerance.
+
+This module lives in simulated time and must stay free of wall-clock
+reads (enforced by the PR-4 lint).  Callers that want per-cell timings
+pass a ``clock`` callable (e.g. ``time.perf_counter`` from the sweep
+executor, which is allowlisted).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..hstore.engine import QueueingEngine
+from .simulator import ElasticDbSimulator, SimulationResult
+
+
+@dataclass
+class TensorProgram:
+    """One sweep cell prepared for batched execution.
+
+    Bundles everything :meth:`ElasticDbSimulator.run` would need, plus an
+    optional ``finalize`` hook mapping the :class:`SimulationResult` to
+    the cell's payload (the sweep executor uses it to keep payloads — and
+    therefore ``result_hash`` — byte-identical to the serial path) and an
+    optional ``scope`` context-manager factory (telemetry scoping).
+    """
+
+    simulator: ElasticDbSimulator
+    offered_tps: Sequence[float]
+    strategy: object
+    history_seed_tps: Sequence[float] = ()
+    label: str = ""
+    finalize: Optional[Callable[[SimulationResult], dict]] = None
+    scope: Optional[Callable[[], object]] = None
+
+    def signature(self) -> Tuple[int, int]:
+        """The fuse-compatibility key: cells sharing it may be batched."""
+        engine = self.simulator.engine
+        return (engine.n_partitions, engine.samples_per_tick)
+
+
+@dataclass
+class TensorCellOutcome:
+    """Result of one cell driven by the batch engine.
+
+    Exactly one of ``result``/``error`` is set.  ``batched_ticks`` were
+    advanced by fused cross-cell calls; ``scalar_ticks`` ran inside the
+    generator while the cell was evicted (plus any lead-in/tail);
+    ``evictions`` counts re-admissions after at least one batched block.
+    """
+
+    label: str
+    result: Optional[SimulationResult] = None
+    error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+    batched_ticks: int = 0
+    scalar_ticks: int = 0
+    evictions: int = 0
+
+
+@dataclass
+class TensorBatchReport:
+    """All cell outcomes plus aggregate batching statistics."""
+
+    outcomes: List[TensorCellOutcome]
+    rounds: int = 0
+    fused_calls: int = 0
+    batched_ticks: int = 0
+    scalar_ticks: int = 0
+    evictions: int = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "cells": len(self.outcomes),
+            "rounds": self.rounds,
+            "fused_calls": self.fused_calls,
+            "batched_ticks": self.batched_ticks,
+            "scalar_ticks": self.scalar_ticks,
+            "evictions": self.evictions,
+        }
+
+
+class _CellState:
+    """Internal per-cell driver state."""
+
+    __slots__ = (
+        "index", "program", "gen", "request", "block", "outcome",
+        "cursor", "total_ticks", "admitted",
+    )
+
+    def __init__(self, index: int, program: TensorProgram):
+        self.index = index
+        self.program = program
+        self.gen = program.simulator.drive(
+            program.offered_tps, program.strategy, program.history_seed_tps
+        )
+        self.request = None
+        self.block = None
+        self.outcome = TensorCellOutcome(label=program.label)
+        #: Tick index up to which batched blocks have been applied.
+        self.cursor = 0
+        self.total_ticks = int(np.asarray(program.offered_tps).size)
+        #: Whether the cell has ever received a batched block.
+        self.admitted = False
+
+    def scope(self):
+        if self.program.scope is not None:
+            return self.program.scope()
+        return contextlib.nullcontext()
+
+
+class TensorBatchEngine:
+    """Drives N simulator generators, fusing their quiescent blocks.
+
+    Parameters
+    ----------
+    programs:
+        the cells to run; cells sharing a shape signature are fused,
+        the rest still run correctly (each in its own block call).
+    clock:
+        optional zero-argument callable returning seconds (e.g.
+        ``time.perf_counter``); used only for per-cell elapsed
+        accounting.  None keeps this module free of wall-clock reads.
+    """
+
+    def __init__(
+        self,
+        programs: Sequence[TensorProgram],
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        programs = list(programs)
+        if not programs:
+            raise SimulationError("TensorBatchEngine needs at least one program")
+        self._programs = programs
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> TensorBatchReport:
+        """Run every cell to completion; returns the batch report.
+
+        Cell failures are recorded in the cell's outcome (``error``) and
+        do not disturb the other cells.
+        """
+        report = TensorBatchReport(outcomes=[])
+        states = [_CellState(i, p) for i, p in enumerate(self._programs)]
+        report.outcomes = [s.outcome for s in states]
+        for state in states:
+            self._advance(state, None)
+        while True:
+            pending = [s for s in states if s.request is not None]
+            if not pending:
+                break
+            report.rounds += 1
+            groups: Dict[Tuple[int, int], List[_CellState]] = {}
+            for state in pending:
+                groups.setdefault(state.program.signature(), []).append(state)
+            for group in groups.values():
+                report.fused_calls += 1
+                self._step_group(group)
+            for state in pending:
+                block, state.block = state.block, None
+                if block is None:
+                    continue  # errored during the group step
+                request = state.request
+                state.request = None
+                state.outcome.batched_ticks += request.ticks
+                state.cursor = request.end
+                state.admitted = True
+                self._advance(state, block)
+        for state in states:
+            outcome = state.outcome
+            if outcome.error is None:
+                outcome.scalar_ticks = state.total_ticks - outcome.batched_ticks
+            report.batched_ticks += outcome.batched_ticks
+            report.scalar_ticks += outcome.scalar_ticks
+            report.evictions += outcome.evictions
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _advance(self, state: _CellState, block) -> None:
+        """Send ``block`` into the cell's generator; record the next
+        request, the final result, or the failure."""
+        started = self._clock() if self._clock is not None else None
+        try:
+            with state.scope():
+                state.request = state.gen.send(block)
+        except StopIteration as stop:
+            state.request = None
+            state.outcome.result = stop.value
+        except Exception as exc:  # noqa: BLE001 - isolated per cell
+            state.request = None
+            state.outcome.error = "".join(
+                traceback.format_exception_only(type(exc), exc)
+            ).strip()
+        else:
+            # Ticks between the last applied block and the new request
+            # ran scalar inside the generator (migration/fault/boundary
+            # stretches).  After the first batched block that gap is an
+            # eviction + re-admission.
+            if state.request.start > state.cursor and state.admitted:
+                state.outcome.evictions += 1
+        if started is not None:
+            state.outcome.elapsed_seconds += self._clock() - started
+
+    def _step_group(self, group: List[_CellState]) -> None:
+        """Answer every pending request of one same-signature group.
+
+        Stateful stages (prep, RNG draws, finish) run per engine in
+        scalar order; the pure sampling math of all fully-completed
+        blocks is fused into one tick-axis-concatenated call.
+        """
+        prepped: List[Tuple[_CellState, object]] = []
+        for state in group:
+            engine = state.program.simulator.engine
+            request = state.request
+            started = self._clock() if self._clock is not None else None
+            try:
+                with state.scope():
+                    prep = engine._block_prep(
+                        1.0, request.offered, request.shares
+                    )
+            except Exception as exc:  # noqa: BLE001 - isolated per cell
+                state.request = None
+                state.block = None
+                state.outcome.error = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+                state.gen.close()
+            else:
+                prepped.append((state, prep))
+            if started is not None:
+                state.outcome.elapsed_seconds += self._clock() - started
+
+        fused: List[Tuple[_CellState, object, np.ndarray, np.ndarray]] = []
+        for state, prep in prepped:
+            engine = state.program.simulator.engine
+            started = self._clock() if self._clock is not None else None
+            if np.all(prep.total_completed > 0.0):
+                uniforms, exponentials = engine._block_sample_draws(prep.ticks)
+                fused.append((state, prep, uniforms, exponentials))
+                percentiles = None
+            else:
+                # Zero-completed ticks consume no draws; the batched
+                # layout does not apply — the engine replays per tick.
+                with state.scope():
+                    percentiles = engine._block_fallback_samples(prep)
+            if percentiles is not None:
+                with state.scope():
+                    state.block = engine._block_finish(prep, *percentiles)
+            if started is not None:
+                state.outcome.elapsed_seconds += self._clock() - started
+
+        if not fused:
+            return
+        started = self._clock() if self._clock is not None else None
+        p50, p95, p99 = QueueingEngine._block_sample_math(
+            np.concatenate([prep.arrivals for _, prep, _, _ in fused]),
+            np.concatenate(
+                [
+                    np.broadcast_to(prep.mu_eff, prep.arrivals.shape)
+                    for _, prep, _, _ in fused
+                ]
+            ),
+            np.concatenate([prep.backlog_mid for _, prep, _, _ in fused]),
+            np.concatenate([prep.completed for _, prep, _, _ in fused]),
+            np.concatenate([prep.total_completed for _, prep, _, _ in fused]),
+            np.concatenate([uniforms for _, _, uniforms, _ in fused]),
+            np.concatenate([exponentials for _, _, _, exponentials in fused]),
+        )
+        offset = 0
+        total = self._clock() - started if started is not None else 0.0
+        all_ticks = sum(prep.ticks for _, prep, _, _ in fused)
+        for state, prep, _, _ in fused:
+            engine = state.program.simulator.engine
+            ticks = prep.ticks
+            rows = slice(offset, offset + ticks)
+            offset += ticks
+            finish_started = (
+                self._clock() if self._clock is not None else None
+            )
+            with state.scope():
+                state.block = engine._block_finish(
+                    prep, p50[rows], p95[rows], p99[rows]
+                )
+            if self._clock is not None:
+                # Apportion the fused call's cost by each cell's share of
+                # its ticks; exact per-cell split is unobservable.
+                state.outcome.elapsed_seconds += total * (ticks / all_ticks)
+                state.outcome.elapsed_seconds += (
+                    self._clock() - finish_started
+                )
+
+
+def run_programs(
+    programs: Sequence[TensorProgram],
+    clock: Optional[Callable[[], float]] = None,
+) -> TensorBatchReport:
+    """One-call convenience wrapper around :class:`TensorBatchEngine`."""
+    return TensorBatchEngine(programs, clock=clock).run()

@@ -12,6 +12,7 @@ from .generators import (
 )
 from .io import (
     read_trace_csv,
+    read_trace_csv_cached,
     trace_from_csv_string,
     trace_to_csv_string,
     write_trace_csv,
@@ -40,6 +41,7 @@ __all__ = [
     "parse_hourly_totals",
     "parse_pagecounts_hour",
     "read_trace_csv",
+    "read_trace_csv_cached",
     "trace_from_csv_string",
     "trace_to_csv_string",
     "wikipedia_like_trace",

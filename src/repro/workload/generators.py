@@ -17,11 +17,13 @@ All generators take an explicit seed and are deterministic.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 import numpy as np
 
 from ..errors import SimulationError
+from . import memo
 from .events import EventCalendar, retail_season_calendar
 from .trace import LoadTrace
 
@@ -56,6 +58,17 @@ def diurnal_profile(slots_per_day: int, trough_ratio: float) -> np.ndarray:
 RETAIL_WEEKLY_PATTERN = (1.00, 1.03, 1.05, 1.04, 1.02, 0.90, 0.82)
 
 
+def _calendar_key(calendar: Optional[EventCalendar]):
+    """A hashable key for an event calendar, or None when the calendar
+    cannot be keyed (memoisation is then bypassed)."""
+    if calendar is None:
+        return ()
+    try:
+        return tuple(dataclasses.astuple(event) for event in calendar)
+    except (TypeError, ValueError):
+        return None
+
+
 def b2w_like_trace(
     n_days: int,
     slot_seconds: float = 60.0,
@@ -71,6 +84,12 @@ def b2w_like_trace(
     name: str = "b2w-like",
 ) -> LoadTrace:
     """Synthetic B2W shopping-cart/checkout load (requests per slot).
+
+    Deterministic for a given argument tuple, so repeated calls with an
+    integer ``seed`` are served from the per-process trace memo
+    (:mod:`repro.workload.memo`); traces are immutable and safe to
+    share.  Calls with a ``Generator`` seed (already-advanced stream)
+    bypass the memo.
 
     Parameters
     ----------
@@ -104,6 +123,21 @@ def b2w_like_trace(
         raise SimulationError("n_days must be >= 1")
     if len(weekly_pattern) != 7:
         raise SimulationError("weekly_pattern must have exactly 7 entries")
+    memo_key = None
+    if isinstance(seed, (int, np.integer)):
+        calendar_key = _calendar_key(calendar)
+        if calendar_key is not None:
+            memo_key = (
+                "b2w", int(n_days), float(slot_seconds), int(seed),
+                float(base_level), float(peak_to_trough),
+                tuple(float(w) for w in weekly_pattern),
+                float(noise_sigma), float(drift_sigma),
+                float(wobble_sigma), float(wobble_hours),
+                calendar_key, str(name),
+            )
+            cached = memo.lookup(memo_key)
+            if cached is not None:
+                return cached
     rng = _rng(seed)
     slots_per_day = int(round(86_400.0 / slot_seconds))
     profile = diurnal_profile(slots_per_day, trough_ratio=1.0 / peak_to_trough)
@@ -139,7 +173,10 @@ def b2w_like_trace(
 
     if calendar is not None:
         values = calendar.apply(values)
-    return LoadTrace(values, slot_seconds, name=name)
+    trace = LoadTrace(values, slot_seconds, name=name)
+    if memo_key is not None:
+        memo.insert(memo_key, trace)
+    return trace
 
 
 def b2w_evaluation_trace(

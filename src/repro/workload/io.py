@@ -120,6 +120,21 @@ def trace_to_csv_string(trace: LoadTrace) -> str:
     return buffer.getvalue()
 
 
+def read_trace_csv_cached(path) -> LoadTrace:
+    """:func:`read_trace_csv` through the per-process trace memo.
+
+    Keyed on ``(absolute path, mtime_ns, size)``, so an edited file is
+    always re-parsed while repeat loads — one per sweep cell, typically —
+    share the immutable parsed trace.  Accepts paths only (file objects
+    cannot be keyed); reuse counts surface via
+    :func:`repro.workload.memo.stats`.
+    """
+    from . import memo
+
+    key = ("csv",) + memo.file_key(path)
+    return memo.memoized(key, lambda: read_trace_csv(path))
+
+
 def trace_from_csv_string(text: str) -> LoadTrace:
     """Deserialise from an in-memory CSV string."""
     return read_trace_csv(io.StringIO(text))

@@ -1,0 +1,83 @@
+"""Per-process memoisation of parsed and generated workload traces.
+
+Sweep cells are hermetic, which used to mean every cell re-generated (or
+re-parsed) its workload trace from scratch — pure waste when a grid
+crosses many strategies over the same few traces.  Because
+:class:`~repro.workload.trace.LoadTrace` values are immutable
+(``setflags(write=False)``), the *object* can be shared safely: this
+module keeps a small per-process cache keyed on the full construction
+arguments (generators) or on ``(path, mtime_ns, size)`` (CSV files).
+
+Hit/miss counters are exposed so the sweep executor can report trace
+reuse in ``manifest.json``; workers snapshot :func:`stats` around each
+cell and ship the delta home.
+
+The cache is intentionally tiny (a handful of traces dominate any grid)
+and evicts in insertion order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+#: Maximum cached traces per process; a sweep grid rarely touches more
+#: than a couple of distinct traces.
+MAX_ENTRIES = 16
+
+_CACHE: Dict[tuple, object] = {}
+_STATS = {"hits": 0, "misses": 0}
+
+
+_MISSING = object()
+
+
+def lookup(key: tuple):
+    """The cached object for ``key`` or None; counts a hit or a miss."""
+    value = _CACHE.get(key, _MISSING)
+    if value is _MISSING:
+        _STATS["misses"] += 1
+        return None
+    _STATS["hits"] += 1
+    return value
+
+
+def insert(key: tuple, value):
+    """Cache ``value`` under ``key`` (evicting oldest entries)."""
+    while len(_CACHE) >= MAX_ENTRIES:
+        _CACHE.pop(next(iter(_CACHE)))
+    _CACHE[key] = value
+    return value
+
+
+def memoized(key: tuple, build: Callable[[], object]):
+    """Return the cached object for ``key``, building it on first use."""
+    value = lookup(key)
+    if value is None:
+        value = insert(key, build())
+    return value
+
+
+def stats() -> Dict[str, int]:
+    """A snapshot of the process-wide hit/miss counters."""
+    return dict(_STATS)
+
+
+def delta(before: Dict[str, int]) -> Dict[str, int]:
+    """Counter movement since a :func:`stats` snapshot."""
+    return {k: _STATS[k] - before.get(k, 0) for k in _STATS}
+
+
+def clear() -> None:
+    """Drop all cached traces and reset the counters (tests, benches)."""
+    _CACHE.clear()
+    _STATS["hits"] = 0
+    _STATS["misses"] = 0
+
+
+def file_key(path) -> Tuple[str, int, int]:
+    """Cache key for an on-disk trace: absolute path + mtime + size, so
+    an edited file is always re-parsed."""
+    import os
+
+    st = os.stat(path)
+    return (os.path.abspath(path), st.st_mtime_ns, st.st_size)
