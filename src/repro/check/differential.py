@@ -542,11 +542,124 @@ def diff_tensor(perturb: bool = False) -> CheckReport:
 
 
 # ----------------------------------------------------------------------
+# Serve crash/resume vs. uninterrupted run
+# ----------------------------------------------------------------------
+
+#: Report index the crashing serve run dies at — past the drift slot
+#: (72), so the checkpoint carries a hot accuracy window, a refit model,
+#: and (typically) trigger state, the hardest state to reconstruct.
+SERVE_RESUME_KILL_AFTER = 90
+
+
+def diff_serve_resume(perturb: bool = False) -> CheckReport:
+    """Crash a checkpointing serve run mid-stream, resume it, and compare
+    against one uninterrupted run of the identical scenario.
+
+    Convergence contract: the resumed run must finish with the same
+    summary counters (intervals, violations, moves, trigger activity,
+    final machine count) and the same chronicle projection — ``(kind,
+    time)`` rows, ``service.*`` markers excluded — as if the crash never
+    happened.  Equal interval counts plus an identical projection also
+    rule out double-closed intervals: a re-closed slot would show up as
+    extra interval records on both axes.  ``perturb`` corrupts one
+    projection row to prove the comparison has teeth.
+    """
+    import tempfile
+
+    from ..experiments.serve import (
+        SERVE_SEED,
+        SERVE_TRIGGER,
+        chronicle_projection,
+        run_resume_scenario,
+        run_scenario,
+    )
+
+    baseline_summary, baseline_chronicle = run_scenario(
+        SERVE_SEED, SERVE_TRIGGER
+    )
+    with tempfile.TemporaryDirectory(prefix="pstore-serve-resume-") as tmp:
+        killed, resumed, merged = run_resume_scenario(
+            SERVE_SEED,
+            SERVE_TRIGGER,
+            checkpoint_dir=tmp,
+            kill_after=SERVE_RESUME_KILL_AFTER,
+        )
+
+    checks: List[DiffCheck] = []
+    _record(
+        checks,
+        "serve-resume.crash-was-partial",
+        0.0 if killed["intervals"] < baseline_summary["intervals"] else 1.0,
+        0.0,
+        f"killed at {killed['intervals']} of "
+        f"{baseline_summary['intervals']} intervals",
+    )
+    _record(
+        checks,
+        "serve-resume.resumed-from-checkpoint",
+        0.0 if resumed.get("resumed") else 1.0,
+        0.0,
+        f"checkpoint saves: {resumed.get('checkpoint_saves')}",
+    )
+    for field in (
+        "intervals",
+        "violations",
+        "moves_started",
+        "emergencies",
+        "trigger_fires",
+        "trigger_recoveries",
+        "steady_machines",
+    ):
+        _record(
+            checks,
+            f"serve-resume.{field}",
+            float(abs(resumed[field] - baseline_summary[field])),
+            0.0,
+            f"baseline={baseline_summary[field]} resumed={resumed[field]}",
+        )
+    _record(
+        checks,
+        "serve-resume.mode",
+        0.0 if resumed["mode"] == baseline_summary["mode"] else 1.0,
+        0.0,
+        f"baseline={baseline_summary['mode']} resumed={resumed['mode']}",
+    )
+    base_proj = chronicle_projection(baseline_chronicle)
+    merged_proj = chronicle_projection(merged)
+    if perturb and merged_proj:
+        merged_proj[-1] = ("__perturbed__", -1.0)
+    mismatches = sum(
+        1 for a, b in zip(base_proj, merged_proj) if a != b
+    ) + abs(len(base_proj) - len(merged_proj))
+    _record(
+        checks,
+        "serve-resume.chronicle-projection",
+        float(mismatches),
+        0.0,
+        f"{len(base_proj)} baseline vs {len(merged_proj)} merged records",
+    )
+    _record(
+        checks,
+        "serve-resume.no-duplicate-reports-counted",
+        0.0 if resumed["reports"] == baseline_summary["reports"] else 1.0,
+        0.0,
+        f"baseline={baseline_summary['reports']} resumed={resumed['reports']} "
+        f"(duplicates suppressed: {resumed['duplicate_reports']})",
+    )
+    return CheckReport(checks)
+
+
+# ----------------------------------------------------------------------
 # Suite
 # ----------------------------------------------------------------------
 
-SUITES = ("fast-path", "engines", "migration", "tensor")
-INJECTIONS = ("drop-bucket", "perturb-fast-path", "perturb-tensor")
+SUITES = ("fast-path", "engines", "migration", "tensor", "serve-resume")
+INJECTIONS = (
+    "drop-bucket",
+    "perturb-fast-path",
+    "perturb-tensor",
+    "perturb-serve-resume",
+)
 
 
 def run_suite(
@@ -577,4 +690,8 @@ def run_suite(
         )
     if "tensor" in suites:
         report.extend(diff_tensor(perturb=inject == "perturb-tensor"))
+    if "serve-resume" in suites:
+        report.extend(
+            diff_serve_resume(perturb=inject == "perturb-serve-resume")
+        )
     return report

@@ -245,7 +245,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--suite", action="append",
-        choices=("fast-path", "engines", "migration", "tensor"),
+        choices=("fast-path", "engines", "migration", "tensor",
+                 "serve-resume"),
         default=None, metavar="NAME",
         help="differential suite(s) to run (repeatable; default: all)",
     )
@@ -259,7 +260,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--inject",
-        choices=("drop-bucket", "perturb-fast-path", "perturb-tensor"),
+        choices=("drop-bucket", "perturb-fast-path", "perturb-tensor",
+                 "perturb-serve-resume"),
         default=None,
         help="deliberately corrupt one path to verify the harness "
         "catches it (the command must then exit nonzero)",
@@ -344,6 +346,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--status-every", type=int, default=12,
         help="print a dashboard line every N closed intervals "
         "(0 = never)",
+    )
+    srv.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="persist full plane state to DIR after every closed "
+        "interval (atomic snapshot + incremental chronicle log)",
+    )
+    srv.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="restore mid-stream state from DIR before serving "
+        "(implies --checkpoint DIR)",
+    )
+    srv.add_argument(
+        "--node-timeout", type=int, default=12, metavar="N",
+        help="evict a reporting node once its clock trails the fastest "
+        "node by more than N intervals, so one dead node cannot freeze "
+        "the watermark (0 = never evict; default: 12)",
+    )
+    srv.add_argument(
+        "--ingest-token", default=None, metavar="TOKEN",
+        help="shared secret a tcp:<port> feeder must send as its first "
+        "line (default: no auth)",
+    )
+    srv.add_argument(
+        "--ingest-queue", type=int, default=1024, metavar="N",
+        help="bounded tcp ingest queue; full = per-connection "
+        "backpressure (default: 1024)",
+    )
+    srv.add_argument(
+        "--ingest-max-line", type=int, default=65536, metavar="BYTES",
+        help="tcp report lines longer than this close the connection "
+        "(default: 65536)",
+    )
+    srv.add_argument(
+        "--ingest-max-rate", type=float, default=0.0, metavar="RPS",
+        help="per-connection tcp report rate cap, reports/second "
+        "(0 = unlimited; default: 0)",
     )
 
     cache = sub.add_parser(
@@ -835,8 +873,17 @@ def _cmd_serve(args) -> int:
             trigger.clauses, tau=1, min_pairs=args.trigger_min_pairs
         )
 
-    source = source_from_spec(args.source, trace=trace, speed=args.speed)
+    source = source_from_spec(
+        args.source,
+        trace=trace,
+        speed=args.speed,
+        auth_token=args.ingest_token,
+        queue_size=args.ingest_queue,
+        max_line_bytes=args.ingest_max_line,
+        max_report_rate=args.ingest_max_rate,
+    )
     out = None if args.out in (None, "", "none") else args.out
+    checkpoint_dir = args.resume if args.resume is not None else args.checkpoint
     options = ServeOptions(
         speed=args.speed,
         http_port=args.http_port,
@@ -845,6 +892,9 @@ def _cmd_serve(args) -> int:
         max_machines=args.max_machines,
         status_every=args.status_every,
         quiet=args.quiet,
+        checkpoint_dir=checkpoint_dir,
+        resume=args.resume is not None,
+        node_timeout=args.node_timeout,
     )
     plane = ControlPlane(
         config, predictor, source, trigger=trigger, options=options

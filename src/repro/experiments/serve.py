@@ -143,6 +143,154 @@ def run_scenario(
     return summary, chronicle
 
 
+class _CrashingSource:
+    """Replays the trace but "crashes" after ``kill_after`` reports.
+
+    The crash is modelled as an immediate stop request followed by an
+    endless stall: the plane exits its loop without the source draining,
+    so ``finish()`` never runs and the last durable checkpoint — not a
+    graceful drain — is all a resumed plane gets.  That is exactly the
+    state a SIGKILL leaves behind (the post-stop rollback in ``_drain``
+    happens *after* the final checkpoint and is deliberately not
+    persisted).
+    """
+
+    def __init__(self, trace: LoadTrace, kill_after: int) -> None:
+        self.trace = trace
+        self.kill_after = kill_after
+        self.plane = None  # wired by the caller after plane construction
+
+    async def reports(self):
+        import asyncio
+
+        from ..serve import LoadReport
+
+        slot_seconds = self.trace.slot_seconds
+        for slot, count in enumerate(self.trace.values):
+            if slot >= self.kill_after:
+                self.plane.request_stop()
+                await asyncio.Event().wait()
+            yield LoadReport(
+                time=(slot + 0.5) * slot_seconds,
+                count=float(count),
+                node="replay",
+            )
+
+
+def run_resume_scenario(
+    seed: int,
+    trigger_text: Optional[str],
+    checkpoint_dir,
+    kill_after: int,
+    config=None,
+    n_days: int = SERVE_DAYS,
+):
+    """Kill a serve run mid-stream, resume it, return both runs' outputs.
+
+    Returns ``(killed_summary, resumed_summary, merged_chronicle)``: the
+    killed run checkpoints into ``checkpoint_dir`` and stops after
+    ``kill_after`` reports without draining; the resumed run restores
+    from the same directory and replays the *full* trace (duplicate
+    suppression drops everything the first run already ingested).
+    Compare against :func:`run_scenario` with identical arguments to
+    check crash/resume convergence.
+    """
+    import asyncio
+
+    from ..config import default_config
+    from ..prediction import SeasonalNaivePredictor
+    from ..prediction.online import OnlinePredictor
+    from ..serve import ControlPlane, ReplaySource, ServeOptions
+    from ..serve.controller import ErrorTrigger, parse_error_trigger
+    from ..telemetry import AccuracyTracker, MetricsRegistry, Telemetry
+    from ..telemetry.runtime import telemetry_scope
+
+    config = (config or default_config()).with_interval(SERVE_SLOT_SECONDS)
+    trace = drift_trace(seed=seed, n_days=n_days)
+
+    def make_trigger():
+        if not trigger_text:
+            return None
+        parsed = parse_error_trigger(trigger_text)
+        if parsed is None:
+            return None
+        return ErrorTrigger(parsed.clauses, tau=1, min_pairs=SERVE_MIN_PAIRS)
+
+    def make_predictor():
+        return OnlinePredictor(
+            SeasonalNaivePredictor(SERVE_SLOTS_PER_DAY),
+            refit_every=14 * SERVE_SLOTS_PER_DAY,
+            max_history=21 * SERVE_SLOTS_PER_DAY,
+        )
+
+    # Phase 1: run with checkpointing, crash mid-stream.
+    metrics = MetricsRegistry()
+    telemetry = Telemetry(
+        metrics=metrics,
+        accuracy=AccuracyTracker(metrics=metrics, window=SERVE_ACCURACY_WINDOW),
+    )
+    with telemetry_scope(telemetry):
+        source = _CrashingSource(trace, kill_after=kill_after)
+        plane = ControlPlane(
+            config,
+            make_predictor(),
+            source,
+            trigger=make_trigger(),
+            options=ServeOptions(
+                speed=0.0,
+                http_port=None,
+                out=None,
+                quiet=True,
+                checkpoint_dir=str(checkpoint_dir),
+            ),
+            telemetry=telemetry,
+        )
+        source.plane = plane
+        killed_summary = asyncio.run(plane.run())
+
+    # Phase 2: fresh process state, resume from the checkpoint, replay
+    # the full trace (the feeder has no idea where the plane died).
+    metrics = MetricsRegistry()
+    telemetry = Telemetry(
+        metrics=metrics,
+        accuracy=AccuracyTracker(metrics=metrics, window=SERVE_ACCURACY_WINDOW),
+    )
+    with telemetry_scope(telemetry):
+        plane = ControlPlane(
+            config,
+            make_predictor(),
+            ReplaySource(trace, speed=0.0),
+            trigger=make_trigger(),
+            options=ServeOptions(
+                speed=0.0,
+                http_port=None,
+                out=None,
+                quiet=True,
+                checkpoint_dir=str(checkpoint_dir),
+                resume=True,
+            ),
+            telemetry=telemetry,
+        )
+        resumed_summary = asyncio.run(plane.run())
+        merged_chronicle = telemetry.chronicle.snapshot()
+    return killed_summary, resumed_summary, merged_chronicle
+
+
+def chronicle_projection(records) -> List:
+    """The crash-invariant view of a chronicle: ``(kind, time)`` rows.
+
+    ``service.*`` records (the resume marker) exist only in resumed
+    runs, and record *ids* downstream of one are offset by its sequence
+    number, so convergence is asserted on this projection rather than on
+    raw records.
+    """
+    return [
+        (rec.get("kind"), rec.get("time"))
+        for rec in records
+        if not str(rec.get("kind", "")).startswith("service.")
+    ]
+
+
 def run_one(
     seed: int,
     trigger_text: Optional[str],

@@ -153,6 +153,37 @@ class LoadMonitor:
         """Aggregate rate (txn/s) of every *closed* interval."""
         return np.asarray(self._rates)
 
+    # ------------------------------------------------------------------
+    # Checkpointing (``pstore serve --resume``)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the windowing state."""
+        return {
+            "interval_seconds": self.interval_seconds,
+            "origin": self._origin,
+            "closed": self._closed,
+            "current_count": self._current_count,
+            "rates": list(self._rates),
+        }
+
+    def restore_state(self, doc: dict) -> None:
+        """Rebuild from :meth:`state_dict` output.
+
+        Restored intervals are *not* re-emitted through telemetry (no
+        duplicate ``interval`` events, no accuracy re-harvest); only
+        intervals closed after the restore produce new emissions.
+        """
+        if float(doc["interval_seconds"]) != self.interval_seconds:
+            raise SimulationError(
+                f"checkpointed interval {doc['interval_seconds']}s does not "
+                f"match the configured {self.interval_seconds}s"
+            )
+        self._origin = float(doc.get("origin", 0.0))
+        self._closed = int(doc["closed"])
+        self._current_count = float(doc.get("current_count", 0.0))
+        self._rates = [float(v) for v in doc.get("rates", [])]
+
     def current_rate_estimate(self, now: float) -> float:
         """Rate of the open interval so far (0 if it just opened).
 

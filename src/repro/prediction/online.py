@@ -65,6 +65,11 @@ class OnlinePredictor(Predictor):
         self._history: List[float] = []
         self._since_fit = 0
         self.fit_count = 0
+        #: Exact series the base model was last fitted on.  Checkpoint
+        #: restore refits on this snapshot (fits are deterministic), so a
+        #: resumed controller carries the *same* model the crashed one
+        #: had — not a fresher one fitted on the longer current history.
+        self._fit_window: Optional[List[float]] = None
 
     # ------------------------------------------------------------------
     # Observation stream
@@ -83,6 +88,7 @@ class OnlinePredictor(Predictor):
         ) or (self.base.is_fitted and self._since_fit >= self.refit_every)
         if due and len(self._history) >= self.min_training:
             self.base.fit(self._history)
+            self._fit_window = list(self._history)
             self._fitted = True
             self._since_fit = 0
             self.fit_count += 1
@@ -107,6 +113,7 @@ class OnlinePredictor(Predictor):
         if len(self._history) < self.min_training:
             return False
         self.base.fit(self._history)
+        self._fit_window = list(self._history)
         self._fitted = True
         self._since_fit = 0
         self.fit_count += 1
@@ -135,10 +142,56 @@ class OnlinePredictor(Predictor):
         arr = as_series(series)
         self._history = [float(v) for v in arr]
         self.base.fit(self._history)
+        self._fit_window = list(self._history)
         self._fitted = True
         self._since_fit = 0
         self.fit_count += 1
         return self
+
+    # ------------------------------------------------------------------
+    # Checkpointing (``pstore serve --resume``)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of the learner's stream state."""
+        return {
+            "base_type": type(self.base).__name__,
+            "history": list(self._history),
+            "fit_window": (
+                list(self._fit_window) if self._fit_window is not None else None
+            ),
+            "since_fit": self._since_fit,
+            "fit_count": self.fit_count,
+            "fitted": bool(self.base.is_fitted),
+        }
+
+    def restore_state(self, doc: dict) -> None:
+        """Rebuild from :meth:`state_dict` output.
+
+        The wrapped base model must be of the same type (an unfitted
+        fresh instance is fine); its fitted parameters are reconstructed
+        by refitting on the checkpointed fit window, which is exact
+        because every fit in this package is deterministic.
+        """
+        want = doc.get("base_type")
+        have = type(self.base).__name__
+        if want is not None and want != have:
+            raise PredictionError(
+                f"checkpoint was taken with base predictor {want}, "
+                f"cannot restore into {have}"
+            )
+        self._history = [float(v) for v in doc.get("history", [])]
+        fit_window = doc.get("fit_window")
+        self._fit_window = (
+            [float(v) for v in fit_window] if fit_window is not None else None
+        )
+        self._since_fit = int(doc.get("since_fit", 0))
+        self.fit_count = int(doc.get("fit_count", 0))
+        if doc.get("fitted") and self._fit_window is not None:
+            self.base.fit(self._fit_window)
+            self._fitted = True
+        else:
+            self._fitted = False
 
     def predict_horizon(
         self, history: Sequence[float], horizon: int

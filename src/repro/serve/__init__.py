@@ -19,6 +19,10 @@ architecture:
   falls back to reactive provisioning until the refit model recovers;
 * :mod:`repro.serve.server` — a zero-dependency asyncio HTTP endpoint
   (``/status``, ``/metrics``, ``/chronicle/tail``, ``/plan``);
+* :mod:`repro.serve.persist` — crash-safe checkpointing: atomic
+  snapshot + incremental chronicle log, restored by ``--resume`` so a
+  SIGKILL'd plane reconstructs mid-stream without double-closing
+  intervals;
 * :mod:`repro.serve.plane` — the event loop tying them together, with
   graceful SIGINT draining that flushes the full 5-artifact
   ``export_run`` so a killed service still yields an ``explain``-able
@@ -33,13 +37,17 @@ from .ingest import (
     LoadReport,
     JsonLinesSource,
     ReplaySource,
+    TcpSource,
     parse_report_line,
     source_from_spec,
 )
+from .persist import CHECKPOINT_SCHEMA, CheckpointStore
 from .plane import ControlPlane, ServeOptions
 from .server import ControlPlaneServer
 
 __all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointStore",
     "ControlPlane",
     "ControlPlaneServer",
     "Depository",
@@ -49,6 +57,7 @@ __all__ = [
     "OnlineController",
     "ReplaySource",
     "ServeOptions",
+    "TcpSource",
     "parse_error_trigger",
     "parse_report_line",
     "source_from_spec",

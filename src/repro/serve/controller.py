@@ -179,6 +179,11 @@ class OnlineController:
         self._move_before = initial_machines
         self._move_target = initial_machines
         self._move_started = 0.0
+        self._move_rate_kbps = 0.0
+        #: Half-slot ``advance`` calls applied to the in-flight migration
+        #: so far; checkpoint restore replays exactly this many to land
+        #: the fluid fractions on the same float trajectory.
+        self._move_half_steps = 0
         self._fa_record_id: Optional[str] = None
 
         self.violations = 0
@@ -288,6 +293,7 @@ class OnlineController:
         largest = float(self._migration.data_fractions().max())
         eff_qhat = config.q_hat / largest
         self._migration.advance(slot_seconds / 2.0)
+        self._move_half_steps += 2
         if self._migration.done:
             tel = self._telemetry
             if tel.enabled:
@@ -479,6 +485,8 @@ class OnlineController:
         self._move_before = self.machines
         self._move_target = target
         self._move_started = now
+        self._move_rate_kbps = config.migration_rate_kbps * decision.rate_multiplier
+        self._move_half_steps = 0
         self.moves_started += 1
         self.last_decision_reason = decision.reason
         if decision.emergency:
@@ -511,6 +519,112 @@ class OnlineController:
             tel.metrics.counter("serve.moves_started").inc()
         if self._strategy is not None:
             self._strategy.notify_move_started(target)
+
+    # ------------------------------------------------------------------
+    # Checkpointing (``pstore serve --resume``)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of all mutable controller state.
+
+        The in-flight migration is stored as its *inputs* (endpoints,
+        rate, applied half-steps) rather than its float fractions:
+        :meth:`restore_state` rebuilds the schedule and replays the same
+        half-slot ``advance`` sequence, which reproduces the fluid
+        trajectory bit-exactly because round commits rebuild from
+        snapshots (see :class:`~repro.squall.migrator.ActiveMigration`).
+        """
+        strategy_doc = None
+        if self._strategy is not None:
+            inner = self._strategy.controller
+            strategy_doc = {
+                "scale_in_streak": inner._scale_in_streak,
+                "last_snapshot_id": inner._last_snapshot_id,
+            }
+        migration_doc = None
+        if self._migration is not None:
+            migration_doc = {
+                "before": self._move_before,
+                "target": self._move_target,
+                "started": self._move_started,
+                "rate_kbps": self._move_rate_kbps,
+                "half_steps": self._move_half_steps,
+                "move_rec_id": self._move_rec_id,
+            }
+        return {
+            "machines": self.machines,
+            "mode": self.mode,
+            "violations": self.violations,
+            "moves_started": self.moves_started,
+            "emergencies": self.emergencies,
+            "trigger_fires": self.trigger_fires,
+            "trigger_recoveries": self.trigger_recoveries,
+            "intervals_seen": self.intervals_seen,
+            "last_decision_reason": self.last_decision_reason,
+            "fa_record_id": self._fa_record_id,
+            "reactive_below_streak": self._reactive._below_streak,
+            "strategy": strategy_doc,
+            "migration": migration_doc,
+        }
+
+    def restore_state(self, doc: dict) -> None:
+        """Rebuild from :meth:`state_dict` output.
+
+        The predictor must already be restored (the plane restores it
+        first), so the predictive strategy can be re-created here when
+        the checkpointed mode needs one.
+        """
+        self.machines = int(doc["machines"])
+        self.mode = str(doc.get("mode", "warmup"))
+        self.violations = int(doc.get("violations", 0))
+        self.moves_started = int(doc.get("moves_started", 0))
+        self.emergencies = int(doc.get("emergencies", 0))
+        self.trigger_fires = int(doc.get("trigger_fires", 0))
+        self.trigger_recoveries = int(doc.get("trigger_recoveries", 0))
+        self.intervals_seen = int(doc.get("intervals_seen", 0))
+        self.last_decision_reason = str(doc.get("last_decision_reason", ""))
+        self._fa_record_id = doc.get("fa_record_id")
+        self._reactive.reset(self.machines)
+        self._reactive._below_streak = int(doc.get("reactive_below_streak", 0))
+        self._ensure_strategy()
+        migration_doc = doc.get("migration")
+        if migration_doc is not None:
+            config = self.config
+            self._move_before = int(migration_doc["before"])
+            self._move_target = int(migration_doc["target"])
+            self._move_started = float(migration_doc["started"])
+            self._move_rate_kbps = float(migration_doc["rate_kbps"])
+            self._move_rec_id = migration_doc.get("move_rec_id")
+            schedule = build_migration_schedule(
+                self._move_before, self._move_target
+            )
+            self._migration = ActiveMigration(
+                schedule=schedule,
+                database_kb=config.database_kb,
+                rate_kbps=self._move_rate_kbps,
+                partitions_per_node=config.partitions_per_node,
+            )
+            half = config.interval_seconds / 2.0
+            steps = int(migration_doc.get("half_steps", 0))
+            for _ in range(steps):
+                self._migration.advance(half)
+            self._move_half_steps = steps
+            if self._strategy is not None:
+                self._strategy.notify_move_started(self._move_target)
+            self._reactive.notify_move_started(self._move_target)
+        # Strategy counters go last: the move-started notification above
+        # zeroes the scale-in streak, and the checkpointed values are the
+        # post-notification ones.
+        strategy_doc = doc.get("strategy")
+        if strategy_doc is not None:
+            if self._strategy is None:
+                raise SimulationError(
+                    "checkpoint carries predictive-strategy state but the "
+                    "restored predictor is not fitted"
+                )
+            inner = self._strategy.controller
+            inner._scale_in_streak = int(strategy_doc.get("scale_in_streak", 0))
+            inner._last_snapshot_id = strategy_doc.get("last_snapshot_id")
 
     # ------------------------------------------------------------------
     # Shutdown

@@ -10,13 +10,24 @@ straggling reports.
 
 Reports that arrive for a slot already released are counted as late and
 dropped (the alternative, revising closed intervals, would re-open
-forecasts the accuracy tracker has already scored).
+forecasts the accuracy tracker has already scored).  A late report still
+*advances its node's clock*: the node is alive and has seen that
+timestamp, so holding its clock back would drag the watermark — and with
+it the whole plane — behind a node that is actually current.
+
+Watermark liveness: because the watermark is the *minimum* clock, one
+node that stops reporting freezes interval-closing forever.  With
+``node_timeout_intervals`` set, a node whose clock falls more than that
+many intervals behind the fastest node is evicted from the clock map
+(chronicled as ``node.stale``, parented on its last report); if it
+reports again later it re-enters the map (``node.recovered``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..errors import SimulationError
 from ..hstore.monitor import LoadMonitor
 from ..telemetry import get_telemetry
 from .ingest import LoadReport
@@ -30,7 +41,10 @@ class Depository:
         interval_seconds: float,
         monitor: Optional[LoadMonitor] = None,
         telemetry=None,
+        node_timeout_intervals: int = 0,
     ) -> None:
+        if node_timeout_intervals < 0:
+            raise SimulationError("node_timeout_intervals must be >= 0")
         self._telemetry = telemetry if telemetry is not None else get_telemetry()
         self.monitor = (
             monitor
@@ -38,11 +52,23 @@ class Depository:
             else LoadMonitor(interval_seconds, telemetry=self._telemetry)
         )
         self._interval = float(interval_seconds)
+        #: 0 disables liveness eviction (a frozen watermark is then
+        #: possible — the historical behaviour).
+        self.node_timeout_intervals = int(node_timeout_intervals)
         self._buffer: Dict[int, float] = {}
         self._clocks: Dict[str, float] = {}
+        #: node -> id of its ``node.stale`` chronicle record, kept so a
+        #: re-appearing node's ``node.recovered`` can parent on it.
+        self._evicted: Dict[str, Optional[str]] = {}
+        #: node -> highest timestamp already ingested before a resume;
+        #: replayed reports at or below it are duplicates, not data.
+        self._resume_clocks: Dict[str, float] = {}
         self._released = 0          # slots already fed to the monitor
         self.reports_ingested = 0
         self.late_reports = 0
+        self.duplicate_reports = 0
+        self.evictions = 0
+        self.late_by_node: Dict[str, int] = {}
 
     @property
     def watermark(self) -> float:
@@ -55,17 +81,73 @@ class Depository:
 
     def add(self, report: LoadReport) -> None:
         """Buffer one report; intervals close later, at :meth:`flush`."""
-        slot = int(report.time // self._interval)
-        if slot < self._released:
-            self.late_reports += 1
-            tel = self._telemetry
+        tel = self._telemetry
+        time = float(report.time)
+        node = report.node
+        if time <= self._resume_clocks.get(node, -1.0):
+            # Replay source re-sent a report the pre-crash run already
+            # ingested (its count is inside the checkpointed buffer or a
+            # closed interval); counting it again would double the load.
+            self.duplicate_reports += 1
             if tel.enabled:
-                tel.metrics.counter("serve.reports_late").inc()
+                tel.metrics.counter("serve.reports_duplicate").inc()
             return
-        self._buffer[slot] = self._buffer.get(slot, 0.0) + report.count
-        previous = self._clocks.get(report.node, 0.0)
-        self._clocks[report.node] = max(previous, float(report.time))
-        self.reports_ingested += 1
+        slot = int(time // self._interval)
+        late = slot < self._released
+        if late:
+            self.late_reports += 1
+            self.late_by_node[node] = self.late_by_node.get(node, 0) + 1
+            if tel.enabled:
+                tel.metrics.counter("serve.reports_late", node=node).inc()
+        else:
+            self._buffer[slot] = self._buffer.get(slot, 0.0) + report.count
+            self.reports_ingested += 1
+        # Clock advance happens for late reports too (see module doc),
+        # and marks an evicted node as recovered.
+        previous = self._clocks.get(node)
+        if previous is None and node in self._evicted:
+            stale_id = self._evicted.pop(node)
+            if tel.enabled:
+                tel.chronicle.record(
+                    "node.recovered", time=time, parent=stale_id, node=node,
+                )
+        self._clocks[node] = max(previous or 0.0, time)
+        self._evict_stale()
+
+    def _evict_stale(self) -> None:
+        """Drop nodes whose clock trails the leader by > the timeout."""
+        if self.node_timeout_intervals <= 0 or len(self._clocks) < 2:
+            return
+        horizon = (
+            max(self._clocks.values())
+            - self.node_timeout_intervals * self._interval
+        )
+        stale = [n for n, clock in self._clocks.items() if clock < horizon]
+        tel = self._telemetry
+        for node in stale:
+            last_clock = self._clocks.pop(node)
+            self.evictions += 1
+            stale_id = None
+            if tel.enabled:
+                # Reconstruct the node's final report as a chronicle
+                # record so ``node.stale`` has a causal parent even
+                # though individual reports are normally not chronicled.
+                last_report = tel.chronicle.record(
+                    "node.report", time=last_clock, node=node,
+                )
+                stale_rec = tel.chronicle.record(
+                    "node.stale",
+                    time=last_clock,
+                    parent=last_report,
+                    node=node,
+                    behind_intervals=self.node_timeout_intervals,
+                )
+                stale_id = stale_rec.get("id")
+                tel.metrics.counter("serve.nodes_evicted").inc()
+                tel.events.emit(
+                    "node.stale", time=last_clock, node=node,
+                )
+            self._evicted[node] = stale_id
 
     def flush(self) -> int:
         """Release every slot the watermark has passed; returns how many
@@ -99,3 +181,58 @@ class Depository:
         closed += self.monitor.record((last + 1) * self._interval, 0.0)
         self._released = last + 1
         return closed
+
+    # ------------------------------------------------------------------
+    # Checkpointing (``pstore serve --resume``)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of buffer, clocks, and counters."""
+        return {
+            "interval_seconds": self._interval,
+            "buffer": [
+                [slot, count] for slot, count in sorted(self._buffer.items())
+            ],
+            "clocks": dict(self._clocks),
+            "evicted": dict(self._evicted),
+            "released": self._released,
+            "reports_ingested": self.reports_ingested,
+            "late_reports": self.late_reports,
+            "duplicate_reports": self.duplicate_reports,
+            "evictions": self.evictions,
+            "late_by_node": dict(self.late_by_node),
+        }
+
+    def restore_state(self, doc: dict) -> None:
+        """Rebuild from :meth:`state_dict` output.
+
+        Also arms duplicate suppression: every node's checkpointed clock
+        becomes its *resume clock*, and replayed reports at or below it
+        are dropped as duplicates (reports are assumed monotone per
+        node, which every source in this package satisfies).
+        """
+        if float(doc["interval_seconds"]) != self._interval:
+            raise SimulationError(
+                f"checkpointed interval {doc['interval_seconds']}s does not "
+                f"match the configured {self._interval}s"
+            )
+        self._buffer = {
+            int(slot): float(count) for slot, count in doc.get("buffer", [])
+        }
+        self._clocks = {
+            str(node): float(clock)
+            for node, clock in doc.get("clocks", {}).items()
+        }
+        self._evicted = {
+            str(node): rec_id for node, rec_id in doc.get("evicted", {}).items()
+        }
+        self._released = int(doc["released"])
+        self.reports_ingested = int(doc.get("reports_ingested", 0))
+        self.late_reports = int(doc.get("late_reports", 0))
+        self.duplicate_reports = int(doc.get("duplicate_reports", 0))
+        self.evictions = int(doc.get("evictions", 0))
+        self.late_by_node = {
+            str(node): int(count)
+            for node, count in doc.get("late_by_node", {}).items()
+        }
+        self._resume_clocks = dict(self._clocks)

@@ -89,9 +89,18 @@ class ReplaySource:
 
     async def reports(self) -> AsyncIterator[LoadReport]:
         slot_seconds = self.trace.slot_seconds
+        loop = asyncio.get_running_loop()
+        # Pacing is anchored to absolute deadlines from the loop clock:
+        # sleeping a fixed per-slot quantum instead would add the
+        # consumer's processing time to every slot, drifting the replay
+        # late by the *cumulative* processing cost on long runs.
+        origin = loop.time() if self.speed > 0 else 0.0
         for slot, count in enumerate(self.trace.values):
             if self.speed > 0:
-                await asyncio.sleep(slot_seconds / self.speed)
+                deadline = origin + (slot + 1) * slot_seconds / self.speed
+                delay = deadline - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
             yield LoadReport(
                 time=(slot + 0.5) * slot_seconds,
                 count=float(count),
@@ -150,7 +159,10 @@ async def stdin_source() -> JsonLinesSource:
     """A :class:`JsonLinesSource` over this process's stdin."""
     import sys
 
-    loop = asyncio.get_event_loop()
+    # get_event_loop() inside a coroutine is deprecated (and an error on
+    # new interpreters when no loop is set); the running loop is the one
+    # the pipe must bind to anyway.
+    loop = asyncio.get_running_loop()
     reader = asyncio.StreamReader()
     protocol = asyncio.StreamReaderProtocol(reader)
     await loop.connect_read_pipe(lambda: protocol, sys.stdin)
@@ -158,45 +170,165 @@ async def stdin_source() -> JsonLinesSource:
 
 
 class TcpSource:
-    """Accepts newline-JSON report connections and merges their streams."""
+    """Accepts newline-JSON report connections and merges their streams.
 
-    def __init__(self, port: int, host: str = "127.0.0.1") -> None:
+    Hardened against misbehaving feeders:
+
+    * the merge queue is **bounded** (``queue_size``): when it fills, the
+      per-connection handler blocks on ``put`` and *stops reading its
+      socket*, so TCP flow control pushes back on the feeder instead of
+      the plane buffering unboundedly (``serve.ingest_backpressure``
+      counts the stalls);
+    * an optional shared ``auth_token`` must arrive as the first line of
+      every connection; mismatches close the connection
+      (``serve.ingest_auth_failed``);
+    * lines longer than ``max_line_bytes`` close the offending
+      connection (``serve.ingest_overlong``) — one hostile feeder cannot
+      balloon reader buffers;
+    * ``max_report_rate`` (reports/second per connection, 0 = off)
+      throttles a flooding feeder by sleeping the handler
+      (``serve.ingest_throttled``).
+
+    ``close()`` terminates cleanly: the listener stops, every live
+    handler task is cancelled and awaited, and a ``None`` sentinel is
+    enqueued so :meth:`reports` ends instead of blocking on ``get()``
+    forever.
+    """
+
+    def __init__(
+        self,
+        port: int,
+        host: str = "127.0.0.1",
+        auth_token: Optional[str] = None,
+        queue_size: int = 1024,
+        max_line_bytes: int = 65536,
+        max_report_rate: float = 0.0,
+    ) -> None:
+        if queue_size < 1:
+            raise SimulationError("tcp queue_size must be >= 1")
+        if max_line_bytes < 64:
+            raise SimulationError("tcp max_line_bytes must be >= 64")
+        if max_report_rate < 0:
+            raise SimulationError("tcp max_report_rate must be >= 0")
         self.port = port
         self.host = host
-        self._queue: "asyncio.Queue[Optional[LoadReport]]" = asyncio.Queue()
+        self.auth_token = auth_token
+        self.queue_size = queue_size
+        self.max_line_bytes = max_line_bytes
+        self.max_report_rate = max_report_rate
+        self._queue: "asyncio.Queue[Optional[LoadReport]]" = asyncio.Queue(
+            maxsize=queue_size
+        )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._handlers: set = set()
+        self._closed = False
         self.rejected = 0
+        self.auth_failures = 0
+        self.overlong_lines = 0
+        self.backpressure_hits = 0
+        self.throttled = 0
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
-            self._handle, self.host, self.port
+            self._handle, self.host, self.port, limit=self.max_line_bytes
         )
 
     async def close(self) -> None:
+        """Stop accepting, drain handler tasks, terminate the iterator."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+            self._handlers.clear()
+        if not self._closed:
+            self._closed = True
+            # The sentinel must land even when the bounded queue is full;
+            # at shutdown, dropping one undelivered report beats hanging
+            # the consumer forever.
+            try:
+                self._queue.put_nowait(None)
+            except asyncio.QueueFull:
+                self._queue.get_nowait()
+                self._queue.put_nowait(None)
+
+    async def _authenticate(self, reader, tel) -> bool:
+        line = await reader.readline()
+        if line.decode("utf-8", "replace").strip() == self.auth_token:
+            return True
+        self.auth_failures += 1
+        if tel.enabled:
+            tel.metrics.counter("serve.ingest_auth_failed").inc()
+        return False
 
     async def _handle(self, reader, writer) -> None:
         tel = get_telemetry()
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        loop = asyncio.get_running_loop()
+        budget = 1.0
+        last = loop.time()
         try:
+            if self.auth_token is not None:
+                if not await self._authenticate(reader, tel):
+                    return
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line exceeded the StreamReader limit: the feeder is
+                    # misbehaving and resynchronising mid-line is
+                    # guesswork — drop the connection.
+                    self.overlong_lines += 1
+                    if tel.enabled:
+                        tel.metrics.counter("serve.ingest_overlong").inc()
+                    break
                 if not line:
                     break
+                if self.max_report_rate > 0:
+                    now = loop.time()
+                    budget = min(
+                        self.max_report_rate,
+                        budget + (now - last) * self.max_report_rate,
+                    )
+                    last = now
+                    if budget < 1.0:
+                        self.throttled += 1
+                        if tel.enabled:
+                            tel.metrics.counter("serve.ingest_throttled").inc()
+                        await asyncio.sleep(
+                            (1.0 - budget) / self.max_report_rate
+                        )
+                        last = loop.time()
+                    budget -= 1.0
                 report = parse_report_line(line.decode("utf-8", "replace"))
                 if report is None:
                     self.rejected += 1
                     if tel.enabled:
                         tel.metrics.counter("serve.reports_rejected").inc()
                     continue
+                if self._queue.full():
+                    self.backpressure_hits += 1
+                    if tel.enabled:
+                        tel.metrics.counter("serve.ingest_backpressure").inc()
                 await self._queue.put(report)
+        except asyncio.CancelledError:
+            pass  # close() is draining us
         finally:
-            writer.close()
+            if task is not None:
+                self._handlers.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
     async def reports(self) -> AsyncIterator[LoadReport]:
-        if self._server is None:
+        if self._server is None and not self._closed:
             await self.start()
         while True:
             report = await self._queue.get()
@@ -209,6 +341,10 @@ def source_from_spec(
     spec: str,
     trace: Optional[LoadTrace] = None,
     speed: float = 0.0,
+    auth_token: Optional[str] = None,
+    queue_size: int = 1024,
+    max_line_bytes: int = 65536,
+    max_report_rate: float = 0.0,
 ):
     """Build a source from the CLI ``--source`` grammar.
 
@@ -216,7 +352,9 @@ def source_from_spec(
       for symbolic names is resolved by the caller and passed in);
     * ``file:<path.jsonl>`` — newline-JSON report file;
     * ``stdin`` — newline-JSON on standard input;
-    * ``tcp:<port>`` — listen for newline-JSON connections.
+    * ``tcp:<port>`` — listen for newline-JSON connections (the
+      hardening knobs — token auth, bounded queue, line/rate caps —
+      apply only here).
     """
     kind, _, arg = spec.partition(":")
     if kind == "replay":
@@ -236,7 +374,13 @@ def source_from_spec(
             port = int(arg)
         except ValueError:
             raise SimulationError(f"bad tcp source port {arg!r}") from None
-        return TcpSource(port)
+        return TcpSource(
+            port,
+            auth_token=auth_token,
+            queue_size=queue_size,
+            max_line_bytes=max_line_bytes,
+            max_report_rate=max_report_rate,
+        )
     raise SimulationError(
         f"unknown source {spec!r} (want replay:<trace>|file:<path>|stdin|tcp:<port>)"
     )

@@ -18,6 +18,13 @@ any partially-applied migration round, the telemetry scope flushes
 open spans, and the full 5-artifact ``export_run`` is written — so a
 killed service still yields a run directory ``pstore explain`` can walk
 end-to-end.
+
+With ``checkpoint_dir`` set the plane additionally persists its *full*
+state (watermark, buffers, fitted predictor, accuracy windows, chronicle,
+migration position) after every batch of closed intervals; ``resume``
+reconstructs mid-stream from that directory, so even a SIGKILL — which
+never reaches the graceful drain — loses at most the open interval and
+never closes an interval twice.
 """
 
 from __future__ import annotations
@@ -29,10 +36,13 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..config import PStoreConfig
+from ..errors import SimulationError
+from ..prediction.online import OnlinePredictor
 from ..telemetry import export_run, get_telemetry
 from .controller import ErrorTrigger, OnlineController
 from .depository import Depository
 from .ingest import stdin_source
+from .persist import CheckpointStore
 from .server import ControlPlaneServer
 
 
@@ -47,6 +57,16 @@ class ServeOptions:
     max_machines: Optional[int] = None
     status_every: int = 12           # dashboard line cadence, in intervals
     quiet: bool = False
+    #: Directory to checkpoint into after every closed interval (None
+    #: disables persistence entirely).
+    checkpoint_dir: Optional[str] = None
+    #: Restore from ``checkpoint_dir`` before serving (also keeps
+    #: checkpointing there).
+    resume: bool = False
+    #: Evict nodes whose clock trails the fastest node by more than this
+    #: many intervals, so one dead node can't freeze the watermark
+    #: (0 = never evict).
+    node_timeout: int = 0
     extra: dict = field(default_factory=dict)
 
 
@@ -68,7 +88,9 @@ class ControlPlane:
         self._telemetry = telemetry if telemetry is not None else get_telemetry()
         self.source = source
         self.depository = Depository(
-            config.interval_seconds, telemetry=self._telemetry
+            config.interval_seconds,
+            telemetry=self._telemetry,
+            node_timeout_intervals=self.options.node_timeout,
         )
         self.controller = OnlineController(
             config,
@@ -78,6 +100,19 @@ class ControlPlane:
             trigger=trigger,
             telemetry=self._telemetry,
         )
+        self.checkpoints: Optional[CheckpointStore] = None
+        if self.options.checkpoint_dir is not None:
+            self.checkpoints = CheckpointStore(self.options.checkpoint_dir)
+        self._stop: Optional[asyncio.Event] = None
+        self._processed = 0
+        self.stopped_by_signal = False
+        self.resumed = False
+        if self.options.resume:
+            if self.checkpoints is None:
+                raise SimulationError(
+                    "resume requested without a checkpoint directory"
+                )
+            self._restore()
         self.server: Optional[ControlPlaneServer] = None
         if self.options.http_port is not None:
             self.server = ControlPlaneServer(
@@ -85,10 +120,10 @@ class ControlPlane:
                 self.plan_view,
                 port=self.options.http_port,
                 telemetry=self._telemetry,
+                checkpoint_fn=(
+                    self.checkpoint if self.checkpoints is not None else None
+                ),
             )
-        self._stop: Optional[asyncio.Event] = None
-        self._processed = 0
-        self.stopped_by_signal = False
 
     # ------------------------------------------------------------------
     # Introspection (shared with the HTTP server)
@@ -105,8 +140,14 @@ class ControlPlane:
             watermark=self.depository.watermark,
             reports=self.depository.reports_ingested,
             late_reports=self.depository.late_reports,
+            duplicate_reports=self.depository.duplicate_reports,
             reporting_nodes=self.depository.nodes,
+            evicted_nodes=self.depository.evictions,
             interval_seconds=self.config.interval_seconds,
+            resumed=self.resumed,
+            checkpoint_saves=(
+                self.checkpoints.saves if self.checkpoints is not None else 0
+            ),
         )
         return doc
 
@@ -144,6 +185,91 @@ class ControlPlane:
             f"viol={doc['violations']} moves={doc['moves_started']} "
             f"trigger={doc['trigger_fires']}"
         )
+
+    # ------------------------------------------------------------------
+    # Checkpointing (``pstore serve --checkpoint / --resume``)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Persist the full plane state; returns a small receipt dict.
+
+        Called automatically after every batch of closed intervals, and
+        on demand through the HTTP ``/checkpoint`` route.
+        """
+        store = self.checkpoints
+        if store is None:
+            raise SimulationError(
+                "checkpointing is not enabled (set checkpoint_dir)"
+            )
+        tel = self._telemetry
+        predictor = self.controller.predictor
+        state = {
+            "interval_seconds": self.config.interval_seconds,
+            "processed": self._processed,
+            "chronicle_seq": tel.chronicle.seq if tel.enabled else 0,
+            "monitor": self.depository.monitor.state_dict(),
+            "depository": self.depository.state_dict(),
+            "predictor": (
+                predictor.state_dict()
+                if isinstance(predictor, OnlinePredictor)
+                else None
+            ),
+            "accuracy": tel.accuracy.state_dict(),
+            "controller": self.controller.state_dict(),
+        }
+        records = list(tel.chronicle.records) if tel.enabled else []
+        store.save(state, records)
+        return {
+            "saved": True,
+            "directory": str(store.directory),
+            "intervals": self._processed,
+            "saves": store.saves,
+        }
+
+    def _restore(self) -> None:
+        """Reconstruct mid-stream state from the checkpoint directory.
+
+        Restore order matters: the chronicle first (so every other
+        component's restored record IDs resolve), then the accuracy
+        windows and predictor (the controller's strategy needs a fitted
+        model), then the depository/monitor, then the controller (which
+        replays any in-flight migration), and finally the dispatch
+        cursor.
+        """
+        doc, records = self.checkpoints.load()
+        if float(doc["interval_seconds"]) != self.config.interval_seconds:
+            raise SimulationError(
+                f"checkpointed interval {doc['interval_seconds']}s does not "
+                f"match the configured {self.config.interval_seconds}s"
+            )
+        tel = self._telemetry
+        if tel.enabled:
+            tel.chronicle.restore(records, seq=doc.get("chronicle_seq"))
+        tel.accuracy.restore_state(doc.get("accuracy") or {})
+        predictor_doc = doc.get("predictor")
+        predictor = self.controller.predictor
+        if predictor_doc is not None:
+            if not isinstance(predictor, OnlinePredictor):
+                raise SimulationError(
+                    "checkpoint carries online-predictor state but the "
+                    f"configured predictor is {type(predictor).__name__}"
+                )
+            predictor.restore_state(predictor_doc)
+        self.depository.monitor.restore_state(doc["monitor"])
+        self.depository.restore_state(doc["depository"])
+        self.controller.restore_state(doc["controller"])
+        self._processed = int(doc["processed"])
+        self.resumed = True
+        if tel.enabled:
+            tel.chronicle.record(
+                "service.resume",
+                time=self.sim_time,
+                intervals=self._processed,
+                watermark=self.depository.watermark,
+                machines=self.controller.machines,
+                mode=self.controller.mode,
+            )
+            tel.metrics.counter("serve.resumes").inc()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -198,12 +324,16 @@ class ControlPlane:
                     self.depository.add(report)
                     if self.depository.flush():
                         self._dispatch()
+                        if self.checkpoints is not None:
+                            self.checkpoint()
             finally:
                 stop_task.cancel()
             if drained:
                 # End of a finite stream: close the final interval too.
                 if self.depository.finish():
                     self._dispatch()
+                    if self.checkpoints is not None:
+                        self.checkpoint()
         finally:
             summary = await self._drain(drained, installed, loop)
         return summary

@@ -11,9 +11,12 @@ routes):
   Prometheus while the service runs;
 * ``GET /chronicle/tail``  — last ``n`` flight-recorder records
   (``?n=20``), newest last;
-* ``GET /plan``            — the active decision/plan view.
+* ``GET /plan``            — the active decision/plan view;
+* ``GET /checkpoint``      — force an immediate checkpoint save (only
+  when the plane runs with ``--checkpoint``/``--resume``).
 
-Everything is read-only; mutation stays with the controller.
+Cluster state is read-only; mutation stays with the controller (the
+checkpoint route only persists, it never alters the plane).
 """
 
 from __future__ import annotations
@@ -41,9 +44,11 @@ class ControlPlaneServer:
         port: int,
         host: str = "127.0.0.1",
         telemetry=None,
+        checkpoint_fn: Optional[Callable[[], dict]] = None,
     ) -> None:
         self.status_fn = status_fn
         self.plan_fn = plan_fn
+        self.checkpoint_fn = checkpoint_fn
         self.port = port
         self.host = host
         self._telemetry = telemetry if telemetry is not None else get_telemetry()
@@ -121,10 +126,19 @@ class ControlPlaneServer:
                 return "400 Bad Request", "text/plain", "bad n\n"
             records = self._telemetry.chronicle.snapshot()[-max(0, n):]
             return self._json_response({"records": records, "n": len(records)})
+        if path == "/checkpoint":
+            if self.checkpoint_fn is None:
+                return (
+                    "404 Not Found",
+                    "text/plain",
+                    "checkpointing is not enabled (pass --checkpoint DIR)\n",
+                )
+            return self._json_response(self.checkpoint_fn())
         if path == "/":
-            return self._json_response(
-                {"routes": ["/status", "/metrics", "/chronicle/tail", "/plan"]}
-            )
+            routes = ["/status", "/metrics", "/chronicle/tail", "/plan"]
+            if self.checkpoint_fn is not None:
+                routes.append("/checkpoint")
+            return self._json_response({"routes": routes})
         return "404 Not Found", "text/plain", f"no route {path}\n"
 
     @staticmethod

@@ -40,6 +40,10 @@ _KIND_PREFIXES = {
     "migration.aborted": "mx",
     "node.add": "na",
     "node.remove": "nr",
+    "node.report": "np",
+    "node.stale": "ns",
+    "node.recovered": "nv",
+    "service.resume": "rz",
     "fault.injected": "fi",
     "fault.detected": "fd",
     "fault.retry": "fy",
@@ -107,6 +111,32 @@ class FlightRecorder:
     def last(self, kind: str) -> Optional[str]:
         """ID of the most recent record of ``kind`` (None if never seen)."""
         return self._last.get(kind)
+
+    @property
+    def seq(self) -> int:
+        """The per-recorder sequence counter (for checkpointing)."""
+        return self._seq
+
+    def restore(self, records: List[dict], seq: Optional[int] = None) -> None:
+        """Reload a previously recorded chronicle (checkpoint resume).
+
+        Replaces the current contents with ``records`` and fast-forwards
+        the sequence counter so IDs issued after the restore continue
+        the original numbering; ``_last`` is rebuilt so parent links of
+        new records resolve against the restored history.
+        """
+        self.records = [dict(rec) for rec in records]
+        self._last = {}
+        max_seen = 0
+        for rec in self.records:
+            kind = rec.get("kind")
+            if kind:
+                self._last[kind] = rec.get("id")
+            rec_id = rec.get("id") or ""
+            tail = rec_id.rsplit("-", 1)[-1]
+            if tail.isdigit():
+                max_seen = max(max_seen, int(tail))
+        self._seq = max(max_seen, int(seq) if seq is not None else 0)
 
     def by_kind(self, kind: str) -> List[dict]:
         return [r for r in self.records if r["kind"] == kind]

@@ -155,6 +155,272 @@ class TestDepository:
         assert list(history[:2]) == [pytest.approx(1.0), pytest.approx(2.0)]
         assert dep.finish() == 0  # idempotent
 
+    def test_same_slot_from_multiple_nodes_aggregates(self):
+        dep = Depository(60.0)
+        dep.add(LoadReport(time=30.0, count=40.0, node="a"))
+        dep.add(LoadReport(time=31.0, count=20.0, node="b"))
+        dep.add(LoadReport(time=90.0, count=1.0, node="a"))
+        dep.add(LoadReport(time=91.0, count=1.0, node="b"))
+        dep.flush()
+        # Slot 0 carried both nodes' counts: 60 txns over 60 s.
+        assert dep.monitor.history_tps()[0] == pytest.approx(1.0)
+
+    def test_boundary_timestamp_lands_in_next_slot(self):
+        dep = Depository(60.0)
+        # t=60.0 is the start of slot 1, not the end of slot 0.
+        dep.add(LoadReport(time=60.0, count=30.0, node="a"))
+        dep.add(LoadReport(time=125.0, count=5.0, node="a"))
+        dep.flush()
+        history = dep.monitor.history_tps()
+        assert history[0] == pytest.approx(0.0)
+        assert history[1] == pytest.approx(0.5)
+
+    def test_finish_after_partial_flush(self):
+        dep = Depository(60.0)
+        dep.add(LoadReport(time=30.0, count=60.0, node="a"))
+        dep.add(LoadReport(time=90.0, count=120.0, node="a"))
+        assert dep.flush() == 1          # releases slot 0 only
+        assert dep.finish() == 1         # drains buffered slot 1
+        history = dep.monitor.history_tps()
+        assert list(history[:2]) == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_clock_never_goes_backwards(self):
+        dep = Depository(60.0)
+        dep.add(LoadReport(time=150.0, count=10.0, node="a"))
+        dep.add(LoadReport(time=30.0, count=10.0, node="a"))
+        # The out-of-order report is buffered but cannot rewind the clock.
+        assert dep.watermark == 150.0
+        assert dep.flush() == 2
+        assert dep.monitor.history_tps()[0] == pytest.approx(10.0 / 60.0)
+
+    def test_late_report_still_advances_node_clock(self):
+        dep = Depository(60.0)
+        dep.add(LoadReport(time=30.0, count=10.0, node="a"))
+        dep.add(LoadReport(time=130.0, count=10.0, node="a"))
+        dep.flush()                      # slots 0..1 territory released
+        # Node b's *first* report targets the released slot 0: its count
+        # must be dropped, but b is alive at t=31 — dropping its clock
+        # too would freeze the watermark at 0 until b reports again.
+        dep.add(LoadReport(time=31.0, count=999.0, node="b"))
+        assert dep.late_reports == 1
+        assert dep.late_by_node == {"b": 1}
+        assert dep.nodes == 2
+        assert dep.watermark == 31.0
+
+    def test_stale_node_evicted_from_watermark(self):
+        from repro.telemetry import MetricsRegistry, Telemetry
+
+        tel = Telemetry(metrics=MetricsRegistry())
+        dep = Depository(60.0, telemetry=tel, node_timeout_intervals=2)
+        dep.add(LoadReport(time=30.0, count=10.0, node="slow"))
+        dep.add(LoadReport(time=90.0, count=10.0, node="fast"))
+        assert dep.watermark == 30.0
+        # fast races ahead; once slow trails by > 2 intervals it is
+        # evicted and the watermark unfreezes.
+        dep.add(LoadReport(time=210.0, count=10.0, node="fast"))
+        assert dep.nodes == 1
+        assert dep.evictions == 1
+        assert dep.watermark == 210.0
+        stale = [r for r in tel.chronicle.records if r["kind"] == "node.stale"]
+        assert len(stale) == 1
+        assert stale[0]["node"] == "slow"
+        # Parented on the node's (reconstructed) last report.
+        parent = next(
+            r for r in tel.chronicle.records if r["id"] == stale[0]["parent"]
+        )
+        assert parent["kind"] == "node.report"
+        assert parent["time"] == 30.0
+
+    def test_evicted_node_readmission_chronicled(self):
+        from repro.telemetry import MetricsRegistry, Telemetry
+
+        tel = Telemetry(metrics=MetricsRegistry())
+        dep = Depository(60.0, telemetry=tel, node_timeout_intervals=2)
+        dep.add(LoadReport(time=30.0, count=10.0, node="slow"))
+        dep.add(LoadReport(time=210.0, count=10.0, node="fast"))
+        assert dep.nodes == 1
+        dep.add(LoadReport(time=250.0, count=10.0, node="slow"))
+        assert dep.nodes == 2
+        recovered = [
+            r for r in tel.chronicle.records if r["kind"] == "node.recovered"
+        ]
+        assert len(recovered) == 1
+        stale = next(
+            r for r in tel.chronicle.records if r["kind"] == "node.stale"
+        )
+        assert recovered[0]["parent"] == stale["id"]
+
+    def test_timeout_zero_never_evicts(self):
+        dep = Depository(60.0, node_timeout_intervals=0)
+        dep.add(LoadReport(time=30.0, count=10.0, node="slow"))
+        dep.add(LoadReport(time=6000.0, count=10.0, node="fast"))
+        assert dep.nodes == 2
+        assert dep.watermark == 30.0
+
+
+# ----------------------------------------------------------------------
+# TCP ingest hardening
+# ----------------------------------------------------------------------
+
+
+class TestTcpSourceHardening:
+    @staticmethod
+    async def _connect(src):
+        host, port = src._server.sockets[0].getsockname()[:2]
+        return await asyncio.open_connection(host, port)
+
+    @staticmethod
+    def _line(slot, node="n0", count=10.0):
+        return (
+            json.dumps(
+                {"time": (slot + 0.5) * 60.0, "count": count, "node": node}
+            )
+            + "\n"
+        ).encode()
+
+    def test_close_terminates_reports_iterator(self):
+        async def scenario():
+            src = TcpSource(0)
+            await src.start()
+            _, writer = await self._connect(src)
+            writer.write(self._line(0))
+            await writer.drain()
+            seen = []
+
+            async def consume():
+                async for report in src.reports():
+                    seen.append(report)
+
+            consumer = asyncio.ensure_future(consume())
+            while not seen:
+                await asyncio.sleep(0.01)
+            # close() must cancel the still-connected handler, enqueue
+            # the sentinel, and let the consumer terminate (the old code
+            # left it blocked on queue.get() forever).
+            await src.close()
+            await asyncio.wait_for(consumer, timeout=5.0)
+            writer.close()
+            return seen
+
+        seen = asyncio.run(scenario())
+        assert len(seen) == 1
+
+    def test_close_is_idempotent(self):
+        async def scenario():
+            src = TcpSource(0)
+            await src.start()
+            await src.close()
+            await src.close()
+            return [r async for r in src.reports()]
+
+        assert asyncio.run(scenario()) == []
+
+    def test_bounded_queue_counts_backpressure(self):
+        async def scenario():
+            src = TcpSource(0, queue_size=2)
+            await src.start()
+            _, writer = await self._connect(src)
+            for slot in range(8):
+                writer.write(self._line(slot))
+            await writer.drain()
+            writer.write_eof()
+            received = []
+            async for report in src.reports():
+                received.append(report)
+                if len(received) == 8:
+                    break
+            await src.close()
+            writer.close()
+            return src, received
+
+        src, received = asyncio.run(scenario())
+        assert len(received) == 8           # nothing lost, only delayed
+        assert src.backpressure_hits >= 1   # the bounded queue filled
+
+    def test_auth_token_rejects_bad_first_line(self):
+        async def scenario():
+            src = TcpSource(0, auth_token="sesame")
+            await src.start()
+            reader, writer = await self._connect(src)
+            writer.write(b"wrong-token\n")
+            writer.write(self._line(0))
+            await writer.drain()
+            # Server closes the connection on auth failure.
+            await asyncio.wait_for(reader.read(), timeout=5.0)
+            await src.close()
+            writer.close()
+            return src
+
+        src = asyncio.run(scenario())
+        assert src.auth_failures == 1
+        assert src.rejected == 0            # never parsed the report
+
+    def test_auth_token_accepts_matching_line(self):
+        async def scenario():
+            src = TcpSource(0, auth_token="sesame")
+            await src.start()
+            _, writer = await self._connect(src)
+            writer.write(b"sesame\n")
+            writer.write(self._line(0))
+            await writer.drain()
+            writer.write_eof()
+            received = []
+            async for report in src.reports():
+                received.append(report)
+                break
+            await src.close()
+            writer.close()
+            return received
+
+        received = asyncio.run(scenario())
+        assert len(received) == 1
+        assert received[0].count == 10.0
+
+    def test_overlong_line_drops_connection(self):
+        async def scenario():
+            src = TcpSource(0, max_line_bytes=64)
+            await src.start()
+            reader, writer = await self._connect(src)
+            writer.write(b"x" * 500 + b"\n")
+            await writer.drain()
+            await asyncio.wait_for(reader.read(), timeout=5.0)
+            await src.close()
+            writer.close()
+            return src
+
+        src = asyncio.run(scenario())
+        assert src.overlong_lines == 1
+
+    def test_rate_guard_throttles_flood(self):
+        async def scenario():
+            src = TcpSource(0, max_report_rate=200.0)
+            await src.start()
+            _, writer = await self._connect(src)
+            for slot in range(10):
+                writer.write(self._line(slot))
+            await writer.drain()
+            writer.write_eof()
+            received = []
+            async for report in src.reports():
+                received.append(report)
+                if len(received) == 10:
+                    break
+            await src.close()
+            writer.close()
+            return src, received
+
+        src, received = asyncio.run(scenario())
+        assert len(received) == 10          # throttled, never dropped
+        assert src.throttled >= 1
+
+    def test_constructor_validates_guards(self):
+        with pytest.raises(SimulationError):
+            TcpSource(0, queue_size=0)
+        with pytest.raises(SimulationError):
+            TcpSource(0, max_line_bytes=1)
+        with pytest.raises(SimulationError):
+            TcpSource(0, max_report_rate=-1.0)
+
 
 # ----------------------------------------------------------------------
 # Error trigger parsing, thresholds, hysteresis
