@@ -13,7 +13,9 @@ Quick tour
 * :mod:`repro.core` — the paper's contribution: the analytic move model
   (Eqs. 2-7), the dynamic-programming planner (Algs. 1-3), and the
   receding-horizon Predictive Controller;
-* :mod:`repro.prediction` — SPAR, AR, ARMA, naive and oracle predictors;
+* :mod:`repro.prediction` — the predictor zoo (SPAR, AR, ARMA, mSSA,
+  gradient-boosted trees, seasonal/last-value naive, oracle) behind one
+  protocol and registry (``docs/PREDICTORS.md``);
 * :mod:`repro.workload` — load traces and calibrated synthetic
   generators (B2W-like retail traffic, Wikipedia-like page views);
 * :mod:`repro.hstore` — the simulated partitioned main-memory DBMS;
@@ -79,8 +81,13 @@ from .faults import (
 from .prediction import (
     ArmaPredictor,
     ArPredictor,
+    GbtPredictor,
+    MssaPredictor,
     OraclePredictor,
+    Predictor,
+    SeasonalNaivePredictor,
     SparPredictor,
+    registered_predictors,
 )
 from .workload import LoadTrace, b2w_like_trace, wikipedia_like_trace
 
@@ -97,11 +104,16 @@ from .api import (  # noqa: E402  (intentional late import)
 from .elasticity import StrategySpec
 from .runner import RunSpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ArPredictor",
     "ArmaPredictor",
+    "GbtPredictor",
+    "MssaPredictor",
+    "Predictor",
+    "SeasonalNaivePredictor",
+    "registered_predictors",
     "ConfigurationError",
     "FIGURE12_Q_FRACTIONS",
     "FaultConfig",

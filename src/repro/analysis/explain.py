@@ -165,6 +165,7 @@ class ExplainReport:
                 {
                     "record": violation,
                     "cause": attribute_violation(violation),
+                    "predictor": _violation_predictor(violation, self),
                     "chain": [r.get("id") for r in self.chain(violation)],
                 }
                 for violation in self.violations
@@ -339,11 +340,37 @@ def _describe(record: dict) -> str:
     return f"{time} {kind}"
 
 
-def _cause_detail(violation: dict, cause: str) -> str:
+def _violation_predictor(
+    violation: dict, report: Optional[ExplainReport] = None
+) -> Optional[str]:
+    """The forecast model behind a violating interval, if recorded.
+
+    Capacity-sim violations carry the predictor's registry name
+    directly; otherwise the causal chain is walked back to the nearest
+    ``forecast.snapshot`` record, which has always named its model.
+    """
+    name = violation.get("predictor")
+    if name:
+        return str(name)
+    if report is not None:
+        for record in reversed(report.chain(violation)):
+            if (
+                record.get("kind") == "forecast.snapshot"
+                and record.get("predictor")
+            ):
+                return str(record["predictor"])
+    return None
+
+
+def _cause_detail(
+    violation: dict, cause: str, report: Optional[ExplainReport] = None
+) -> str:
     if cause == "under-forecast":
         measured = violation.get("measured_tps", violation.get("peak_tps"))
+        model = _violation_predictor(violation, report)
+        forecast = f"inflated {model} forecast" if model else "inflated forecast"
         return (
-            f"measured {_fmt_tps(measured)} tps > inflated forecast "
+            f"measured {_fmt_tps(measured)} tps > {forecast} "
             f"{_fmt_tps(violation.get('inflated_tps'))} tps"
         )
     if cause == "migration-overhead":
@@ -409,7 +436,7 @@ def render_explain(report: ExplainReport) -> str:
         cause = attribute_violation(violation)
         lines.append(
             f"[{cause}] {violation.get('id', '?')} — "
-            f"{_cause_detail(violation, cause)}"
+            f"{_cause_detail(violation, cause, report)}"
         )
         for depth, record in enumerate(report.chain(violation)):
             indent = "  " * depth

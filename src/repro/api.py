@@ -22,16 +22,12 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from .config import PStoreConfig, default_config
 from .elasticity import StrategySpec
 from .errors import ConfigurationError
-from .prediction import (
-    ArmaPredictor,
-    ArPredictor,
-    LastValuePredictor,
-    OraclePredictor,
-    SparPredictor,
-)
+from .prediction import Predictor, get_predictor_spec, registered_predictors
 from .runner import RunSpec
 from .workload import LoadTrace, b2w_like_trace
 
@@ -103,7 +99,9 @@ def run(
 
     Mirrors ``pstore simulate``: four weeks of training data precede the
     ``days``-long evaluation window; ``p-store`` specs get a SPAR model
-    fitted on the training window.  ``trace``, when given, must cover
+    fitted on the training window, and ``predictive:<name>`` specs get
+    the named registry predictor (``predictive:oracle`` is fed the true
+    evaluation series).  ``trace``, when given, must cover
     ``TRAIN_DAYS + days`` at 300 s slots and replaces the generator.
     """
     from .sim import run_capacity_simulation
@@ -126,10 +124,15 @@ def run(
 
     predictor = None
     history: list = []
-    if spec.kind == "p-store":
-        predictor = SparPredictor(period=288, n_periods=7, m_recent=30).fit(
-            train
-        )
+    if spec.needs_predictor:
+        pspec = get_predictor_spec(spec.predictor_name)
+        if pspec.needs_truth:
+            predictor = pspec.factory(
+                np.concatenate([train, evaluation.as_rate_per_second()])
+            )
+        else:
+            kwargs = {"period": 288} if pspec.accepts("period") else {}
+            predictor = pspec.build(**kwargs).fit(train)
         history = [float(v) for v in train]
     if spec.kind == "reactive" and spec.param("patience") is None:
         spec = StrategySpec(
@@ -305,45 +308,32 @@ def load_trace(path) -> LoadTrace:
     return read_trace_csv_cached(path)
 
 
-#: Predictor families :func:`fit_predictor` knows how to build.
-PREDICTORS: Tuple[str, ...] = ("spar", "arma", "ar", "naive", "oracle")
+#: Registered predictor slugs, in registration order.  The first five
+#: match the pre-registry families; the zoo extends the tuple.
+PREDICTORS: Tuple[str, ...] = registered_predictors()
 
 
-def fit_predictor(
-    name: str,
-    series,
-    *,
-    period: int = 288,
-    n_periods: int = 7,
-    m_recent: int = 30,
-    order: int = 30,
-    p: int = 30,
-    q: int = 10,
-):
-    """Build and fit a predictor by family name.
+def fit_predictor(name: str, series, **params) -> Predictor:
+    """Build and fit a predictor by registry slug.
 
-    ``period``/``n_periods``/``m_recent`` parameterise SPAR, ``order``
-    the AR baseline, ``p``/``q`` the ARMA baseline.  The fitted model is
-    returned (SPAR's paper defaults are the argument defaults).
+    Resolves ``name`` through the predictor registry
+    (:mod:`repro.prediction.registry`): unknown slugs raise
+    :class:`~repro.errors.ConfigurationError` listing what is
+    registered, and ``params`` are validated against the predictor's
+    declared parameters (e.g. ``period``/``n_periods``/``m_recent`` for
+    SPAR, ``rank`` for mSSA) instead of being silently ignored.  Returns
+    the fitted :class:`~repro.prediction.Predictor`; the oracle is
+    constructed directly from ``series`` as its ground truth.
     """
-    key = str(name).lower()
-    if key == "spar":
-        model = SparPredictor(
-            period=period, n_periods=n_periods, m_recent=m_recent
-        )
-    elif key == "arma":
-        model = ArmaPredictor(p=p, q=q)
-    elif key == "ar":
-        model = ArPredictor(order=order)
-    elif key == "naive":
-        model = LastValuePredictor()
-    elif key == "oracle":
-        return OraclePredictor(series)
-    else:
-        raise ConfigurationError(
-            f"unknown predictor {name!r} (expected one of {PREDICTORS})"
-        )
-    return model.fit(series)
+    spec = get_predictor_spec(str(name).lower())
+    if spec.needs_truth:
+        if params:
+            raise ConfigurationError(
+                f"predictor {spec.name!r} takes no parameters "
+                f"(got {sorted(params)})"
+            )
+        return spec.factory(series)
+    return spec.build(**params).fit(series)
 
 
 __all__ = [

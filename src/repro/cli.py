@@ -72,10 +72,21 @@ from .telemetry import (
     get_telemetry,
     render_dashboard,
 )
+from .prediction import get_predictor_spec, registered_predictors
 from .workload import b2w_like_trace
 from .workload.io import read_trace_csv, write_trace_csv
 
 logger = logging.getLogger(__name__)
+
+
+def _forecast_model_choices() -> tuple:
+    """Registry predictors buildable from a bare history series (the
+    oracle needs the future, so the CLI cannot offer it)."""
+    return tuple(
+        name
+        for name in registered_predictors()
+        if not get_predictor_spec(name).needs_truth
+    )
 
 
 def _common_options() -> argparse.ArgumentParser:
@@ -136,7 +147,10 @@ def _build_parser() -> argparse.ArgumentParser:
     pred = sub.add_parser("predict", parents=[common],
                           help="forecast a trace with SPAR")
     pred.add_argument("trace", help="input CSV (see `generate`)")
-    pred.add_argument("--model", choices=("spar", "arma", "ar"), default="spar")
+    pred.add_argument(
+        "--model", choices=_forecast_model_choices(), default="spar",
+        help="registry predictor to fit (see docs/PREDICTORS.md)",
+    )
     pred.add_argument("--train-days", type=int, default=28)
     pred.add_argument("--horizon", type=int, default=12, help="slots ahead")
 
@@ -314,9 +328,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="planner interval for non-replay sources",
     )
     srv.add_argument(
-        "--predictor", choices=("spar", "ar", "naive"), default="ar",
-        help="forecast model (spar needs --train-days >= 2; ar is the "
-        "responsive default for short replays)",
+        "--predictor", choices=_forecast_model_choices(), default="ar",
+        help="forecast model from the predictor registry (spar needs "
+        "--train-days >= 2; ar is the responsive default for short "
+        "replays; see docs/PREDICTORS.md)",
     )
     srv.add_argument(
         "--error-trigger", default="mape:0.35", metavar="SPEC",
@@ -430,7 +445,11 @@ def _cmd_generate(args) -> int:
 
 
 def _fit_model(name: str, values: np.ndarray, period: int, train_slots: int):
-    return api.fit_predictor(name, values[:train_slots], period=period)
+    # Seasonal predictors take the trace's day length; history-window
+    # models (ar/arma/naive) declare no period and get none.
+    spec = get_predictor_spec(name)
+    kwargs = {"period": period} if spec.accepts("period") else {}
+    return api.fit_predictor(name, values[:train_slots], **kwargs)
 
 
 def _cmd_predict(args) -> int:
@@ -795,15 +814,18 @@ def _serve_predictor(args, trace, period: int):
                 f"trace has {len(trace)} slots; cannot train on "
                 f"{args.train_days} days"
             )
+    spec = get_predictor_spec(args.predictor)
     if args.predictor == "spar" and args.train_days > 0 and args.train_days < 2:
         raise PStoreError(
             "spar needs --train-days >= 2 (one period of history plus one "
             "of targets); use --predictor ar for short replays"
         )
-    kwargs = {"period": period}
+    kwargs = {"period": period} if spec.accepts("period") else {}
     if args.predictor == "spar":
         kwargs["n_periods"] = max(1, min(7, args.train_days - 1))
         kwargs["m_recent"] = min(30, period // 2)
+    elif args.predictor == "ar":
+        kwargs["order"] = min(30, max(2, period // 8))
     if train_slots:
         values = trace.as_rate_per_second()[:train_slots]
         base = api.fit_predictor(args.predictor, values, **kwargs)
@@ -814,16 +836,9 @@ def _serve_predictor(args, trace, period: int):
         return online, train_slots
     # Fully-online bootstrap: build an unfitted base and let the
     # controller's warmup mode carry until the first fit.
-    from .prediction.naive import LastValuePredictor
-    from .prediction.spar import ArPredictor, SparPredictor
-
     if args.predictor == "spar":
-        base = SparPredictor(period=period, n_periods=2,
-                             m_recent=min(30, period // 2))
-    elif args.predictor == "ar":
-        base = ArPredictor(order=min(30, max(2, period // 8)))
-    else:
-        base = LastValuePredictor()
+        kwargs["n_periods"] = 2
+    base = spec.build(**kwargs)
     return (
         OnlinePredictor(base, refit_every=7 * period,
                         max_history=21 * period),

@@ -235,7 +235,10 @@ class PredictiveController:
             # training window).
             sim_time = float(len(history)) * self.config.interval_seconds
             origin_slot = len(history) - 1
-            predictor_name = type(self.predictor).__name__
+            predictor_name = (
+                getattr(self.predictor, "name", "")
+                or type(self.predictor).__name__
+            )
             snap = tel.chronicle.record(
                 "forecast.snapshot",
                 time=sim_time,

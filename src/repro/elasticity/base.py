@@ -56,6 +56,7 @@ _SPEC_PARAMS = {
         "rate",
     },
     "p-store": {"name", "horizon", "emergency_rate"},
+    "predictive": {"predictor", "name", "horizon", "emergency_rate"},
 }
 
 #: Parameters that must be present after parsing.
@@ -64,6 +65,7 @@ _SPEC_REQUIRED = {
     "simple": ("day", "night"),
     "reactive": (),
     "p-store": (),
+    "predictive": (),
 }
 
 
@@ -85,14 +87,19 @@ class StrategySpec:
     parser).  String forms::
 
         p-store                      # SPAR-driven predictive controller
+        predictive:mssa              # same controller, any zoo predictor
+        predictive                   # shorthand for predictive:spar
         reactive                     # E-Store-style reactive baseline
         reactive:patience=10         # ... with keyword parameters
         static:6                     # fixed 6-machine allocation
         simple:7/3                   # clock-driven day/night allocation
 
     After the ``:`` a kind-specific positional shorthand (``static:<N>``,
-    ``simple:<day>/<night>``) and/or comma-separated ``key=value`` pairs
-    are accepted.  Malformed specs raise :class:`StrategySpecError` — the
+    ``simple:<day>/<night>``, ``predictive:<predictor>``) and/or
+    comma-separated ``key=value`` pairs are accepted.  ``predictive``
+    predictor slugs resolve through the registry in
+    :mod:`repro.prediction.registry`; unknown slugs are rejected at
+    parse time so sweep grids fail fast.  Malformed specs raise :class:`StrategySpecError` — the
     single typed error for every consumer.
 
     Instances are frozen and hashable; :meth:`canonical` returns a
@@ -130,6 +137,15 @@ class StrategySpec:
                 f"strategy {self.kind!r} is missing required parameter(s) "
                 f"{missing}"
             )
+        if self.kind == "predictive":
+            from ..prediction.registry import registered_predictors
+
+            slug = dict(normalized).get("predictor", "spar")
+            if str(slug) not in registered_predictors():
+                raise StrategySpecError(
+                    f"unknown predictor {slug!r} in predictive strategy "
+                    f"(registered: {registered_predictors()})"
+                )
 
     # ------------------------------------------------------------------
     # Construction
@@ -144,7 +160,8 @@ class StrategySpec:
         if kind not in _SPEC_PARAMS:
             raise StrategySpecError(
                 f"unknown strategy spec {text!r} (expected p-store, "
-                "reactive, static:<N>, or simple:<day>/<night>)"
+                "predictive:<predictor>, reactive, static:<N>, or "
+                "simple:<day>/<night>)"
             )
         params: dict = {}
         positional: list = []
@@ -193,6 +210,13 @@ class StrategySpec:
                     "(expected simple:<day>/<night>)"
                 )
             return extra
+        if kind == "predictive":
+            if len(positional) != 1:
+                raise StrategySpecError(
+                    f"bad strategy spec {text!r} "
+                    "(expected predictive:<predictor>)"
+                )
+            return {"predictor": str(positional[0])}
         raise StrategySpecError(
             f"strategy {kind!r} takes only key=value parameters, got "
             f"{positional} in {text!r}"
@@ -215,6 +239,26 @@ class StrategySpec:
 
     def param(self, key: str, default: ParamValue = None):
         return dict(self.params).get(key, default)
+
+    @property
+    def needs_predictor(self) -> bool:
+        """True for specs materialised around a fitted predictor."""
+        return self.kind in ("p-store", "predictive")
+
+    @property
+    def predictor_name(self) -> Optional[str]:
+        """Registry slug of the forecaster this spec asks for.
+
+        ``p-store`` is pinned to SPAR (the paper's configuration);
+        ``predictive`` defaults to SPAR too (``predictive`` ≡
+        ``predictive:spar``) but accepts any registered slug.  ``None``
+        for non-predictive kinds.
+        """
+        if self.kind == "p-store":
+            return "spar"
+        if self.kind == "predictive":
+            return str(self.param("predictor", "spar"))
+        return None
 
     def to_dict(self) -> dict:
         return {"kind": self.kind, **dict(self.params)}
@@ -286,21 +330,26 @@ class StrategySpec:
             if "rate" in params:
                 kwargs["rate_multiplier"] = float(params["rate"])
             return ReactiveStrategy(config, **kwargs)
-        # p-store
+        # p-store / predictive:<name> — the same predictive controller;
+        # the caller supplies the fitted predictor (built via
+        # `predictor_name` and the registry for predictive specs).
         if predictor is None:
             raise StrategySpecError(
-                "p-store strategy needs a fitted predictor (pass one to "
-                "StrategySpec.build)"
+                f"{self.kind} strategy needs a fitted predictor (pass one "
+                "to StrategySpec.build)"
             )
         kwargs = {}
         if "horizon" in params:
             kwargs["horizon_intervals"] = int(params["horizon"])
         if "emergency_rate" in params:
             kwargs["emergency_rate_multiplier"] = float(params["emergency_rate"])
+        default_name = "p-store"
+        if self.kind == "predictive":
+            default_name = f"p-store[{self.predictor_name}]"
         return PStoreStrategy(
             config,
             predictor,
-            name=str(params.get("name", "p-store")),
+            name=str(params.get("name", default_name)),
             injector=injector,
             telemetry=telemetry,
             **kwargs,

@@ -225,6 +225,11 @@ for _defn in (
         run_cell="run_cell", summarize="summarize",
     ),
     ExperimentDef(
+        "shootout", "Predictor zoo vs drift workloads (accuracy + SLA)",
+        f"{_P}.shootout", runner="run_shootout", grid="grid",
+        run_cell="run_cell", summarize="summarize",
+    ),
+    ExperimentDef(
         "smoke", "Fast capacity-sim grid (sweep smoke/CI)", f"{_P}.smoke",
         runner="run_smoke", grid="grid", run_cell="run_cell",
         summarize="summarize",

@@ -47,6 +47,8 @@ class ArPredictor(Predictor):
         number of auto-regressive lags ``p``.
     """
 
+    name = "ar"
+
     def __init__(self, order: int = 30):
         super().__init__()
         if order < 1:
@@ -61,6 +63,7 @@ class ArPredictor(Predictor):
     def fit(self, series: Sequence[float]) -> "ArPredictor":
         arr = as_series(series)
         self._coeffs = fit_ar_coefficients(arr, self.order)
+        self._fit_series = arr
         self._fitted = True
         return self
 

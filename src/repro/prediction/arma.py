@@ -38,6 +38,8 @@ class ArmaPredictor(Predictor):
         to ``p + q + 10``.
     """
 
+    name = "arma"
+
     def __init__(self, p: int = 30, q: int = 10, long_ar_order: Optional[int] = None):
         super().__init__()
         if p < 1 or q < 0:
@@ -83,6 +85,7 @@ class ArmaPredictor(Predictor):
         self._intercept = float(weights[0])
         self._phi = weights[1 : 1 + self.p]
         self._theta = weights[1 + self.p :]
+        self._fit_series = arr
         self._fitted = True
         return self
 

@@ -56,10 +56,30 @@ def as_series(values: Sequence[float]) -> np.ndarray:
 
 
 class Predictor(abc.ABC):
-    """Abstract base class for time-series load predictors."""
+    """Abstract base class for time-series load predictors.
+
+    Beyond ``fit``/``predict_horizon``, every predictor implements the
+    *protocol* the rest of the system programs against:
+
+    * ``name`` — the registry slug (``"spar"``, ``"mssa"``, ...) used as
+      the model label in telemetry, chronicles and the accuracy tracker;
+    * :meth:`capabilities` — declared requirements (minimum history /
+      training, the largest supported tau) that callers can validate
+      against instead of try/excepting;
+    * :meth:`state_dict` / :meth:`restore_state` — JSON-serialisable
+      checkpointing for ``pstore serve --resume``.  The default
+      implementation snapshots the training window and *refits* on
+      restore, which is exact because every fit in this package is
+      deterministic.
+    """
+
+    #: Registry slug; the registry sets/validates this per class.
+    name: str = ""
 
     def __init__(self) -> None:
         self._fitted = False
+        #: Training series of the last ``fit`` (drives ``state_dict``).
+        self._fit_series: Optional[np.ndarray] = None
 
     @property
     def is_fitted(self) -> bool:
@@ -70,6 +90,69 @@ class Predictor(abc.ABC):
             raise NotFittedError(
                 f"{type(self).__name__} must be fitted before predicting"
             )
+
+    # ------------------------------------------------------------------
+    # Declared capabilities
+    # ------------------------------------------------------------------
+
+    @property
+    def tau_max(self) -> Optional[int]:
+        """Largest supported forecast offset, or ``None`` if unbounded.
+
+        SPAR and the seasonal-naive baseline can only reach ``tau <
+        period`` (their periodic term must reference observed data);
+        recursive models forecast arbitrarily far.
+        """
+        return None
+
+    def capabilities(self) -> dict:
+        """Declared requirements callers can validate against up front."""
+        return {
+            "name": self.name or type(self).__name__,
+            "min_history": int(getattr(self, "min_history", 1)),
+            "tau_max": self.tau_max,
+            "period": getattr(self, "period", None),
+            "deterministic": True,
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpointing (``pstore serve --resume``)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot; restored by :meth:`restore_state`.
+
+        The default stores the training window and lets the restore
+        refit — exact, because fits are deterministic.  Predictors with
+        stream state (:class:`~repro.prediction.online.OnlinePredictor`)
+        override both methods.
+        """
+        return {
+            "type": type(self).__name__,
+            "name": self.name,
+            "fitted": bool(self._fitted),
+            "fit_series": (
+                [float(v) for v in self._fit_series]
+                if self._fit_series is not None
+                else None
+            ),
+        }
+
+    def restore_state(self, doc: dict) -> None:
+        """Rebuild from :meth:`state_dict` output (same predictor type)."""
+        want = doc.get("type")
+        have = type(self).__name__
+        if want is not None and want != have:
+            raise PredictionError(
+                f"checkpoint was taken with predictor {want}, "
+                f"cannot restore into {have}"
+            )
+        fit_series = doc.get("fit_series")
+        if doc.get("fitted") and fit_series is not None:
+            self.fit(fit_series)
+        else:
+            self._fitted = False
+            self._fit_series = None
 
     @abc.abstractmethod
     def fit(self, series: Sequence[float]) -> "Predictor":

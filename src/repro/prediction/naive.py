@@ -29,6 +29,8 @@ class SeasonalNaivePredictor(Predictor):
         slots per period ``T``.
     """
 
+    name = "seasonal"
+
     def __init__(self, period: int):
         super().__init__()
         if period < 1:
@@ -39,8 +41,13 @@ class SeasonalNaivePredictor(Predictor):
     def min_history(self) -> int:
         return self.period
 
+    @property
+    def tau_max(self) -> int:
+        """Repeating last period's value needs ``tau < period``."""
+        return self.period - 1
+
     def fit(self, series: Sequence[float]) -> "SeasonalNaivePredictor":
-        as_series(series)  # validate only; nothing to learn
+        self._fit_series = as_series(series)  # validate; nothing to learn
         self._fitted = True
         return self
 
@@ -69,6 +76,8 @@ class SeasonalNaivePredictor(Predictor):
 class LastValuePredictor(Predictor):
     """Forecast every future slot as the most recent observation."""
 
+    name = "naive"
+
     def __init__(self) -> None:
         super().__init__()
 
@@ -77,7 +86,7 @@ class LastValuePredictor(Predictor):
         return 1
 
     def fit(self, series: Sequence[float]) -> "LastValuePredictor":
-        as_series(series)
+        self._fit_series = as_series(series)
         self._fitted = True
         return self
 

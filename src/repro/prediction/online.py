@@ -133,6 +133,17 @@ class OnlinePredictor(Predictor):
     def min_history(self) -> int:
         return getattr(self.base, "min_history", 1)
 
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        """The wrapped model's registry slug: accuracy windows and
+        chronicle records should be keyed by the actual forecaster, not
+        by the learning wrapper."""
+        return getattr(self.base, "name", "") or type(self.base).__name__
+
+    @property
+    def tau_max(self) -> Optional[int]:
+        return getattr(self.base, "tau_max", None)
+
     # ------------------------------------------------------------------
     # Predictor interface
     # ------------------------------------------------------------------

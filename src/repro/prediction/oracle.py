@@ -25,9 +25,12 @@ class OraclePredictor(Predictor):
     pairing an oracle with the wrong trace.
     """
 
+    name = "oracle"
+
     def __init__(self, truth: Sequence[float]):
         super().__init__()
         self._truth = as_series(truth)
+        self._fit_series = self._truth
         self._fitted = True  # nothing to fit
 
     @property
@@ -37,6 +40,7 @@ class OraclePredictor(Predictor):
     def fit(self, series: Sequence[float]) -> "OraclePredictor":
         # Fitting replaces the truth; useful when reusing one instance.
         self._truth = as_series(series)
+        self._fit_series = self._truth
         return self
 
     def predict_horizon(

@@ -1,0 +1,204 @@
+"""The predictor registry: one name → factory table for the whole system.
+
+``repro.api.fit_predictor``, the ``predictive:<name>`` strategy grammar,
+``pstore predict --model``, ``pstore serve --predictor`` and the
+``shootout`` experiment all resolve forecasters through this module, so
+adding a predictor here makes it available everywhere at once.
+
+Each entry is a :class:`PredictorSpec`: the registry slug, the factory,
+and the *declared* constructor parameters with their documented
+defaults.  :meth:`PredictorSpec.build` validates keyword arguments
+against that declaration — an unknown predictor name or an undeclared
+kwarg raises :class:`~repro.errors.ConfigurationError` listing what is
+actually available, instead of a ``TypeError`` three frames deep.
+
+To add a predictor:
+
+1. subclass :class:`~repro.prediction.base.Predictor`, set its ``name``
+   class attribute to the registry slug;
+2. call :func:`register_predictor` with a :class:`PredictorSpec`
+   (module import time is fine — this module registers the whole zoo on
+   import);
+3. nothing else: the conformance suite in ``tests/test_predictor_zoo.py``
+   picks it up automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from ..errors import ConfigurationError
+from .ar import ArPredictor
+from .arma import ArmaPredictor
+from .base import Predictor
+from .gbt import GbtPredictor
+from .mssa import MssaPredictor
+from .naive import LastValuePredictor, SeasonalNaivePredictor
+from .oracle import OraclePredictor
+from .spar import SparPredictor
+
+#: Default slots-per-period for period-aware predictors: one day of
+#: 5-minute slots, matching ``repro.api.run``'s trace resolution.
+DEFAULT_PERIOD = 288
+
+
+@dataclass(frozen=True)
+class PredictorSpec:
+    """One registry entry.
+
+    Parameters
+    ----------
+    name:
+        registry slug (``"spar"``, ``"mssa"``, ...).
+    factory:
+        callable building an *unfitted* predictor from keyword args.
+    description:
+        one-line summary for ``--help`` texts and docs.
+    params:
+        declared keyword parameters mapped to their defaults; ``build``
+        rejects anything else.  ``None`` defaults mean "derived by the
+        factory".
+    needs_truth:
+        the series passed to ``fit_predictor`` *is* the model (the
+        oracle): the factory takes it as its only positional argument.
+    """
+
+    name: str
+    factory: Callable[..., Predictor]
+    description: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    needs_truth: bool = False
+
+    def accepts(self, key: str) -> bool:
+        return key in self.params
+
+    def build(self, **kwargs: Any) -> Predictor:
+        """Construct an unfitted predictor, validating ``kwargs``."""
+        if self.needs_truth:
+            raise ConfigurationError(
+                f"predictor {self.name!r} is built from a ground-truth "
+                f"series; construct it through fit_predictor(name, series)"
+            )
+        unknown = sorted(set(kwargs) - set(self.params))
+        if unknown:
+            accepted = ", ".join(sorted(self.params)) or "(none)"
+            raise ConfigurationError(
+                f"predictor {self.name!r} does not accept "
+                f"{', '.join(repr(k) for k in unknown)} "
+                f"(declared parameters: {accepted})"
+            )
+        return self.factory(**kwargs)
+
+
+_REGISTRY: Dict[str, PredictorSpec] = {}
+
+
+def register_predictor(spec: PredictorSpec) -> PredictorSpec:
+    """Add one predictor to the registry (slugs must be unique)."""
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(
+            f"predictor {spec.name!r} is already registered"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def registered_predictors() -> Tuple[str, ...]:
+    """All registry slugs, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_predictor_spec(name: str) -> PredictorSpec:
+    """Look up one entry; unknown names list what is registered."""
+    spec = _REGISTRY.get(str(name))
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown predictor {name!r} "
+            f"(expected one of {registered_predictors()})"
+        )
+    return spec
+
+
+def build_predictor(name: str, **kwargs: Any) -> Predictor:
+    """Resolve ``name`` and build an unfitted predictor."""
+    return get_predictor_spec(name).build(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# The zoo.  Order matters: ``repro.api.PREDICTORS`` exposes these in
+# registration order, and the first five match the pre-registry tuple.
+# ----------------------------------------------------------------------
+
+register_predictor(PredictorSpec(
+    name="spar",
+    factory=lambda period=DEFAULT_PERIOD, n_periods=7, m_recent=30,
+    ridge=1e-6: SparPredictor(
+        period=period, n_periods=n_periods, m_recent=m_recent, ridge=ridge
+    ),
+    description="Sparse Periodic Auto-Regression (the paper's Eq. 8)",
+    params={"period": DEFAULT_PERIOD, "n_periods": 7,
+            "m_recent": 30, "ridge": 1e-6},
+))
+
+register_predictor(PredictorSpec(
+    name="arma",
+    factory=lambda p=30, q=10, long_ar_order=None: ArmaPredictor(
+        p=p, q=q, long_ar_order=long_ar_order
+    ),
+    description="ARMA(p, q) via Hannan-Rissanen (paper baseline)",
+    params={"p": 30, "q": 10, "long_ar_order": None},
+))
+
+register_predictor(PredictorSpec(
+    name="ar",
+    factory=lambda order=30: ArPredictor(order=order),
+    description="plain AR(p) least squares (paper baseline)",
+    params={"order": 30},
+))
+
+register_predictor(PredictorSpec(
+    name="naive",
+    factory=lambda: LastValuePredictor(),
+    description="last observed value held flat",
+))
+
+register_predictor(PredictorSpec(
+    name="oracle",
+    factory=lambda truth: OraclePredictor(truth),
+    description="perfect predictions from the ground-truth series",
+    needs_truth=True,
+))
+
+register_predictor(PredictorSpec(
+    name="seasonal",
+    factory=lambda period=DEFAULT_PERIOD: SeasonalNaivePredictor(
+        period=period
+    ),
+    description="seasonal-naive floor: same slot one period earlier",
+    params={"period": DEFAULT_PERIOD},
+))
+
+register_predictor(PredictorSpec(
+    name="mssa",
+    factory=lambda period=DEFAULT_PERIOD, window=None, rank=8,
+    ridge=1e-4: MssaPredictor(
+        period=period, window=window, rank=rank, ridge=ridge
+    ),
+    description="mSSA/tspDB-style low-rank matrix-factorization forecast",
+    params={"period": DEFAULT_PERIOD, "window": None,
+            "rank": 8, "ridge": 1e-4},
+))
+
+register_predictor(PredictorSpec(
+    name="gbt",
+    factory=lambda period=DEFAULT_PERIOD, n_trees=40, max_depth=3,
+    learning_rate=0.15, n_thresholds=8, min_leaf=8: GbtPredictor(
+        period=period, n_trees=n_trees, max_depth=max_depth,
+        learning_rate=learning_rate, n_thresholds=n_thresholds,
+        min_leaf=min_leaf,
+    ),
+    description="gradient-boosted trees over lag + calendar features",
+    params={"period": DEFAULT_PERIOD, "n_trees": 40, "max_depth": 3,
+            "learning_rate": 0.15, "n_thresholds": 8, "min_leaf": 8},
+))

@@ -46,6 +46,8 @@ class SparPredictor(Predictor):
         periodic synthetic trace).
     """
 
+    name = "spar"
+
     def __init__(
         self,
         period: int,
@@ -87,6 +89,11 @@ class SparPredictor(Predictor):
         """
         return self.m_recent + self.n_periods * self.period
 
+    @property
+    def tau_max(self) -> int:
+        """The periodic term needs observed data: ``tau < period``."""
+        return self.period - 1
+
     def _check_tau(self, tau: int) -> None:
         if tau < 1:
             raise PredictionError(f"tau must be >= 1 (got {tau})")
@@ -110,6 +117,7 @@ class SparPredictor(Predictor):
                 f"needs at least {needed} training slots (got {arr.size})"
             )
         self._train = arr
+        self._fit_series = arr
         self._coeffs = {}
         self._stacked = {}
         self._fitted_upto = 0

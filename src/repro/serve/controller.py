@@ -162,7 +162,11 @@ class OnlineController:
         self.max_machines = max_machines
         self.trigger = trigger
         self._telemetry = telemetry if telemetry is not None else get_telemetry()
-        self._predictor_name = type(predictor).__name__
+        # Registry slug of the forecaster (OnlinePredictor delegates
+        # to its base), keying accuracy windows and chronicle records.
+        self._predictor_name = (
+            getattr(predictor, "name", "") or type(predictor).__name__
+        )
 
         self._strategy: Optional[PStoreStrategy] = None
         self._reactive = ReactiveStrategy(

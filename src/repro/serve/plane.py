@@ -37,7 +37,6 @@ from typing import Optional
 
 from ..config import PStoreConfig
 from ..errors import SimulationError
-from ..prediction.online import OnlinePredictor
 from ..telemetry import export_run, get_telemetry
 from .controller import ErrorTrigger, OnlineController
 from .depository import Depository
@@ -209,11 +208,9 @@ class ControlPlane:
             "chronicle_seq": tel.chronicle.seq if tel.enabled else 0,
             "monitor": self.depository.monitor.state_dict(),
             "depository": self.depository.state_dict(),
-            "predictor": (
-                predictor.state_dict()
-                if isinstance(predictor, OnlinePredictor)
-                else None
-            ),
+            # Every protocol predictor checkpoints; OnlinePredictor adds
+            # its stream state on top of the base model's fit window.
+            "predictor": predictor.state_dict(),
             "accuracy": tel.accuracy.state_dict(),
             "controller": self.controller.state_dict(),
         }
@@ -249,11 +246,8 @@ class ControlPlane:
         predictor_doc = doc.get("predictor")
         predictor = self.controller.predictor
         if predictor_doc is not None:
-            if not isinstance(predictor, OnlinePredictor):
-                raise SimulationError(
-                    "checkpoint carries online-predictor state but the "
-                    f"configured predictor is {type(predictor).__name__}"
-                )
+            # restore_state validates the checkpointed predictor type
+            # itself (OnlinePredictor additionally checks its base).
             predictor.restore_state(predictor_doc)
         self.depository.monitor.restore_state(doc["monitor"])
         self.depository.restore_state(doc["depository"])

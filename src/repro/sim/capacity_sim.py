@@ -297,6 +297,9 @@ class CapacitySimulator:
                         inflated_tps=(
                             expected.get("inflated") if expected else None
                         ),
+                        predictor=(
+                            expected.get("predictor") if expected else None
+                        ),
                     )
 
         if recording:

@@ -1,5 +1,11 @@
 """Workload traces, synthetic generators, and load-event calendars."""
 
+from .drift import (
+    drifting_period_trace,
+    growing_amplitude_trace,
+    level_shift_trace,
+    novel_spike_trace,
+)
 from .events import EventCalendar, LoadEvent, retail_season_calendar
 from .generators import (
     b2w_evaluation_trace,
@@ -33,7 +39,11 @@ __all__ = [
     "b2w_evaluation_trace",
     "b2w_like_trace",
     "diurnal_profile",
+    "drifting_period_trace",
     "flash_crowd_trace",
+    "growing_amplitude_trace",
+    "level_shift_trace",
+    "novel_spike_trace",
     "retail_season_calendar",
     "sine_trace",
     "step_trace",

@@ -1,0 +1,212 @@
+"""Drift workloads: regime changes that break fixed-period forecasting.
+
+The paper's traces are *stationary-periodic*: tomorrow looks like
+yesterday, so SPAR's fixed-period regression wins.  The predictor-zoo
+shootout needs the opposite — workloads whose generating process changes
+mid-trace:
+
+* :func:`drifting_period_trace` — the daily cycle slowly stretches, so a
+  model locked to ``T`` slots drifts out of phase with reality;
+* :func:`growing_amplitude_trace` — the diurnal swing (and peak) grows
+  steadily, so history-window averages systematically under-forecast;
+* :func:`novel_spike_trace` — sharp load spikes appear only *after* the
+  training window, so nothing in the fitted model anticipates them;
+* :func:`level_shift_trace` — the whole level steps (e.g. a marketing
+  launch multiplies traffic), stranding models fitted pre-shift.
+
+All generators are deterministic for a given argument tuple, share the
+:func:`~repro.workload.generators.diurnal_profile` day shape, default to
+hourly slots (seconds-fast capacity sims), and keep an initial
+*quiet* prefix regime-change-free so experiments can train on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from .generators import _rng, diurnal_profile
+from .trace import LoadTrace
+
+
+def _slots_per_day(slot_seconds: float) -> int:
+    slots = int(round(86_400.0 / slot_seconds))
+    if slots < 2:
+        raise SimulationError(
+            f"slot_seconds={slot_seconds} leaves fewer than 2 slots per day"
+        )
+    return slots
+
+
+def _noise(values: np.ndarray, noise_sigma: float, rng) -> np.ndarray:
+    if noise_sigma > 0:
+        values = values * np.exp(rng.normal(0.0, noise_sigma, values.size))
+    return values
+
+
+def drifting_period_trace(
+    n_days: int = 14,
+    slot_seconds: float = 3600.0,
+    base_level: float = 8_000.0,
+    peak_to_trough: float = 6.0,
+    period_drift: float = 0.35,
+    quiet_days: int = 7,
+    noise_sigma: float = 0.02,
+    seed: int = 31,
+    name: str = "period-drift",
+) -> LoadTrace:
+    """Diurnal load whose cycle *stretches* after the quiet prefix.
+
+    During the first ``quiet_days`` the instantaneous period is exactly
+    one day; afterwards it lengthens linearly until it is
+    ``1 + period_drift`` days long at the end of the trace.  A fixed-T
+    periodic model keeps forecasting yesterday's phase and slides
+    steadily out of alignment.
+    """
+    if n_days < 1 or not 0 <= quiet_days <= n_days:
+        raise SimulationError("need 1 <= n_days and 0 <= quiet_days <= n_days")
+    if period_drift < 0:
+        raise SimulationError("period_drift must be >= 0")
+    rng = _rng(seed)
+    slots_per_day = _slots_per_day(slot_seconds)
+    profile = diurnal_profile(slots_per_day, 1.0 / peak_to_trough)
+    total = n_days * slots_per_day
+    quiet = quiet_days * slots_per_day
+    # Instantaneous frequency in cycles/slot: 1/P while quiet, then the
+    # period dilates linearly to (1 + drift) * P.
+    t = np.arange(total, dtype=float)
+    dilation = np.ones(total)
+    if total > quiet:
+        progress = (t[quiet:] - quiet) / max(total - quiet, 1)
+        dilation[quiet:] = 1.0 + period_drift * progress
+    phase = np.cumsum(1.0 / (slots_per_day * dilation))
+    phase -= phase[0]
+    # Sample the day profile at the (fractional, wrapped) phase position.
+    pos = (phase % 1.0) * slots_per_day
+    grid = np.arange(slots_per_day + 1, dtype=float)
+    wrapped = np.concatenate([profile, profile[:1]])
+    values = base_level * np.interp(pos, grid, wrapped)
+    return LoadTrace(_noise(values, noise_sigma, rng), slot_seconds, name=name)
+
+
+def growing_amplitude_trace(
+    n_days: int = 14,
+    slot_seconds: float = 3600.0,
+    base_level: float = 8_000.0,
+    peak_to_trough: float = 6.0,
+    growth: float = 0.8,
+    quiet_days: int = 7,
+    noise_sigma: float = 0.02,
+    seed: int = 37,
+    name: str = "amp-growth",
+) -> LoadTrace:
+    """Diurnal load whose daily swing grows after the quiet prefix.
+
+    The deviation from the daily mean is scaled by a factor ramping from
+    1 to ``1 + growth``, so peaks rise while the mean level holds —
+    models calibrated on the quiet prefix under-forecast every
+    subsequent peak a little more.
+    """
+    if n_days < 1 or not 0 <= quiet_days <= n_days:
+        raise SimulationError("need 1 <= n_days and 0 <= quiet_days <= n_days")
+    if growth < 0:
+        raise SimulationError("growth must be >= 0")
+    rng = _rng(seed)
+    slots_per_day = _slots_per_day(slot_seconds)
+    profile = diurnal_profile(slots_per_day, 1.0 / peak_to_trough)
+    total = n_days * slots_per_day
+    quiet = quiet_days * slots_per_day
+    t = np.arange(total, dtype=float)
+    envelope = np.ones(total)
+    if total > quiet:
+        envelope[quiet:] = 1.0 + growth * (t[quiet:] - quiet) / max(
+            total - quiet, 1
+        )
+    shape = np.tile(profile, n_days)
+    mean = float(profile.mean())
+    values = base_level * np.clip(mean + (shape - mean) * envelope, 0.02, None)
+    return LoadTrace(_noise(values, noise_sigma, rng), slot_seconds, name=name)
+
+
+def novel_spike_trace(
+    n_days: int = 14,
+    slot_seconds: float = 3600.0,
+    base_level: float = 8_000.0,
+    peak_to_trough: float = 6.0,
+    n_spikes: int = 3,
+    spike_magnitude: float = 2.2,
+    spike_hours: float = 4.0,
+    quiet_days: int = 7,
+    noise_sigma: float = 0.02,
+    seed: int = 41,
+    name: str = "novel-spike",
+) -> LoadTrace:
+    """Diurnal load with sharp spikes that only start after the prefix.
+
+    ``n_spikes`` multiplicative spikes (instant onset, exponential
+    decay over ``spike_hours``) land at seeded-random slots past
+    ``quiet_days`` — a flash-crowd pattern no model fitted on the quiet
+    prefix has ever seen.
+    """
+    if n_days < 1 or not 0 <= quiet_days < n_days:
+        raise SimulationError("need 1 <= n_days and 0 <= quiet_days < n_days")
+    if n_spikes < 1 or spike_magnitude <= 1 or spike_hours <= 0:
+        raise SimulationError(
+            "need n_spikes >= 1, spike_magnitude > 1 and spike_hours > 0"
+        )
+    rng = _rng(seed)
+    slots_per_day = _slots_per_day(slot_seconds)
+    profile = diurnal_profile(slots_per_day, 1.0 / peak_to_trough)
+    total = n_days * slots_per_day
+    quiet = quiet_days * slots_per_day
+    values = base_level * np.tile(profile, n_days)
+    decay_slots = max(spike_hours * 3600.0 / slot_seconds, 1.0)
+    starts = np.sort(rng.integers(quiet, total, size=n_spikes))
+    multiplier = np.ones(total)
+    for start in starts:
+        length = total - int(start)
+        ramp = (spike_magnitude - 1.0) * np.exp(
+            -np.arange(length) / decay_slots
+        )
+        multiplier[start:] = np.maximum(multiplier[start:], 1.0 + ramp)
+    values *= multiplier
+    return LoadTrace(_noise(values, noise_sigma, rng), slot_seconds, name=name)
+
+
+def level_shift_trace(
+    n_days: int = 14,
+    slot_seconds: float = 3600.0,
+    base_level: float = 8_000.0,
+    peak_to_trough: float = 6.0,
+    shift_factor: float = 2.4,
+    shift_day: int = 9,
+    ramp_hours: float = 6.0,
+    noise_sigma: float = 0.02,
+    seed: int = 43,
+    name: str = "level-shift",
+) -> LoadTrace:
+    """Diurnal load whose level steps by ``shift_factor`` mid-trace.
+
+    The multiplier ramps linearly over ``ramp_hours`` starting at
+    ``shift_day`` and then stays — the marketing-launch scenario.
+    Models fitted before the shift keep forecasting the old level.
+    """
+    if n_days < 1 or not 0 <= shift_day < n_days:
+        raise SimulationError("need 1 <= n_days and 0 <= shift_day < n_days")
+    if shift_factor <= 0:
+        raise SimulationError("shift_factor must be > 0")
+    rng = _rng(seed)
+    slots_per_day = _slots_per_day(slot_seconds)
+    profile = diurnal_profile(slots_per_day, 1.0 / peak_to_trough)
+    total = n_days * slots_per_day
+    values = base_level * np.tile(profile, n_days)
+    start = shift_day * slots_per_day
+    ramp_slots = max(int(round(ramp_hours * 3600.0 / slot_seconds)), 1)
+    multiplier = np.ones(total)
+    ramp_end = min(start + ramp_slots, total)
+    multiplier[start:ramp_end] = np.linspace(
+        1.0, shift_factor, ramp_end - start, endpoint=False
+    )
+    multiplier[ramp_end:] = shift_factor
+    values *= multiplier
+    return LoadTrace(_noise(values, noise_sigma, rng), slot_seconds, name=name)

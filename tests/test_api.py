@@ -140,11 +140,53 @@ class TestFitPredictor:
 
     @pytest.mark.parametrize("name", PREDICTORS)
     def test_every_family_fits_and_predicts(self, name, series):
-        model = repro.fit_predictor(name, series, n_periods=7)
+        model = repro.fit_predictor(name, series)
         forecast = model.predict_horizon(series, 6)
         assert len(forecast) == 6
         assert np.all(np.isfinite(forecast))
+        assert model.name == name
+
+    def test_zoo_predictors_registered(self):
+        # The first five slugs predate the registry; the zoo extends it.
+        assert PREDICTORS[:5] == ("spar", "arma", "ar", "naive", "oracle")
+        assert {"seasonal", "mssa", "gbt"} <= set(PREDICTORS)
+
+    def test_declared_params_accepted(self, series):
+        model = repro.fit_predictor(
+            "spar", series, period=288, n_periods=7, m_recent=30
+        )
+        assert model.is_fitted
+        mssa = repro.fit_predictor("mssa", series, period=288, rank=4)
+        assert mssa.is_fitted
 
     def test_unknown_family_raises(self, series):
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError) as exc:
             repro.fit_predictor("prophet", series)
+        assert "spar" in str(exc.value)  # lists what is registered
+
+    def test_undeclared_param_raises(self, series):
+        with pytest.raises(ConfigurationError) as exc:
+            repro.fit_predictor("ar", series, n_periods=7)
+        assert "does not accept" in str(exc.value)
+
+    def test_oracle_takes_no_params(self, series):
+        with pytest.raises(ConfigurationError):
+            repro.fit_predictor("oracle", series, period=288)
+
+    def test_predictive_strategy_spec_round_trip(self):
+        spec = repro.StrategySpec.parse("predictive:mssa")
+        assert spec.kind == "predictive"
+        assert spec.needs_predictor
+        assert spec.predictor_name == "mssa"
+        # Back-compat: bare p-store still means SPAR.
+        assert repro.StrategySpec.parse("p-store").predictor_name == "spar"
+
+    def test_predictive_unknown_predictor_rejected(self):
+        with pytest.raises(StrategySpecError) as exc:
+            repro.StrategySpec.parse("predictive:prophet")
+        assert "mssa" in str(exc.value)
+
+    def test_run_with_zoo_predictor(self):
+        result = repro.run(strategy="predictive:seasonal", days=2, seed=3)
+        assert result.strategy_name == "p-store[seasonal]"
+        assert result.slots == 2 * 288

@@ -1,0 +1,186 @@
+"""Protocol-conformance suite for every registered predictor.
+
+Parameterized over the registry (``repro.prediction.registry``), so a
+newly registered predictor is covered automatically: fit/predict
+shapes, ``predict_at`` vs ``predict_horizon`` agreement, seeded
+determinism, declared capabilities, ``tau_max`` enforcement, and the
+JSON ``state_dict`` round-trip that ``pstore serve --resume`` depends
+on (both bare and behind :class:`OnlinePredictor`)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PredictionError
+from repro.prediction import (
+    Predictor,
+    build_predictor,
+    get_predictor_spec,
+    registered_predictors,
+)
+from repro.prediction.online import OnlinePredictor
+from repro.workload import b2w_like_trace
+
+#: Hourly slots keep every fit fast; 12 days covers SPAR's 222-slot
+#: minimum at period 24.
+PERIOD = 24
+N_DAYS = 12
+
+ALL = registered_predictors()
+#: Predictors buildable without the ground truth (everything but oracle).
+BUILDABLE = tuple(
+    name for name in ALL if not get_predictor_spec(name).needs_truth
+)
+
+
+@pytest.fixture(scope="module")
+def series():
+    trace = b2w_like_trace(
+        n_days=N_DAYS,
+        slot_seconds=3600.0,
+        seed=13,
+        base_level=1250.0 * 3600.0,
+    )
+    return trace.as_rate_per_second()
+
+
+def make_fitted(name: str, series) -> Predictor:
+    """Build one registry predictor the way ``fit_predictor`` would."""
+    spec = get_predictor_spec(name)
+    if spec.needs_truth:
+        return spec.factory(series)
+    kwargs = {"period": PERIOD} if spec.accepts("period") else {}
+    return spec.build(**kwargs).fit(series)
+
+
+class TestRegistry:
+    def test_slugs_and_order(self):
+        assert ALL[:5] == ("spar", "arma", "ar", "naive", "oracle")
+        assert {"seasonal", "mssa", "gbt"} <= set(ALL)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_class_name_attribute_matches_slug(self, name, series):
+        assert make_fitted(name, series).name == name
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ConfigurationError) as exc:
+            get_predictor_spec("prophet")
+        for name in ALL:
+            assert name in str(exc.value)
+
+    @pytest.mark.parametrize("name", BUILDABLE)
+    def test_undeclared_kwarg_rejected(self, name):
+        with pytest.raises(ConfigurationError) as exc:
+            build_predictor(name, definitely_not_a_param=1)
+        assert "does not accept" in str(exc.value)
+
+    def test_oracle_not_buildable_without_truth(self):
+        with pytest.raises(ConfigurationError):
+            build_predictor("oracle")
+
+
+class TestConformance:
+    @pytest.mark.parametrize("name", ALL)
+    def test_fit_predict_shapes(self, name, series):
+        model = make_fitted(name, series)
+        assert model.is_fitted
+        horizon = 6
+        forecast = model.predict_horizon(series, horizon)
+        assert forecast.shape == (horizon,)
+        assert np.all(np.isfinite(forecast))
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_predict_at_matches_horizon(self, name, series):
+        model = make_fitted(name, series)
+        t = series.size - 10
+        for tau in (1, 3):
+            direct = model.predict_at(series, t, tau)
+            sliced = model.predict_horizon(series[: t + 1], tau)[tau - 1]
+            assert direct == sliced
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_deterministic_across_instances(self, name, series):
+        a = make_fitted(name, series).predict_horizon(series, 6)
+        b = make_fitted(name, series).predict_horizon(series, 6)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_capabilities_declaration(self, name, series):
+        caps = make_fitted(name, series).capabilities()
+        assert caps["name"] == name
+        assert caps["min_history"] >= 1
+        assert caps["deterministic"] is True
+        assert caps["tau_max"] is None or caps["tau_max"] >= 1
+
+    @pytest.mark.parametrize("name", ("spar", "seasonal"))
+    def test_periodic_models_enforce_tau_max(self, name, series):
+        model = make_fitted(name, series)
+        assert model.tau_max == PERIOD - 1
+        model.predict_horizon(series, model.tau_max)  # at the bound: fine
+        with pytest.raises(PredictionError):
+            model.predict_horizon(series, model.tau_max + 1)
+
+    @pytest.mark.parametrize("name", ("ar", "arma", "naive", "mssa", "gbt"))
+    def test_recursive_models_are_unbounded(self, name, series):
+        model = make_fitted(name, series)
+        assert model.tau_max is None
+        forecast = model.predict_horizon(series, PERIOD + 12)
+        assert forecast.shape == (PERIOD + 12,)
+        assert np.all(np.isfinite(forecast))
+
+
+class TestCheckpointRoundTrip:
+    """``state_dict`` → JSON → ``restore_state`` must reproduce the
+    model exactly — the contract ``pstore serve --resume`` leans on."""
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_bare_round_trip_is_exact(self, name, series):
+        model = make_fitted(name, series)
+        doc = json.loads(json.dumps(model.state_dict()))
+
+        spec = get_predictor_spec(name)
+        if spec.needs_truth:
+            fresh = spec.factory(series)
+        else:
+            kwargs = {"period": PERIOD} if spec.accepts("period") else {}
+            fresh = spec.build(**kwargs)
+        fresh.restore_state(doc)
+        assert fresh.is_fitted
+        np.testing.assert_array_equal(
+            model.predict_horizon(series, 6),
+            fresh.predict_horizon(series, 6),
+        )
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_restore_rejects_wrong_type(self, name, series):
+        model = make_fitted(name, series)
+        doc = model.state_dict()
+        doc["type"] = "SomethingElse"
+        with pytest.raises(PredictionError):
+            model.restore_state(doc)
+
+    @pytest.mark.parametrize("name", BUILDABLE)
+    def test_online_wrapper_round_trip(self, name, series):
+        def build():
+            spec = get_predictor_spec(name)
+            kwargs = {"period": PERIOD} if spec.accepts("period") else {}
+            return OnlinePredictor(
+                spec.build(**kwargs),
+                refit_every=4 * PERIOD,
+                max_history=8 * N_DAYS * PERIOD,
+            )
+
+        online = build()
+        online.fit(series[:-5])
+        for value in series[-5:]:
+            online.observe(float(value))
+        assert online.name == name
+
+        doc = json.loads(json.dumps(online.state_dict()))
+        fresh = build()
+        fresh.restore_state(doc)
+        np.testing.assert_array_equal(
+            online.predict_horizon(series, 4),
+            fresh.predict_horizon(series, 4),
+        )
